@@ -1,0 +1,42 @@
+"""Figure 6: percentage of accesses that target shared pages.
+
+Regenerates the paper's sharing-fraction chart, including its signature
+annotation: raytrace at ~0.11 %.
+
+    pytest benchmarks/bench_figure6.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.runner import run_aikido_fasttrack
+from repro.workloads.parsec import benchmark_names, get_benchmark
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_figure6_bar(benchmark, name, bench_params):
+    spec = get_benchmark(name)
+    threads, scale = bench_params["threads"], bench_params["scale"]
+    kwargs = dict(seed=bench_params["seed"],
+                  quantum=bench_params["quantum"])
+
+    result = run_once(
+        benchmark,
+        lambda: run_aikido_fasttrack(
+            spec.program(threads=threads, scale=scale), **kwargs))
+    fraction = result.shared_accesses / max(1, result.memory_refs)
+    paper = spec.paper.shared_fraction
+    benchmark.extra_info.update({
+        "shared_pct": round(fraction * 100, 2),
+        "paper_shared_pct": round(paper * 100, 2),
+    })
+    print(f"\nFig6[{name}]: {fraction*100:.2f}% of accesses to shared "
+          f"pages (paper: {paper*100:.2f}%)")
+    # Shape: within a band of the paper for significant sharers; raytrace
+    # stays (far) below 1%.
+    if paper > 0.05:
+        assert 0.5 * paper < fraction < 1.8 * paper
+    else:
+        assert fraction < 0.01

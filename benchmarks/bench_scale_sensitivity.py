@@ -1,0 +1,70 @@
+"""How stable are the paper-shape results under workload scale?
+
+The cost model's event-scaling rule ties fault overheads to footprint,
+not iterations, so shrinking the workload (scale < 1) inflates the
+relative weight of Aikido's fixed costs and shrinks its measured win —
+the reason the calibrated configuration is scale=1.0. This bench prints
+the sensitivity so nobody trips over it silently.
+
+    pytest benchmarks/bench_scale_sensitivity.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.runner import (
+    run_aikido_fasttrack,
+    run_fasttrack,
+    run_native,
+)
+from repro.workloads.parsec import get_benchmark
+
+CASES = ("blackscholes", "vips")
+SCALES = (0.5, 1.0, 2.0)
+
+_results = {}
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("name", CASES)
+def test_scale_cell(benchmark, name, scale, bench_params):
+    spec = get_benchmark(name)
+    kwargs = dict(seed=bench_params["seed"],
+                  quantum=bench_params["quantum"])
+
+    def program():
+        return spec.program(threads=8, scale=scale)
+
+    native = run_native(program(), **kwargs)
+    fasttrack = run_fasttrack(program(), **kwargs)
+    aikido = run_once(benchmark,
+                      lambda: run_aikido_fasttrack(program(), **kwargs))
+    speedup = fasttrack.slowdown_vs(native) / aikido.slowdown_vs(native)
+    _results[(name, scale)] = speedup
+    benchmark.extra_info.update({"scale": scale,
+                                 "speedup": round(speedup, 2)})
+    print(f"\nScale[{name}@{scale}]: speedup {speedup:.2f}x")
+
+
+def test_scale_trends(benchmark):
+    assert len(_results) == len(CASES) * len(SCALES)
+
+    def check():
+        for name in CASES:
+            # Longer runs amortize fixed costs: the speedup is
+            # non-decreasing in scale.
+            assert _results[(name, 0.5)] \
+                <= _results[(name, 1.0)] * 1.05
+            assert _results[(name, 1.0)] \
+                <= _results[(name, 2.0)] * 1.05
+        # blackscholes (few faults) is much less scale-sensitive than
+        # vips (fault-churny).
+        bs_ratio = _results[("blackscholes", 2.0)] \
+            / _results[("blackscholes", 0.5)]
+        vips_ratio = _results[("vips", 2.0)] / _results[("vips", 0.5)]
+        assert vips_ratio > bs_ratio
+        return True
+
+    assert run_once(benchmark, check)

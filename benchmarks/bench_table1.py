@@ -1,0 +1,68 @@
+"""Table 1: fluidanimate and vips at 2, 4 and 8 threads.
+
+Regenerates the thread-scaling table. The paper's shape: both tools get
+more expensive with more threads; Aikido-FastTrack wins clearly at 2 and
+4 threads and converges with (fluidanimate: slightly crosses) FastTrack
+at 8.
+
+    pytest benchmarks/bench_table1.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.report import PAPER_TABLE1
+from repro.harness.runner import (
+    run_aikido_fasttrack,
+    run_fasttrack,
+    run_native,
+)
+from repro.workloads.parsec import get_benchmark
+
+_speedups = {}
+
+
+@pytest.mark.parametrize("threads", (2, 4, 8))
+@pytest.mark.parametrize("name", ("fluidanimate", "vips"))
+def test_table1_cell(benchmark, name, threads, bench_params):
+    spec = get_benchmark(name)
+    scale = bench_params["scale"]
+    kwargs = dict(seed=bench_params["seed"],
+                  quantum=bench_params["quantum"])
+
+    def program():
+        return spec.program(threads=threads, scale=scale)
+
+    native = run_native(program(), **kwargs)
+    fasttrack = run_fasttrack(program(), **kwargs)
+    aikido = run_once(benchmark,
+                      lambda: run_aikido_fasttrack(program(), **kwargs))
+    ft = fasttrack.slowdown_vs(native)
+    aik = aikido.slowdown_vs(native)
+    _speedups[(name, threads)] = ft / aik
+    benchmark.extra_info.update({
+        "ft_slowdown_x": round(ft, 1),
+        "aikido_slowdown_x": round(aik, 1),
+        "paper_ft_x": PAPER_TABLE1[(name, "FastTrack", threads)],
+        "paper_aikido_x": PAPER_TABLE1[(name, "Aikido-FastTrack",
+                                        threads)],
+    })
+    print(f"\nTable1[{name}@{threads}T]: FT {ft:.1f}x, Aikido {aik:.1f}x "
+          f"(paper {PAPER_TABLE1[(name, 'FastTrack', threads)]:.1f}x / "
+          f"{PAPER_TABLE1[(name, 'Aikido-FastTrack', threads)]:.1f}x)")
+
+
+def test_table1_trends(benchmark):
+    """Aikido's advantage must shrink as threads grow (both benchmarks),
+    and it must clearly win at 2 threads."""
+    assert len(_speedups) == 6, "cell benchmarks must run first"
+
+    def check():
+        for name in ("fluidanimate", "vips"):
+            assert _speedups[(name, 2)] > 1.1, name
+            assert _speedups[(name, 2)] > _speedups[(name, 8)], name
+        return True
+
+    assert run_once(benchmark, check)

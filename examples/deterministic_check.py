@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The §6 soundness discussion, executable.
+
+Aikido introduces a *well-defined* class of false negatives: the first
+two accesses to a page (one per thread) happen before the sharing
+detector can instrument anything. For verification use cases — e.g.
+guaranteeing race freedom so a Weak/SyncOrder deterministic runtime can
+promise determinism — that is not acceptable.
+
+The paper's §6 workaround: have the deterministic substrate order those
+first accesses, at which point the ordering can be fed back into the
+analysis as a happens-before edge. This script shows all three positions:
+
+1. full FastTrack sees the first-touch race;
+2. default Aikido-FastTrack misses it (fast, but unsound);
+3. Aikido with ``order_first_accesses=True`` is *soundly silent*: the
+   accesses really are ordered by the (simulated) deterministic runtime,
+   so there is no race to report.
+
+    python examples/deterministic_check.py
+"""
+
+from repro.core.config import AikidoConfig
+from repro.harness.runner import run_aikido_fasttrack, run_fasttrack
+from repro.workloads import micro
+
+
+def describe(label, races):
+    print(f"  {label:<42s} "
+          f"{len(races)} race(s)"
+          + (": " + races[0].describe() if races else ""))
+
+
+def main():
+    print("Scenario (micro.first_touch_race): thread A writes a page")
+    print("exactly once; thread B reads it exactly once; no sync.\n")
+
+    ft = run_fasttrack(micro.first_touch_race()[0], seed=3, quantum=20)
+    describe("FastTrack (sound, slow)", ft.races)
+
+    aik = run_aikido_fasttrack(micro.first_touch_race()[0], seed=3,
+                               quantum=20)
+    describe("Aikido-FastTrack (fast, misses it)", aik.races)
+
+    ordered = run_aikido_fasttrack(
+        micro.first_touch_race()[0], seed=3, quantum=20,
+        config=AikidoConfig(order_first_accesses=True))
+    describe("Aikido + ordered first accesses", ordered.races)
+
+    print("\nInterpretation:")
+    print(" - Line 1 is the ground truth: the program races.")
+    print(" - Line 2 is Aikido's documented §6 false negative.")
+    print(" - Line 3 reports nothing *by construction*: the deterministic")
+    print("   substrate orders the page's first two accesses, so the")
+    print("   combined system still guarantees deterministic execution —")
+    print("   the guarantee the paper's §6 argues can be salvaged cheaply.")
+    print("\nOn a race the workaround cannot hide (later accesses):")
+    ft2 = run_fasttrack(micro.racy_counter(2, 15)[0], seed=3, quantum=20)
+    aik2 = run_aikido_fasttrack(
+        micro.racy_counter(2, 15)[0], seed=3, quantum=20,
+        config=AikidoConfig(order_first_accesses=True))
+    describe("FastTrack", ft2.races)
+    describe("Aikido + ordering (still catches it)", aik2.races)
+
+
+if __name__ == "__main__":
+    main()

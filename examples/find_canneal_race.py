@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Reproduce the paper's §5.3 finding: canneal's Mersenne-Twister race.
+
+"An example race we found was in the random number generator (based on
+Mersenne Twister) in the canneal benchmark." — the RNG state is advanced
+by every annealing thread without synchronization.
+
+This script runs the canneal-like workload under both configurations and
+shows (a) both detect the RNG race, and (b) Aikido does it with a
+fraction of FastTrack's instrumentation work.
+
+    python examples/find_canneal_race.py
+"""
+
+from repro.harness.runner import (
+    run_aikido_fasttrack,
+    run_fasttrack,
+    run_native,
+)
+from repro.workloads.parsec import build_benchmark
+
+THREADS = 4
+SCALE = 0.5
+
+
+def program():
+    return build_benchmark("canneal", threads=THREADS, scale=SCALE)
+
+
+def main():
+    print(f"canneal ({THREADS} threads, scale {SCALE}) ...")
+    native = run_native(program(), seed=1, quantum=150)
+    fasttrack = run_fasttrack(program(), seed=1, quantum=150)
+    aikido = run_aikido_fasttrack(program(), seed=1, quantum=150)
+
+    print("\n=== FastTrack (instrument everything) ===")
+    print(f"  slowdown vs native: {fasttrack.slowdown_vs(native):.1f}x")
+    for race in fasttrack.races[:5]:
+        print("   race:", race.describe())
+
+    print("\n=== Aikido-FastTrack (shared pages only) ===")
+    print(f"  slowdown vs native: {aikido.slowdown_vs(native):.1f}x")
+    for race in aikido.races[:5]:
+        print("   race:", race.describe())
+
+    ft_keys = {r.key for r in fasttrack.races}
+    aik_keys = {r.key for r in aikido.races}
+    print("\n=== Comparison (paper §5.3) ===")
+    print(f"  FastTrack races:        {len(ft_keys)}")
+    print(f"  Aikido-FastTrack races: {len(aik_keys)}")
+    print(f"  Aikido subset of FastTrack: {aik_keys <= ft_keys}")
+    print(f"  speedup from Aikido:    "
+          f"{fasttrack.slowdown_vs(native)/aikido.slowdown_vs(native):.2f}x")
+    print(f"  instrumentation avoided: "
+          f"{aikido.memory_refs - aikido.instrumented_execs} of "
+          f"{aikido.memory_refs} accesses ran uninstrumented")
+    print("\nNote: the RNG race is 'benign' in the sense of §5.3 — but as")
+    print("the paper observes, the statistical properties of a Mersenne")
+    print("Twister under racy updates are anyone's guess.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""A guided tour of the paper, one live demonstration per mechanism.
+
+Walks through §3's machinery in order, printing what each layer does on
+a tiny program. Think of it as the executable version of the paper's
+design section (and of docs/internals.md).
+
+    python examples/paper_tour.py
+"""
+
+from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
+from repro.core.sharing import SharingDetector
+from repro.dbr.engine import DBREngine
+from repro.guestos.kernel import Kernel
+from repro.guestos import syscalls
+from repro.hypervisor.aikidovm import AikidoVM
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SHIFT
+
+
+def tour_program():
+    b = ProgramBuilder("tour")
+    shared = b.segment("shared", 64)
+    private = b.segment("private", 64, initial={0: 5, 8: 6})
+    b.label("main")
+    b.li(1, private)
+    b.li(2, 2)
+    b.syscall(syscalls.SYS_WRITE)  # guest kernel trips over protection
+    b.li(4, private)
+    b.li(6, 1)
+    b.store(6, base=4, disp=0)     # userspace touch triggers the restore
+    b.li(3, 0)
+    b.spawn(5, "worker", arg_reg=3)
+    b.li(4, shared)
+    with b.loop(counter=2, count=6):
+        b.load(6, base=4, disp=0)
+        b.add(6, 6, imm=1)
+        b.store(6, base=4, disp=0)  # unsynchronized: races with worker
+    b.join(5)
+    b.halt()
+    b.label("worker")
+    b.li(4, shared)
+    with b.loop(counter=2, count=6):
+        b.load(6, base=4, disp=0)
+        b.add(6, 6, imm=1)
+        b.store(6, base=4, disp=0)
+    b.halt()
+    return b.build(), shared, private
+
+
+def main():
+    program, shared, private = tour_program()
+    hypervisor = AikidoVM()
+    kernel = Kernel(platform=hypervisor, seed=11, quantum=4, jitter=0.2)
+    kernel.create_process(program)
+    engine = DBREngine(kernel)
+    analysis = AikidoFastTrack(kernel)
+    sd = SharingDetector(kernel, hypervisor, analysis)
+    sd.install(engine)
+
+    print("§3.2.4 per-thread page protection")
+    print(f"  {hypervisor.stats.protection_updates} protection-table "
+          "entries installed before the first instruction ran")
+    print(f"  fault landing pads at {sd.lib.read_fault_page:#x} (read) / "
+          f"{sd.lib.write_fault_page:#x} (write), mailbox at "
+          f"{sd.lib.mailbox:#x}")
+
+    kernel.run()
+
+    print("\n§3.2.5 fake-fault delivery")
+    print(f"  {hypervisor.stats.segfaults_delivered} Aikido faults "
+          "delivered through the guest kernel's SIGSEGV path")
+    print(f"  {hypervisor.stats.vmexits} VM exits total, "
+          f"{hypervisor.stats.tlb_invalidations} TLB shootdowns")
+
+    print("\n§3.2.6 guest-kernel emulation")
+    print(f"  {hypervisor.stats.emulated_kernel_accesses} kernel accesses "
+          "emulated on Aikido-protected pages, "
+          f"{hypervisor.stats.temp_unprotect_restores} restore(s) on the "
+          "next userspace touch")
+
+    print("\n§3.3.2 sharing detection")
+    print(f"  pages: {sd.pagestate.private_pages} stayed private, "
+          f"{sd.pagestate.shared_pages} became shared")
+    print(f"  page {shared >> PAGE_SHIFT:#x} (the contended counter): "
+          f"{sd.pagestate.state(shared >> PAGE_SHIFT)[0].value}")
+    print(f"  page {private >> PAGE_SHIFT:#x} (main's scratch): "
+          f"{sd.pagestate.state(private >> PAGE_SHIFT)[0].value}")
+
+    print("\n§3.3.2 re-JIT instrumentation")
+    print(f"  {sd.stats.instructions_instrumented} static instructions "
+          f"instrumented (of {program.static_memory_instruction_count()} "
+          "memory instructions), "
+          f"{sd.stats.rejit_flushes} code-cache flushes")
+
+    print("\n§3.3.3 mirror pages")
+    mirror = sd.mirror.mirror_address(shared)
+    print(f"  {shared:#x} is aliased at {mirror:#x}; both read "
+          f"{kernel.process.vm.read_word(shared)} (same physical frame)")
+
+    print("\n§4 the accelerated FastTrack")
+    print(f"  observed {sd.stats.shared_accesses} shared accesses of "
+          f"{engine.stats.memory_refs} total memory references")
+    for race in analysis.races[:3]:
+        print("  " + race.describe_with_program(program).replace(
+            "\n", "\n  "))
+    if not analysis.races:
+        print("  (no race on this schedule — try another seed)")
+
+    print("\n§5-ish cycle accounting")
+    top = sorted(kernel.counter.snapshot().items(),
+                 key=lambda kv: -kv[1])[:5]
+    for category, cycles in top:
+        print(f"  {category:>16s}: {cycles:9d} cycles")
+
+
+if __name__ == "__main__":
+    main()

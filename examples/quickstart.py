@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: find a data race with Aikido-accelerated FastTrack.
+
+Builds a small two-thread program with an unsynchronized counter, runs it
+under the full Aikido stack (AikidoVM hypervisor -> guest kernel -> DBR
+engine -> AikidoSD -> FastTrack), and prints the detected races plus the
+sharing-detector statistics that explain *why* this was cheap: only the
+shared page's accesses were instrumented.
+
+    python examples/quickstart.py
+"""
+
+from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
+from repro.core.system import AikidoSystem
+from repro.machine.asm import ProgramBuilder
+
+
+def build_racy_program():
+    """Two threads increment a shared counter; only one uses the lock."""
+    b = ProgramBuilder("quickstart")
+    data = b.segment("shared", 64)
+
+    b.label("main")
+    b.li(3, 0)
+    b.spawn(5, "careless", arg_reg=3)   # child: no lock
+    b.li(4, data)
+    with b.loop(counter=2, count=30):   # main: properly locked
+        b.lock(lock_id=1)
+        b.load(6, base=4, disp=0)
+        b.add(6, 6, imm=1)
+        b.store(6, base=4, disp=0)
+        b.unlock(lock_id=1)
+    b.join(5)
+    b.halt()
+
+    b.label("careless")
+    b.li(4, data)
+    with b.loop(counter=2, count=30):   # no lock: races with main
+        b.load(6, base=4, disp=0)
+        b.add(6, 6, imm=1)
+        b.store(6, base=4, disp=0)
+    b.halt()
+    return b.build(), data
+
+
+def main():
+    program, data = build_racy_program()
+    system = AikidoSystem(program, lambda kernel: AikidoFastTrack(kernel),
+                          seed=7, quantum=11, jitter=0.2)
+    system.run()
+
+    print("=== Races ===")
+    for race in system.analysis.races:
+        print(" ", race.describe())
+    if not system.analysis.races:
+        print("  none found (try another seed)")
+
+    print("\n=== Why it was cheap (AikidoSD statistics) ===")
+    stats = system.stats
+    run = system.run_stats
+    print(f"  memory accesses executed:       {run.memory_refs}")
+    print(f"  accesses to shared pages:       {stats.shared_accesses}")
+    print(f"  instructions instrumented:      "
+          f"{stats.instructions_instrumented} (static)")
+    print(f"  pages private / shared:         "
+          f"{system.sd.pagestate.private_pages} / "
+          f"{system.sd.pagestate.shared_pages}")
+    print(f"  faults delivered by AikidoVM:   "
+          f"{system.hypervisor_stats.segfaults_delivered}")
+    print(f"  final counter value:            "
+          f"{system.process.vm.read_word(data)} (60 if no update was lost)")
+
+
+if __name__ == "__main__":
+    main()

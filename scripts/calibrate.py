@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Calibration helper: measured vs paper shape for Fig. 5/6 and Table 1.
+
+Run after any cost-constant or workload tweak:
+
+    python scripts/calibrate.py [--threads 8] [--scale 1.0] [--quantum 300]
+"""
+
+import argparse
+import math
+import time
+
+from repro.harness.runner import (
+    run_aikido_fasttrack,
+    run_fasttrack,
+    run_native,
+)
+from repro.workloads.parsec import PARSEC_BENCHMARKS
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--threads", type=int, default=8)
+    ap.add_argument("--scale", type=float, default=1.0)
+    ap.add_argument("--quantum", type=int, default=300)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--table1", action="store_true")
+    args = ap.parse_args()
+
+    t0 = time.time()
+    print(f"{'bench':14s} {'shared%':>8s} {'paper%':>7s} {'FT':>7s} "
+          f"{'Aik':>7s} {'ratio':>6s} {'pFT':>6s} {'pAik':>6s} {'pRatio':>7s}")
+    ratios = []
+    for spec in PARSEC_BENCHMARKS:
+        def mk():
+            return spec.program(threads=args.threads, scale=args.scale)
+        kw = dict(seed=args.seed, quantum=args.quantum)
+        nat = run_native(mk(), **kw)
+        ft = run_fasttrack(mk(), **kw)
+        aik = run_aikido_fasttrack(mk(), **kw)
+        frac = aik.shared_accesses / max(1, aik.memory_refs)
+        fts, aks = ft.slowdown_vs(nat), aik.slowdown_vs(nat)
+        ratios.append(fts / aks)
+        paper = spec.paper
+        pr = paper.ft_slowdown_8t / paper.aikido_slowdown_8t
+        print(f"{spec.name:14s} {frac*100:8.2f} "
+              f"{paper.shared_fraction*100:7.2f} {fts:7.1f} {aks:7.1f} "
+              f"{fts/aks:6.2f} {paper.ft_slowdown_8t:6.0f} "
+              f"{paper.aikido_slowdown_8t:6.0f} {pr:7.2f}")
+    geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    print(f"geomean ratio {geo:.2f} (paper 1.76); "
+          f"elapsed {time.time()-t0:.1f}s")
+
+    if args.table1:
+        print("\nTable 1 (fluidanimate / vips at 2, 4, 8 threads):")
+        for name in ("fluidanimate", "vips"):
+            spec = next(s for s in PARSEC_BENCHMARKS if s.name == name)
+            for t in (2, 4, 8):
+                def mk():
+                    return spec.program(threads=t, scale=args.scale)
+                kw = dict(seed=args.seed, quantum=args.quantum)
+                nat = run_native(mk(), **kw)
+                ft = run_fasttrack(mk(), **kw)
+                aik = run_aikido_fasttrack(mk(), **kw)
+                print(f"  {name:13s} T={t}: FT={ft.slowdown_vs(nat):6.1f}"
+                      f"  Aik={aik.slowdown_vs(nat):6.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Show *when* Aikido faults happen within a run.
+
+Static-footprint benchmarks (freqmine, blackscholes) front-load nearly
+all their sharing faults; buffer-churning pipelines (vips, x264,
+fluidanimate) sustain them for the whole run — which is why the latter
+group's fixed costs matter and why the paper's Table 2 fault counts vary
+by two orders of magnitude. Prints a decile histogram of fault times.
+
+    python scripts/fault_timeline.py [benchmark ...]
+"""
+
+import sys
+
+from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
+from repro.core.system import AikidoSystem
+from repro.workloads.parsec import benchmark_names, build_benchmark
+
+
+def timeline(name: str, threads: int = 8, scale: float = 1.0):
+    program = build_benchmark(name, threads=threads, scale=scale)
+    system = AikidoSystem(program, lambda k: AikidoFastTrack(k), seed=1,
+                          quantum=150)
+    system.run()
+    return system.sd.fault_log, system.cycles
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["freqmine", "vips", "fluidanimate"]
+    for name in names:
+        if name not in benchmark_names():
+            raise SystemExit(f"unknown benchmark {name!r}")
+        log, total_cycles = timeline(name)
+        deciles = [0] * 10
+        for cycle, _vpn, _state in log:
+            deciles[min(9, 10 * cycle // max(1, total_cycles))] += 1
+        bars = " ".join(f"{d:4d}" for d in deciles)
+        late = sum(deciles[2:]) / max(1, len(log))
+        print(f"{name:>14s}  faults/decile: {bars}   "
+              f"({late:.0%} after the first fifth of the run)")
+
+
+if __name__ == "__main__":
+    main()

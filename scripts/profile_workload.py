@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Print the static + dynamic profile of one or all benchmarks.
+
+    python scripts/profile_workload.py [benchmark] [--threads 8] [--scale 1.0]
+"""
+
+import argparse
+
+from repro.workloads.parsec import benchmark_names, get_benchmark
+from repro.workloads.profile import (
+    dynamic_profile,
+    render_profile,
+    static_profile,
+)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("benchmark", nargs="?", default=None,
+                    choices=[None] + benchmark_names())
+    ap.add_argument("--threads", type=int, default=8)
+    ap.add_argument("--scale", type=float, default=1.0)
+    args = ap.parse_args()
+
+    names = [args.benchmark] if args.benchmark else benchmark_names()
+    for name in names:
+        spec = get_benchmark(name)
+
+        def factory():
+            return spec.program(threads=args.threads, scale=args.scale)
+
+        print(render_profile(name, static_profile(factory()),
+                             dynamic_profile(factory)))
+        print()
+
+
+if __name__ == "__main__":
+    main()

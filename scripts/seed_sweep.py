@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Robustness check: does the Figure 5 shape hold across scheduler seeds?
+
+The paper's numbers are single measurements on real hardware; ours are
+deterministic per seed, so the analogue of "rerun the experiment" is a
+seed sweep. Prints per-benchmark speedup mean/min/max over N seeds.
+
+    python scripts/seed_sweep.py [--seeds 5] [--scale 1.0]
+"""
+
+import argparse
+import statistics
+
+from repro.harness.runner import (
+    run_aikido_fasttrack,
+    run_fasttrack,
+    run_native,
+)
+from repro.workloads.parsec import PARSEC_BENCHMARKS
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--seeds", type=int, default=5)
+    ap.add_argument("--scale", type=float, default=1.0)
+    ap.add_argument("--threads", type=int, default=8)
+    ap.add_argument("--quantum", type=int, default=150)
+    args = ap.parse_args()
+
+    print(f"{'benchmark':>14s} {'mean':>6s} {'min':>6s} {'max':>6s} "
+          f"{'spread':>7s}")
+    for spec in PARSEC_BENCHMARKS:
+        speedups = []
+        for seed in range(1, args.seeds + 1):
+            kw = dict(seed=seed, quantum=args.quantum)
+
+            def program():
+                return spec.program(threads=args.threads,
+                                    scale=args.scale)
+
+            native = run_native(program(), **kw)
+            ft = run_fasttrack(program(), **kw)
+            aik = run_aikido_fasttrack(program(), **kw)
+            speedups.append(ft.slowdown_vs(native)
+                            / aik.slowdown_vs(native))
+        mean = statistics.fmean(speedups)
+        spread = (max(speedups) - min(speedups)) / mean
+        print(f"{spec.name:>14s} {mean:6.2f} {min(speedups):6.2f} "
+              f"{max(speedups):6.2f} {spread:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

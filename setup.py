@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+Normal installs should use ``pip install -e .`` (PEP 660); this shim lets
+``python setup.py develop`` work in fully offline environments where pip
+cannot build editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

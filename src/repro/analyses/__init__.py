@@ -1,0 +1,47 @@
+"""Dynamic analyses (DBR tools) usable standalone or under Aikido.
+
+* :mod:`repro.analyses.fasttrack` — the FastTrack happens-before race
+  detector, in both the conservative full-instrumentation form (the
+  paper's baseline) and the Aikido-accelerated form.
+* :mod:`repro.analyses.djit` — plain DJIT+ vector-clock detection (the
+  baseline FastTrack's epoch optimization is measured against).
+* :mod:`repro.analyses.eraser` — an Eraser-style LockSet detector
+  (related-work comparison; may report false positives).
+* :mod:`repro.analyses.atomicity` — an AVIO-style atomicity checker
+  (the paper's second motivating analysis class).
+* :mod:`repro.analyses.sampling` — a LiteRace-style sampling wrapper
+  (related-work comparison; trades false negatives for speed).
+* :mod:`repro.analyses.generic_tool` — run any detector under full
+  instrumentation or under Aikido.
+* :mod:`repro.analyses.record` — trace recording and offline replay.
+"""
+
+from repro.analyses.atomicity import AikidoAtomicity, AVIOChecker
+from repro.analyses.djit import DjitDetector
+from repro.analyses.eraser import EraserAnalysis, EraserDetector
+from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
+from repro.analyses.fasttrack.detector import FastTrackDetector
+from repro.analyses.fasttrack.tool import FastTrackTool
+from repro.analyses.generic_tool import (
+    FullInstrumentationTool,
+    GenericAnalysis,
+)
+from repro.analyses.record import TraceRecorder, replay, replay_into
+from repro.analyses.sampling import SamplingDetector
+
+__all__ = [
+    "AVIOChecker",
+    "AikidoAtomicity",
+    "AikidoFastTrack",
+    "DjitDetector",
+    "EraserAnalysis",
+    "EraserDetector",
+    "FastTrackDetector",
+    "FastTrackTool",
+    "FullInstrumentationTool",
+    "GenericAnalysis",
+    "SamplingDetector",
+    "TraceRecorder",
+    "replay",
+    "replay_into",
+]

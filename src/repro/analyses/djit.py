@@ -1,0 +1,164 @@
+"""DJIT+ : precise vector-clock race detection *without* epochs.
+
+FastTrack's contribution (and the reason the paper picked it, §4.1) is
+that most of DJIT+'s O(threads) vector-clock operations collapse to O(1)
+epoch compares. This module implements plain DJIT+ (Pozniansky & Schuster
+style: a full read VC and write VC per variable) so the repository can
+measure the epoch optimization itself:
+
+* correctness: DJIT+ and FastTrack report races on exactly the same
+  variables (property-tested);
+* cost: per-access work is a vector operation whose cycle cost scales
+  with thread count, giving the bench
+  ``bench_ablations.py::test_djit_vs_fasttrack`` its signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro import costs
+from repro.analyses.fasttrack.metadata import ThreadState
+from repro.analyses.fasttrack.reports import RaceReport
+from repro.analyses.fasttrack.vectorclock import VectorClock
+from repro.analyses.fasttrack.epoch import make_epoch
+
+
+class _DjitVar:
+    __slots__ = ("read_vc", "write_vc")
+
+    def __init__(self):
+        self.read_vc = VectorClock()
+        self.write_vc = VectorClock()
+
+
+class DjitDetector:
+    """Full-vector-clock happens-before race detection (no fast paths)."""
+
+    def __init__(self, counter=None, block_size: int = 8,
+                 max_reports: int = 10_000):
+        self.counter = counter
+        self.block_size = block_size
+        self.max_reports = max_reports
+        self.threads: Dict[int, ThreadState] = {}
+        self.vars: Dict[int, _DjitVar] = {}
+        self.locks: Dict[int, VectorClock] = {}
+        self.races: List[RaceReport] = []
+        self._reported: Set[Tuple[int, str]] = set()
+        self.reads = 0
+        self.writes = 0
+        self.sync_ops = 0
+
+    # ------------------------------------------------------------------
+    def _thread(self, tid: int) -> ThreadState:
+        state = self.threads.get(tid)
+        if state is None:
+            state = self.threads[tid] = ThreadState(tid)
+        return state
+
+    def _var(self, block: int) -> _DjitVar:
+        var = self.vars.get(block)
+        if var is None:
+            var = self.vars[block] = _DjitVar()
+        return var
+
+    def _charge_vc_op(self, width: int) -> None:
+        if self.counter is not None:
+            self.counter.charge(
+                "djit", costs.CLEAN_CALL + costs.FT_VC_BASE
+                + costs.FT_VC_PER_THREAD * max(1, width))
+
+    # ------------------------------------------------------------------
+    def on_access(self, tid: int, addr: int, is_write: bool,
+                  instr_uid: int = -1) -> None:
+        if is_write:
+            self.on_write(tid, addr, instr_uid)
+        else:
+            self.on_read(tid, addr, instr_uid)
+
+    def on_read(self, tid: int, addr: int, instr_uid: int = -1) -> None:
+        self.reads += 1
+        thread = self._thread(tid)
+        var = self._var(addr // self.block_size)
+        self._charge_vc_op(len(var.write_vc) + len(thread.vc))
+        # Race iff some write is not ordered before us.
+        if not var.write_vc.leq(thread.vc):
+            self._report("write-read", addr, var.write_vc, thread,
+                         instr_uid)
+        var.read_vc.set(tid, thread.vc.get(tid))
+
+    def on_write(self, tid: int, addr: int, instr_uid: int = -1) -> None:
+        self.writes += 1
+        thread = self._thread(tid)
+        var = self._var(addr // self.block_size)
+        self._charge_vc_op(len(var.write_vc) + len(var.read_vc)
+                           + len(thread.vc))
+        if not var.write_vc.leq(thread.vc):
+            self._report("write-write", addr, var.write_vc, thread,
+                         instr_uid)
+        if not var.read_vc.leq(thread.vc):
+            self._report("read-write", addr, var.read_vc, thread,
+                         instr_uid)
+        var.write_vc.set(tid, thread.vc.get(tid))
+
+    # ------------------------------------------------------------------
+    # synchronization (identical semantics to FastTrack's)
+    # ------------------------------------------------------------------
+    def on_acquire(self, tid: int, lock_id: int) -> None:
+        self.sync_ops += 1
+        thread = self._thread(tid)
+        thread.vc.join(self.locks.get(lock_id, VectorClock()))
+        thread.refresh_epoch()
+        self._charge_vc_op(len(thread.vc))
+
+    def on_release(self, tid: int, lock_id: int) -> None:
+        self.sync_ops += 1
+        thread = self._thread(tid)
+        self.locks[lock_id] = thread.vc.copy()
+        thread.increment()
+        self._charge_vc_op(len(thread.vc))
+
+    def on_fork(self, parent_tid: int, child_tid: int) -> None:
+        self.sync_ops += 1
+        parent = self._thread(parent_tid)
+        child = self._thread(child_tid)
+        child.vc.join(parent.vc)
+        child.refresh_epoch()
+        parent.increment()
+        self._charge_vc_op(len(parent.vc))
+
+    def on_join(self, parent_tid: int, child_tid: int) -> None:
+        self.sync_ops += 1
+        parent = self._thread(parent_tid)
+        child = self._thread(child_tid)
+        parent.vc.join(child.vc)
+        parent.refresh_epoch()
+        self._charge_vc_op(len(child.vc))
+
+    def on_barrier(self, tids) -> None:
+        self.sync_ops += 1
+        merged = VectorClock()
+        members = [self._thread(t) for t in tids]
+        for thread in members:
+            merged.join(thread.vc)
+        for thread in members:
+            thread.vc = merged.copy()
+            thread.increment()
+        self._charge_vc_op(len(merged) * max(1, len(members)))
+
+    # ------------------------------------------------------------------
+    def _report(self, kind: str, addr: int, prior_vc: VectorClock,
+                thread, instr_uid: int) -> None:
+        block = addr // self.block_size
+        if (block, kind) in self._reported \
+                or len(self.races) >= self.max_reports:
+            return
+        self._reported.add((block, kind))
+        prior = 0
+        for tid, clock in prior_vc.items():
+            if clock > thread.vc.get(tid):
+                prior = make_epoch(tid, clock)
+                break
+        self.races.append(RaceReport(kind, block, addr, prior,
+                                     thread.tid,
+                                     thread.vc.get(thread.tid), instr_uid))

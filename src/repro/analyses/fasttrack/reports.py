@@ -1,0 +1,60 @@
+"""Race reports."""
+
+from __future__ import annotations
+
+from repro.analyses.fasttrack.epoch import format_epoch
+
+
+class RaceReport:
+    """One detected data race on a variable block.
+
+    ``kind`` is one of ``"write-write"``, ``"write-read"``,
+    ``"read-write"``: the first word is the *prior* access, the second the
+    current one. ``block`` identifies the 8-byte variable; ``address`` is
+    the concrete faulting address of the current access.
+    """
+
+    __slots__ = ("kind", "block", "address", "prior_epoch", "current_tid",
+                 "current_clock", "instr_uid")
+
+    def __init__(self, kind: str, block: int, address: int,
+                 prior_epoch: int, current_tid: int, current_clock: int,
+                 instr_uid: int = -1):
+        self.kind = kind
+        self.block = block
+        self.address = address
+        self.prior_epoch = prior_epoch
+        self.current_tid = current_tid
+        self.current_clock = current_clock
+        self.instr_uid = instr_uid
+
+    @property
+    def key(self):
+        """Deduplication key: one report per (variable, kind)."""
+        return (self.block, self.kind)
+
+    def describe(self) -> str:
+        return (f"{self.kind} race on block {self.block:#x} "
+                f"(addr {self.address:#x}): prior "
+                f"{format_epoch(self.prior_epoch)} vs "
+                f"t{self.current_tid}@{self.current_clock}")
+
+    def describe_with_program(self, program) -> str:
+        """Like :meth:`describe`, plus the current access's disassembly
+        (ThreadSanitizer-style attribution). ``program`` must be the
+        program the run executed (uids are stable per build)."""
+        base = self.describe()
+        if self.instr_uid < 0:
+            return base
+        try:
+            instr = program.instruction_at(self.instr_uid)
+        except KeyError:
+            return base
+        from repro.machine.disasm import format_instruction
+        block_index, _ = program.instruction_locations[self.instr_uid]
+        label = program.blocks[block_index].label
+        return (f"{base}\n    at {label}: "
+                f"{format_instruction(instr).strip()}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RaceReport {self.describe()}>"

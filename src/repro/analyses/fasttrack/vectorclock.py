@@ -1,0 +1,67 @@
+"""Sparse vector clocks.
+
+Entries absent from the mapping are implicitly zero, so clocks scale with
+the number of threads that actually synchronized rather than the process's
+thread count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class VectorClock:
+    """A mapping tid -> logical clock with join/compare operations."""
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: Dict[int, int] | None = None):
+        self._clocks: Dict[int, int] = dict(clocks) if clocks else {}
+
+    def get(self, tid: int) -> int:
+        return self._clocks.get(tid, 0)
+
+    def set(self, tid: int, value: int) -> None:
+        self._clocks[tid] = value
+
+    def increment(self, tid: int) -> None:
+        self._clocks[tid] = self._clocks.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum, in place: ``self ⊔= other``."""
+        mine = self._clocks
+        for tid, clock in other._clocks.items():
+            if clock > mine.get(tid, 0):
+                mine[tid] = clock
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clocks)
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Pointwise ``self ⊑ other`` (happens-before or equal)."""
+        get = other._clocks.get
+        for tid, clock in self._clocks.items():
+            if clock > get(tid, 0):
+                return False
+        return True
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._clocks.items())
+
+    def __len__(self) -> int:
+        return len(self._clocks)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        # Compare modulo implicit zeros.
+        keys = set(self._clocks) | set(other._clocks)
+        return all(self.get(k) == other.get(k) for k in keys)
+
+    def __hash__(self):  # pragma: no cover - clocks are mutable
+        raise TypeError("VectorClock is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"t{t}:{c}"
+                          for t, c in sorted(self._clocks.items()))
+        return f"<VC {inner}>"

@@ -1,0 +1,106 @@
+"""Run *any* detector under full instrumentation or under Aikido.
+
+The paper's framework claim is that AikidoSD accelerates the whole class
+of shared-data analyses. This module provides the two generic adapters
+that make that concrete for any detector exposing ``on_access(tid, addr,
+is_write, instr_uid)`` plus optional ``on_acquire/on_release/on_fork/
+on_join/on_barrier`` handlers (FastTrack, Eraser and AVIO all qualify):
+
+* :class:`FullInstrumentationTool` — a DBR tool that instruments every
+  memory access (the conservative baseline for that detector);
+* :class:`GenericAnalysis` — a :class:`SharedDataAnalysis` feeding the
+  detector only shared-page accesses under Aikido.
+
+Both dispatch synchronization events the same way, so a detector's
+results differ between the two modes only by the access subset — which
+is exactly the property the equivalence tests check.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import SharedDataAnalysis
+from repro.dbr.codecache import CachedBlock
+from repro.dbr.tool import Tool
+from repro.events import (
+    AcquireEvent,
+    BarrierEvent,
+    ForkEvent,
+    JoinEvent,
+    ReleaseEvent,
+)
+from repro.umbra.shadow import ShadowMemory
+
+
+def dispatch_sync(detector, event) -> None:
+    """Forward a kernel sync event to whichever handler the detector has."""
+    cls = event.__class__
+    if cls is AcquireEvent:
+        handler = getattr(detector, "on_acquire", None)
+        if handler:
+            handler(event.tid, event.lock_id)
+    elif cls is ReleaseEvent:
+        handler = getattr(detector, "on_release", None)
+        if handler:
+            handler(event.tid, event.lock_id)
+    elif cls is ForkEvent:
+        handler = getattr(detector, "on_fork", None)
+        if handler:
+            handler(event.parent_tid, event.child_tid)
+    elif cls is JoinEvent:
+        handler = getattr(detector, "on_join", None)
+        if handler:
+            handler(event.parent_tid, event.child_tid)
+    elif cls is BarrierEvent:
+        handler = getattr(detector, "on_barrier", None)
+        if handler:
+            handler(event.tids)
+
+
+class FullInstrumentationTool(Tool):
+    """Instrument every memory access and feed the wrapped detector."""
+
+    name = "full-generic"
+
+    def __init__(self, kernel, detector):
+        super().__init__()
+        self.kernel = kernel
+        self.detector = detector
+        self.shadow = ShadowMemory(kernel.counter)
+        vm = kernel.process.vm
+        for region in vm.user_regions():
+            self.shadow.add_region(region.start, region.length)
+        vm.post_map_hooks.append(self._on_new_region)
+
+    def instrument_block(self, cached: CachedBlock) -> None:
+        hook = self._access_hook
+        for pos, instr in enumerate(cached.instrs):
+            if instr.mem is not None:
+                cached.set_hook(pos, hook)
+
+    def on_sync_event(self, event) -> None:
+        dispatch_sync(self.detector, event)
+
+    def _access_hook(self, thread, instr, ea):
+        self.shadow.translate(thread.tid, ea)
+        self.detector.on_access(thread.tid, ea, instr.is_write, instr.uid)
+        return None
+
+    def _on_new_region(self, region) -> None:
+        if region.kind in ("static", "heap", "mmap"):
+            self.shadow.add_region(region.start, region.length)
+
+
+class GenericAnalysis(SharedDataAnalysis):
+    """Feed the wrapped detector shared-page accesses only (Aikido mode)."""
+
+    name = "aikido-generic"
+
+    def __init__(self, detector):
+        self.detector = detector
+
+    def on_shared_access(self, thread, instr, addr: int,
+                         is_write: bool) -> None:
+        self.detector.on_access(thread.tid, addr, is_write, instr.uid)
+
+    def on_sync_event(self, event) -> None:
+        dispatch_sync(self.detector, event)

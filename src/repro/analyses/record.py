@@ -1,0 +1,131 @@
+"""Trace recording and offline replay.
+
+Record mode is a classic use of shared-data instrumentation: capture the
+(shared) access stream plus all synchronization once, then replay it
+through any number of detectors offline — FastTrack, Eraser and AVIO can
+all be run from one recorded execution without re-running the program.
+Under Aikido the recorded stream contains only shared-page accesses, so
+the trace is both cheap to collect and exactly what those analyses need.
+
+Trace entries are tuples (kept pickle-friendly):
+
+* ``("access", tid, addr, is_write, instr_uid)``
+* ``("acquire"|"release", tid, lock_id)``
+* ``("fork"|"join", parent_tid, child_tid)``
+* ``("barrier", barrier_id, tids)``
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.core.analysis import SharedDataAnalysis
+from repro.events import (
+    AcquireEvent,
+    BarrierEvent,
+    ForkEvent,
+    JoinEvent,
+    ReleaseEvent,
+)
+
+TraceEntry = Tuple
+
+
+class TraceRecorder(SharedDataAnalysis):
+    """Records the shared-access + synchronization stream."""
+
+    name = "trace-recorder"
+
+    def __init__(self):
+        self.trace: List[TraceEntry] = []
+
+    def on_shared_access(self, thread, instr, addr: int,
+                         is_write: bool) -> None:
+        self.trace.append(("access", thread.tid, addr, is_write,
+                           instr.uid))
+
+    def on_sync_event(self, event) -> None:
+        cls = event.__class__
+        if cls is AcquireEvent:
+            self.trace.append(("acquire", event.tid, event.lock_id))
+        elif cls is ReleaseEvent:
+            self.trace.append(("release", event.tid, event.lock_id))
+        elif cls is ForkEvent:
+            self.trace.append(("fork", event.parent_tid, event.child_tid))
+        elif cls is JoinEvent:
+            self.trace.append(("join", event.parent_tid, event.child_tid))
+        elif cls is BarrierEvent:
+            self.trace.append(("barrier", event.barrier_id,
+                               tuple(event.tids)))
+
+    # ------------------------------------------------------------------
+    @property
+    def access_count(self) -> int:
+        return sum(1 for e in self.trace if e[0] == "access")
+
+    @property
+    def sync_count(self) -> int:
+        return len(self.trace) - self.access_count
+
+
+class FullTraceRecorder:
+    """Detector-protocol recorder for *full-instrumentation* tracing.
+
+    Use with :class:`repro.analyses.generic_tool.FullInstrumentationTool`
+    when the trace must include every access (an Aikido-collected trace
+    inherits Aikido's first-touch blind spot — fine for shared-data
+    analyses, wrong for ground-truth happens-before graphs).
+    """
+
+    def __init__(self):
+        self.trace: List[TraceEntry] = []
+
+    def on_access(self, tid: int, addr: int, is_write: bool,
+                  instr_uid: int = -1) -> None:
+        self.trace.append(("access", tid, addr, is_write, instr_uid))
+
+    def on_acquire(self, tid: int, lock_id: int) -> None:
+        self.trace.append(("acquire", tid, lock_id))
+
+    def on_release(self, tid: int, lock_id: int) -> None:
+        self.trace.append(("release", tid, lock_id))
+
+    def on_fork(self, parent_tid: int, child_tid: int) -> None:
+        self.trace.append(("fork", parent_tid, child_tid))
+
+    def on_join(self, parent_tid: int, child_tid: int) -> None:
+        self.trace.append(("join", parent_tid, child_tid))
+
+    def on_barrier(self, tids) -> None:
+        self.trace.append(("barrier", 0, tuple(tids)))
+
+
+def replay(trace: List[TraceEntry], detector) -> None:
+    """Feed a recorded trace into a detector.
+
+    The detector needs ``on_access`` and whichever of
+    ``on_acquire/on_release/on_fork/on_join/on_barrier`` the trace's
+    synchronization requires (missing handlers are skipped — Eraser, for
+    instance, has no fork/join notion).
+    """
+    for entry in trace:
+        kind = entry[0]
+        if kind == "access":
+            _, tid, addr, is_write, uid = entry
+            detector.on_access(tid, addr, is_write, uid)
+        else:
+            handler = getattr(detector, f"on_{kind}", None)
+            if handler is None:
+                continue
+            if kind == "barrier":
+                handler(entry[2])
+            else:
+                handler(entry[1], entry[2])
+
+
+def replay_into(trace: List[TraceEntry],
+                detector_factory: Callable[[], object]):
+    """Convenience: build a detector, replay, return it."""
+    detector = detector_factory()
+    replay(trace, detector)
+    return detector

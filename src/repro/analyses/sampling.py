@@ -1,0 +1,62 @@
+"""A LiteRace-style sampling wrapper (related work, paper §7.3).
+
+LiteRace (Marino et al., PLDI'09) samples cold code at a high rate and
+hot code at a low rate, trading *false negatives* for speed — the very
+trade-off the paper argues is unacceptable for verification use cases
+(§1: a sampled detector "offers few benefits to developers that need
+assistance with debugging a specific bug"). The ablation benchmarks
+measure how the detection probability decays with the sampling rate,
+which is the quantitative form of that argument.
+
+The wrapper decorates any detector exposing ``on_access``: each *static
+instruction* has an execution counter; an access is forwarded while its
+instruction is cold (bursty cold-region sampling) or on a deterministic
+1-in-N sample afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import costs
+
+
+class SamplingDetector:
+    """Forward a deterministic sample of accesses to a real detector."""
+
+    def __init__(self, inner, counter=None, *, cold_threshold: int = 10,
+                 hot_rate: int = 100):
+        if cold_threshold < 0 or hot_rate < 1:
+            raise ValueError("bad sampling parameters")
+        self.inner = inner
+        self.counter = counter
+        #: Every execution of an instruction's first ``cold_threshold``
+        #: dynamic occurrences is analyzed (the cold burst).
+        self.cold_threshold = cold_threshold
+        #: Afterwards, 1 in ``hot_rate`` executions is analyzed.
+        self.hot_rate = hot_rate
+        self._exec_counts: Dict[int, int] = {}
+        self.sampled = 0
+        self.skipped = 0
+
+    def on_access(self, tid: int, addr: int, is_write: bool,
+                  instr_uid: int = -1) -> None:
+        if self.counter is not None:
+            self.counter.charge("sampler", costs.SAMPLER_CHECK)
+        count = self._exec_counts.get(instr_uid, 0)
+        self._exec_counts[instr_uid] = count + 1
+        if count < self.cold_threshold or count % self.hot_rate == 0:
+            self.sampled += 1
+            self.inner.on_access(tid, addr, is_write, instr_uid)
+        else:
+            self.skipped += 1
+
+    # Synchronization must never be sampled away (LiteRace keeps it too,
+    # or the happens-before graph would be wrong).
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    @property
+    def sampling_fraction(self) -> float:
+        total = self.sampled + self.skipped
+        return self.sampled / total if total else 1.0

@@ -1,0 +1,30 @@
+"""Aikido: the paper's primary contribution.
+
+This package wires the substrates together into the system of paper
+Fig. 1: AikidoLib (hypercall userspace library), the mirror-page manager,
+the AikidoSD sharing detector, and the :class:`AikidoSystem` convenience
+assembly that runs a workload under a shared-data analysis with
+shared-page-only instrumentation.
+"""
+
+from repro.core.config import AikidoConfig
+from repro.core.aikidolib import AikidoLib
+from repro.core.pagestate import PageState, PageStateTable
+from repro.core.mirror import BackingFile, MirrorManager
+from repro.core.analysis import SharedDataAnalysis
+from repro.core.stats import AikidoStats
+from repro.core.sharing import SharingDetector
+from repro.core.system import AikidoSystem
+
+__all__ = [
+    "AikidoConfig",
+    "AikidoLib",
+    "AikidoStats",
+    "AikidoSystem",
+    "BackingFile",
+    "MirrorManager",
+    "PageState",
+    "PageStateTable",
+    "SharedDataAnalysis",
+    "SharingDetector",
+]

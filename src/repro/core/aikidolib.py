@@ -1,0 +1,107 @@
+"""AikidoLib: the userspace hypercall library (paper §3.1, §3.2.5).
+
+AikidoLib is linked into the instrumented process (here: a host-level
+runtime object, per the convention in DESIGN.md) and is the only way
+userspace talks to AikidoVM. At initialization it:
+
+* allocates one page with **no read access** and one with **no write
+  access** — the pre-determined fake-fault addresses, mapped with exactly
+  the protection that makes the guest kernel deliver the fault to the
+  application instead of "fixing" it;
+* allocates the **mailbox** page where AikidoVM records each true
+  faulting address;
+* registers all three with the hypervisor via ``HC_INIT``.
+
+Afterwards it provides ``aikido_is_aikido_pagefault()`` (§3.2.5) and
+protection-request wrappers over ``HC_SET_PROT``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import HypervisorError
+from repro.hypervisor.hypercalls import ALL_THREADS, HC_INIT, HC_SET_PROT
+from repro.machine.layout import AIKIDO_SPECIAL_BASE
+from repro.machine.paging import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+)
+
+
+class AikidoLib:
+    """Userspace access to AikidoVM's per-thread page protection."""
+
+    def __init__(self, kernel, hypervisor, process=None):
+        self.kernel = kernel
+        self.hypervisor = hypervisor
+        self.process = process if process is not None else kernel.process
+        self.read_fault_page: Optional[int] = None
+        self.write_fault_page: Optional[int] = None
+        self.mailbox: Optional[int] = None
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        """Map the special pages and register them with the hypervisor."""
+        if self._initialized:
+            raise HypervisorError("AikidoLib initialized twice")
+        vm = self.process.vm
+        base = AIKIDO_SPECIAL_BASE
+        # "allocating a page with no write access and one with no read
+        # access and reporting both page addresses to the AikidoVM"
+        vm.map_region(base, PAGE_SIZE, "aikido-fault-read", kind="special",
+                      flags=0, notify=False)  # not readable
+        vm.map_region(base + PAGE_SIZE, PAGE_SIZE, "aikido-fault-write",
+                      kind="special", flags=PTE_PRESENT | PTE_USER,
+                      notify=False)  # readable, not writable
+        vm.map_region(base + 2 * PAGE_SIZE, PAGE_SIZE, "aikido-mailbox",
+                      kind="special",
+                      flags=PTE_PRESENT | PTE_WRITABLE | PTE_USER,
+                      notify=False)
+        self.read_fault_page = base
+        self.write_fault_page = base + PAGE_SIZE
+        self.mailbox = base + 2 * PAGE_SIZE
+        main_thread = self.process.threads[min(self.process.threads)]
+        self.hypervisor.hypercall(
+            main_thread, HC_INIT,
+            (self.read_fault_page, self.write_fault_page, self.mailbox))
+        self._initialized = True
+
+    # ------------------------------------------------------------------
+    def is_aikido_pagefault(self, info) -> bool:
+        """Is this delivered SIGSEGV an Aikido-injected fake fault?"""
+        return info.fault_address in (self.read_fault_page,
+                                      self.write_fault_page)
+
+    def true_fault(self) -> Tuple[int, bool]:
+        """Read the true faulting (address, is_write) from the mailbox."""
+        vm = self.process.vm
+        addr = vm.read_word(self.mailbox)
+        is_write = bool(vm.read_word(self.mailbox + 8))
+        return addr, is_write
+
+    # ------------------------------------------------------------------
+    def set_page_protection(self, thread, tid: int, vpn: int, count: int,
+                            prot: int) -> None:
+        """Request a per-thread protection change for a page range.
+
+        ``tid`` may be :data:`~repro.hypervisor.hypercalls.ALL_THREADS`.
+        ``thread`` is the thread issuing the hypercall.
+        """
+        self.hypervisor.hypercall(thread, HC_SET_PROT,
+                                  (tid, vpn, count, prot))
+
+    def protect_range(self, thread, tid: int, addr: int, length: int,
+                      prot: int) -> None:
+        """Byte-range convenience wrapper around :meth:`set_page_protection`."""
+        first = addr >> PAGE_SHIFT
+        last = (addr + length - 1) >> PAGE_SHIFT
+        self.set_page_protection(thread, tid, first, last - first + 1, prot)
+
+    @staticmethod
+    def all_threads() -> int:
+        return ALL_THREADS

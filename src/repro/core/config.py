@@ -1,0 +1,57 @@
+"""Aikido configuration knobs.
+
+Defaults match the paper's system; the non-default settings exist for the
+ablation benchmarks (see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AikidoConfig:
+    """Tunable behavior of the Aikido stack.
+
+    Attributes:
+        block_size: bytes per analysis "variable" (paper uses 8).
+        ctx_switch_mode: how AikidoVM intercepts same-address-space
+            context switches — ``"hypercall"`` (inserted into the guest
+            kernel, the paper's current implementation) or ``"gs_trap"``
+            (VM exit on GS/FS segment-register writes, the paper's
+            planned unmodified-guest variant).
+        mirror_pages: when False, a page that becomes shared is simply
+            unprotected for everyone instead of being redirected through
+            mirror pages — the "no mirror" ablation. Only the two
+            faulting instructions get instrumented, so later instructions
+            touching the page are silently missed (completeness loss the
+            mirror design exists to avoid).
+        order_first_accesses: enable the §6 workaround — the sharing
+            detector reports page first-touch ordering to the analysis so
+            it can add a happens-before edge between a page's private
+            phase and its sharing access, removing the first-two-access
+            false-negative class (at the price of suppressing races
+            between exactly those first accesses, which the deterministic
+            substrate is assumed to order).
+        protect_new_threads: protect every mapped page for newly spawned
+            threads (required for correctness; exposed only to let tests
+            demonstrate what breaks without it).
+        per_thread_protection: when False, emulate what a system limited
+            to *process-wide* page protection (ordinary mprotect, as
+            Grace/Dthreads-style designs would have without their
+            process-per-thread trick) can do: the faulting thread's
+            identity cannot be told apart, so every touched page must
+            conservatively be treated as shared immediately. The
+            ablation shows per-thread protection is the paper's key
+            enabler — without it nearly everything gets instrumented.
+        trace_threshold: block execution count before trace promotion in
+            the DBR engine.
+    """
+
+    block_size: int = 8
+    ctx_switch_mode: str = "hypercall"
+    mirror_pages: bool = True
+    order_first_accesses: bool = False
+    protect_new_threads: bool = True
+    per_thread_protection: bool = True
+    trace_threshold: int = 50

@@ -1,0 +1,91 @@
+"""The sharing detector's page state machine (paper §3.3.2, Fig. 3).
+
+Each page moves monotonically through::
+
+    UNUSED --first access by t--> PRIVATE(t) --access by u != t--> SHARED
+
+SHARED is absorbing: the page stays globally protected forever so every
+new instruction touching it is discovered.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ToolError
+
+
+class PageState(enum.Enum):
+    UNUSED = "unused"
+    PRIVATE = "private"
+    SHARED = "shared"
+
+
+#: Encoded shared marker in the internal table (tids are positive).
+_SHARED = -1
+
+
+class PageStateTable:
+    """vpn -> sharing state, with transition counters."""
+
+    def __init__(self):
+        self._table: Dict[int, int] = {}
+        self.private_transitions = 0
+        self.shared_transitions = 0
+
+    def state(self, vpn: int) -> Tuple[PageState, Optional[int]]:
+        """Return (state, owner-tid-or-None)."""
+        value = self._table.get(vpn)
+        if value is None:
+            return PageState.UNUSED, None
+        if value == _SHARED:
+            return PageState.SHARED, None
+        return PageState.PRIVATE, value
+
+    def is_shared(self, vpn: int) -> bool:
+        """Fast path used by the Fig. 4 runtime check."""
+        return self._table.get(vpn) == _SHARED
+
+    def make_private(self, vpn: int, tid: int) -> None:
+        current = self._table.get(vpn)
+        if current is not None:
+            raise ToolError(
+                f"page {vpn:#x} already tracked (state {current})")
+        self._table[vpn] = tid
+        self.private_transitions += 1
+
+    def make_shared(self, vpn: int) -> int:
+        """Transition PRIVATE -> SHARED; returns the previous owner tid."""
+        current = self._table.get(vpn)
+        if current is None or current == _SHARED:
+            raise ToolError(
+                f"page {vpn:#x} cannot become shared from state {current}")
+        self._table[vpn] = _SHARED
+        self.shared_transitions += 1
+        return current
+
+    def make_shared_direct(self, vpn: int) -> None:
+        """UNUSED -> SHARED in one step.
+
+        Only used by the per-process-protection ablation, where the
+        faulting thread's identity is unknowable and every touched page
+        must conservatively be treated as shared.
+        """
+        current = self._table.get(vpn)
+        if current is not None:
+            raise ToolError(
+                f"page {vpn:#x} already tracked (state {current})")
+        self._table[vpn] = _SHARED
+        self.shared_transitions += 1
+
+    @property
+    def private_pages(self) -> int:
+        return sum(1 for v in self._table.values() if v != _SHARED)
+
+    @property
+    def shared_pages(self) -> int:
+        return sum(1 for v in self._table.values() if v == _SHARED)
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,73 @@
+"""AikidoSystem: one-call assembly of the full stack (paper Fig. 1).
+
+Builds, in order: AikidoVM -> guest kernel -> process -> DBR engine ->
+sharing detector (with AikidoLib, mirror manager, Umbra shadow memory) ->
+the user's shared-data analysis, and runs the workload.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.core.analysis import SharedDataAnalysis
+from repro.core.config import AikidoConfig
+from repro.core.sharing import SharingDetector
+from repro.dbr.engine import DBREngine
+from repro.guestos.kernel import Kernel
+from repro.hypervisor.aikidovm import AikidoVM
+
+
+class AikidoSystem:
+    """A ready-to-run Aikido stack hosting one workload and one analysis.
+
+    ``analysis`` may be a :class:`SharedDataAnalysis` instance or a
+    factory ``kernel -> SharedDataAnalysis`` (useful when the analysis
+    wants the run's cycle counter, which only exists once the kernel
+    does).
+    """
+
+    def __init__(self, program,
+                 analysis: Union[SharedDataAnalysis,
+                                 Callable[[Kernel], SharedDataAnalysis]],
+                 config: Optional[AikidoConfig] = None, *,
+                 seed: int = 0, quantum: int = 200, jitter: float = 0.1):
+        self.config = config if config is not None else AikidoConfig()
+        self.hypervisor = AikidoVM(
+            ctx_switch_mode=self.config.ctx_switch_mode)
+        self.kernel = Kernel(platform=self.hypervisor, seed=seed,
+                             quantum=quantum, jitter=jitter)
+        self.process = self.kernel.create_process(program)
+        self.engine = DBREngine(self.kernel,
+                                trace_threshold=self.config.trace_threshold)
+        if callable(analysis) and not isinstance(analysis,
+                                                 SharedDataAnalysis):
+            analysis = analysis(self.kernel)
+        self.analysis = analysis
+        self.sd = SharingDetector(self.kernel, self.hypervisor, analysis,
+                                  self.config)
+        self.sd.install(self.engine)
+
+    def run(self, max_instructions: int = 200_000_000) -> "AikidoSystem":
+        """Execute the workload to completion; returns self for chaining."""
+        self.kernel.run(max_instructions=max_instructions)
+        self.sd.on_run_end()
+        return self
+
+    # ------------------------------------------------------------------
+    # result accessors
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        return self.kernel.counter.total
+
+    @property
+    def stats(self):
+        return self.sd.stats
+
+    @property
+    def run_stats(self):
+        return self.engine.stats
+
+    @property
+    def hypervisor_stats(self):
+        return self.hypervisor.stats

@@ -1,0 +1,20 @@
+"""A DynamoRIO-like dynamic binary rewriting engine.
+
+Executes guest programs through a basic-block **code cache**: blocks are
+copied in on first execution, tools get a callback to attach
+instrumentation (or patch operands — AikidoSD rewrites direct effective
+addresses this way), and blocks can be flushed and re-JITed, which is how
+AikidoSD upgrades an instruction to instrumented after its first fault on
+a shared page.
+
+The engine also owns the **master signal handler** (paper §3.4): it
+registers itself for SIGSEGV, asks AikidoLib whether a delivered fault is
+Aikido-initiated, and routes it to the sharing detector; non-Aikido faults
+are fatal to the application, as they would be natively.
+"""
+
+from repro.dbr.codecache import CachedBlock, CodeCache
+from repro.dbr.tool import Tool
+from repro.dbr.engine import DBREngine
+
+__all__ = ["CachedBlock", "CodeCache", "DBREngine", "Tool"]

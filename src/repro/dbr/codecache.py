@@ -1,0 +1,112 @@
+"""The basic-block code cache.
+
+Mirrors the DynamoRIO design the paper relies on (§2.1): application code
+executes from per-block copies, which tools can instrument at copy time;
+deleting a cached block forces a rebuild on next execution, re-running the
+instrumentation callbacks — that is the re-JIT AikidoSD uses to attach
+tool instrumentation to an instruction that faulted on a shared page.
+
+Hot blocks are promoted to *traces*; traces only matter to the cost model
+(trace building is real work the engine must redo after a flush), so they
+are tracked as a flag plus counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro import costs
+from repro.machine.program import BasicBlock, Program
+
+
+class CachedBlock:
+    """A code-cache copy of one basic block.
+
+    ``instrs`` are copies of the static instructions (tools may patch
+    their operands); ``hooks`` is a parallel list with an instrumentation
+    callable or None per instruction.
+    """
+
+    __slots__ = ("block_index", "instrs", "hooks", "executions", "in_trace")
+
+    def __init__(self, block_index: int, source: BasicBlock):
+        self.block_index = block_index
+        self.instrs = [i.copy() for i in source.instructions]
+        self.hooks: List[Optional[Callable]] = [None] * len(self.instrs)
+        self.executions = 0
+        self.in_trace = False
+
+    def set_hook(self, position: int, hook: Callable) -> None:
+        self.hooks[position] = hook
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hooked = sum(1 for h in self.hooks if h is not None)
+        return (f"<CachedBlock #{self.block_index} x{len(self.instrs)} "
+                f"hooked={hooked}>")
+
+
+class CodeCache:
+    """block index -> CachedBlock, with build/flush accounting."""
+
+    def __init__(self, program: Program, counter=None,
+                 trace_threshold: int = 50):
+        self.program = program
+        self.counter = counter
+        self.trace_threshold = trace_threshold
+        self._blocks: Dict[int, CachedBlock] = {}
+        #: Callbacks run (in order) on every newly built block.
+        self.build_callbacks: List[Callable[[CachedBlock], None]] = []
+        self.builds = 0
+        self.flushes = 0
+        self.traces_built = 0
+
+    def get(self, block_index: int) -> CachedBlock:
+        """Fetch a cached block, building (and instrumenting) on miss."""
+        cached = self._blocks.get(block_index)
+        if cached is None:
+            cached = self._build(block_index)
+        cached.executions += 1
+        if (not cached.in_trace
+                and cached.executions >= self.trace_threshold):
+            cached.in_trace = True
+            self.traces_built += 1
+            if self.counter is not None:
+                self.counter.charge("dbr", costs.TRACE_BUILD)
+        return cached
+
+    def invalidate_blocks_of_instruction(self, uid: int) -> int:
+        """Flush every cached block containing the static instruction.
+
+        (In this program representation an instruction lives in exactly
+        one block; DynamoRIO additionally flushes traces, modeled by the
+        trace flag being rebuilt from scratch.) Returns the number of
+        blocks flushed.
+        """
+        block_index, _ = self.program.instruction_locations[uid]
+        return self.invalidate(block_index)
+
+    def invalidate(self, block_index: int) -> int:
+        cached = self._blocks.pop(block_index, None)
+        if cached is None:
+            return 0
+        self.flushes += 1
+        if self.counter is not None:
+            self.counter.charge("dbr", costs.BLOCK_FLUSH)
+        return 1
+
+    def _build(self, block_index: int) -> CachedBlock:
+        source = self.program.block_at(block_index)
+        cached = CachedBlock(block_index, source)
+        for callback in self.build_callbacks:
+            callback(cached)
+        self._blocks[block_index] = cached
+        self.builds += 1
+        if self.counter is not None:
+            self.counter.charge("dbr", costs.BLOCK_BUILD)
+        return cached
+
+    def __contains__(self, block_index: int) -> bool:
+        return block_index in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)

@@ -1,0 +1,154 @@
+"""The DBR execution engine.
+
+An :class:`~repro.guestos.driver.ExecutionDriver` that runs application
+code out of the code cache, executing instrumentation hooks inline, and
+hosting the master SIGSEGV handler that routes Aikido faults to the
+sharing detector (paper §3.4).
+
+Running under the engine costs: one block build per cold block, one
+dispatch charge per block entry (link stubs / IBL lookups, amortized), and
+whatever the attached hooks charge. This models DynamoRIO's "near native
+once warm" profile — both the FastTrack baseline and Aikido pay it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro import costs
+from repro.dbr.codecache import CodeCache
+from repro.dbr.tool import Tool
+from repro.guestos.driver import ExecutionDriver
+from repro.guestos.signals import SIGSEGV, HandlerResult
+from repro.machine.cpu import BASE_COST
+from repro.machine.isa import MEMORY_OPCODES
+from repro.machine.paging import PageFault
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+class DBREngine(ExecutionDriver):
+    """Code-cache execution with inline instrumentation hooks."""
+
+    def __init__(self, kernel, *, trace_threshold: int = 50,
+                 process=None):
+        super().__init__(kernel)
+        self.process = process if process is not None else kernel.process
+        if self.process is None:
+            raise RuntimeError("create the process before the engine")
+        self.codecache = CodeCache(self.process.program, kernel.counter,
+                                   trace_threshold=trace_threshold)
+        self.tool: Optional[Tool] = None
+        #: Installed by AikidoSD: callable(thread, SignalInfo) ->
+        #: HandlerResult or None (None = not an Aikido fault).
+        self.fault_router: Optional[Callable] = None
+        self._cache_dirty = False
+        #: Per-instruction residency overhead of the installed stack;
+        #: plain DynamoRIO by default, raised by AikidoSD on install.
+        self.overhead_per_instr = costs.DBR_BASE_PER_INSTR
+        kernel.set_driver(self, self.process)
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def attach_tool(self, tool: Tool) -> None:
+        """Install the analysis tool (block callbacks + sync events)."""
+        self.tool = tool
+        tool.attach(self)
+        self.codecache.build_callbacks.append(tool.instrument_block)
+        self.kernel.add_sync_listener(tool.on_sync_event)
+
+    def register_master_signal_handler(self) -> None:
+        """Take over SIGSEGV for the process (DynamoRIO does this)."""
+        self.process.signal_handlers[SIGSEGV] = self._master_signal_handler
+
+    def invalidate_instruction(self, uid: int) -> int:
+        """Flush cached blocks containing the instruction (re-JIT)."""
+        flushed = self.codecache.invalidate_blocks_of_instruction(uid)
+        if flushed:
+            self._cache_dirty = True
+        return flushed
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, thread, budget: int) -> str:
+        kernel = self.kernel
+        execute = self.cpu.execute
+        counter = self.counter
+        stats = self.stats
+        codecache = self.codecache
+        pc = thread.pc
+        executed = 0
+        cur_bi = -1
+        cached = None
+        overhead = self.overhead_per_instr
+        while executed < budget:
+            if not thread.runnable:
+                return "exited" if thread.exited else "blocked"
+            bi = pc[0]
+            if bi != cur_bi or cached is None or self._cache_dirty:
+                self._cache_dirty = False
+                cached = codecache.get(bi)
+                cur_bi = bi
+                counter.charge("dbr", costs.BLOCK_DISPATCH)
+            ii = pc[1]
+            if ii >= len(cached.instrs):
+                pc[0] += 1
+                pc[1] = 0
+                cur_bi = -1
+                continue
+            instr = cached.instrs[ii]
+            hook = cached.hooks[ii]
+            try:
+                if hook is not None:
+                    mem = instr.mem
+                    if mem is not None:
+                        if mem.base is None:
+                            ea = mem.disp
+                        else:
+                            ea = (thread.regs[mem.base] + mem.disp) & _MASK64
+                    else:
+                        ea = None
+                    override = hook(thread, instr, ea)
+                    res = execute(instr, thread, ea_override=override)
+                    # Counted only on retire (a faulting attempt retries
+                    # and must not be counted twice — Table 2 col 2 is a
+                    # retired-execution count).
+                    stats.instrumented_execs += 1
+                else:
+                    res = execute(instr, thread)
+            except PageFault as fault:
+                kernel.repair_fault(thread, fault)
+                # The handler may have rebuilt this block: force re-fetch
+                # so we execute the freshly instrumented copy.
+                cur_bi = -1
+                continue
+            op = instr.op
+            counter.instr_cycles += BASE_COST[op] + overhead
+            executed += 1
+            stats.instructions += 1
+            if op in MEMORY_OPCODES:
+                stats.memory_refs += 1
+            if res is None:
+                pc[1] = ii + 1
+            else:
+                if not self._apply_result(thread, pc, ii, res):
+                    return "exited" if thread.exited else "blocked"
+                cur_bi = -1  # control may have transferred
+            if kernel.consume_yield():
+                return "yield"
+        return "quantum"
+
+    # ------------------------------------------------------------------
+    # master signal handler (paper §3.4)
+    # ------------------------------------------------------------------
+    def _master_signal_handler(self, thread, info) -> HandlerResult:
+        if self.fault_router is not None:
+            result = self.fault_router(thread, info)
+            if result is not None:
+                return result
+        # Not an Aikido fault: the application really faulted. DynamoRIO
+        # would deliver the app's own handler; our workloads register
+        # none, so it is fatal.
+        return HandlerResult.FATAL

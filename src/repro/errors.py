@@ -1,0 +1,70 @@
+"""Exception hierarchy for the Aikido reproduction.
+
+Every layer of the simulated stack raises a subclass of :class:`ReproError`
+so callers can distinguish simulation bugs (plain Python exceptions) from
+*simulated* error conditions (these classes).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all simulated-system errors."""
+
+
+class MachineError(ReproError):
+    """Errors raised by the simulated hardware."""
+
+
+class InvalidInstructionError(MachineError):
+    """The CPU decoded an instruction it cannot execute."""
+
+
+class PhysicalMemoryError(MachineError):
+    """Access to an unmapped or out-of-range physical address."""
+
+
+class GuestOSError(ReproError):
+    """Errors raised by the simulated guest operating system."""
+
+
+class NoSuchSyscallError(GuestOSError):
+    """A program invoked an unknown syscall number."""
+
+
+class SegmentationFaultError(GuestOSError):
+    """An unhandled fault killed the simulated process.
+
+    Raised out of the simulation when a thread faults on an address the
+    kernel cannot repair and the process has no applicable signal handler.
+    """
+
+    def __init__(self, message: str, *, address: int | None = None,
+                 thread_id: int | None = None):
+        super().__init__(message)
+        self.address = address
+        self.thread_id = thread_id
+
+
+class DeadlockError(GuestOSError):
+    """The scheduler found no runnable thread but threads remain."""
+
+
+class HypervisorError(ReproError):
+    """Errors raised by the AikidoVM hypervisor simulation."""
+
+
+class BadHypercallError(HypervisorError):
+    """A guest issued a malformed or unknown hypercall."""
+
+
+class ToolError(ReproError):
+    """Errors raised by DBR tools (analyses)."""
+
+
+class WorkloadError(ReproError):
+    """Errors raised while constructing synthetic workloads."""
+
+
+class HarnessError(ReproError):
+    """Errors raised by the experiment harness."""

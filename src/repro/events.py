@@ -1,0 +1,74 @@
+"""Analysis-facing event records.
+
+Synchronization events are emitted by the guest kernel (which is where
+locks, barriers and thread lifecycle live) and consumed by dynamic
+analyses such as FastTrack. Memory events are delivered separately — the
+DBR engine calls tool hooks inline at instrumented instructions — so this
+module only defines the synchronization vocabulary plus the common base.
+
+Event ordering guarantee: events are emitted in the global (simulated)
+serialization order of the single-core machine, which is a legal total
+order of the execution — exactly what a happens-before detector needs.
+"""
+
+from __future__ import annotations
+
+
+class SyncEvent:
+    """Base class for synchronization events."""
+
+    __slots__ = ()
+
+
+class ForkEvent(SyncEvent):
+    """Parent spawned child (child's first action happens-after this)."""
+
+    __slots__ = ("parent_tid", "child_tid")
+
+    def __init__(self, parent_tid: int, child_tid: int):
+        self.parent_tid = parent_tid
+        self.child_tid = child_tid
+
+
+class JoinEvent(SyncEvent):
+    """Parent observed child's exit via JOIN."""
+
+    __slots__ = ("parent_tid", "child_tid")
+
+    def __init__(self, parent_tid: int, child_tid: int):
+        self.parent_tid = parent_tid
+        self.child_tid = child_tid
+
+
+class AcquireEvent(SyncEvent):
+    __slots__ = ("tid", "lock_id")
+
+    def __init__(self, tid: int, lock_id: int):
+        self.tid = tid
+        self.lock_id = lock_id
+
+
+class ReleaseEvent(SyncEvent):
+    __slots__ = ("tid", "lock_id")
+
+    def __init__(self, tid: int, lock_id: int):
+        self.tid = tid
+        self.lock_id = lock_id
+
+
+class BarrierEvent(SyncEvent):
+    """All ``tids`` crossed barrier ``barrier_id``; all-to-all ordering."""
+
+    __slots__ = ("barrier_id", "generation", "tids")
+
+    def __init__(self, barrier_id: int, generation: int, tids: tuple):
+        self.barrier_id = barrier_id
+        self.generation = generation
+        self.tids = tids
+
+
+class ThreadExitEvent(SyncEvent):
+    __slots__ = ("tid",)
+
+    def __init__(self, tid: int):
+        self.tid = tid

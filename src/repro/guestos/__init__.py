@@ -1,0 +1,36 @@
+"""Simulated guest operating system.
+
+Models the pieces of a Linux-like kernel that Aikido's protocols interact
+with: a single page table shared by all threads of a process, a
+deterministic scheduler whose context switches the hypervisor can
+intercept, mmap/brk memory management, POSIX-style signal delivery (the
+route by which Aikido's fake page faults reach the DynamoRIO master signal
+handler), and syscalls that touch user memory from kernel mode (the §3.2.6
+case).
+"""
+
+from repro.guestos.process import Process, Thread, ThreadStatus
+from repro.guestos.scheduler import Scheduler
+from repro.guestos.signals import SIGSEGV, SignalInfo
+from repro.guestos.vm import Region, VMManager
+from repro.guestos.kernel import Kernel
+from repro.guestos.platform import NativePlatform, Platform
+from repro.guestos.driver import ExecutionDriver, NativeDriver
+from repro.guestos import syscalls
+
+__all__ = [
+    "ExecutionDriver",
+    "Kernel",
+    "NativeDriver",
+    "NativePlatform",
+    "Platform",
+    "Process",
+    "Region",
+    "SIGSEGV",
+    "Scheduler",
+    "SignalInfo",
+    "Thread",
+    "ThreadStatus",
+    "VMManager",
+    "syscalls",
+]

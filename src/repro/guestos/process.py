@@ -1,0 +1,173 @@
+"""Processes and threads of the simulated guest OS.
+
+All threads of a process share one :class:`~repro.machine.paging.GuestPageTable`
+— the very property that makes per-thread page protection impossible
+without AikidoVM (paper §3.2.2). Each thread carries its own register
+file, program counter, shadow call stack, and TLB.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Dict, Optional
+
+from repro.machine.isa import REGISTER_COUNT
+from repro.machine.paging import GuestPageTable
+from repro.machine.tlb import TLB
+
+
+class ThreadStatus(enum.Enum):
+    RUNNABLE = "runnable"
+    BLOCKED_LOCK = "blocked_lock"
+    BLOCKED_JOIN = "blocked_join"
+    BLOCKED_BARRIER = "blocked_barrier"
+    BLOCKED_CV = "blocked_cv"
+    EXITED = "exited"
+
+
+class Thread:
+    """One guest thread: registers, PC, shadow call stack, TLB."""
+
+    __slots__ = (
+        "tid", "process", "program", "regs", "pc", "call_stack", "status",
+        "tlb", "barrier_wait", "instructions_retired", "joiners",
+        "cv_state",
+    )
+
+    def __init__(self, tid: int, process: "Process", start_block: int,
+                 arg: int = 0, tlb_capacity: int = 64):
+        self.tid = tid
+        self.process = process
+        self.program = process.program
+        self.regs = [0] * REGISTER_COUNT
+        self.regs[1] = arg
+        #: Program counter as a mutable [block_index, instr_index] pair.
+        self.pc = [start_block, 0]
+        self.call_stack: list = []
+        self.status = ThreadStatus.RUNNABLE
+        self.tlb = TLB(tlb_capacity)
+        #: (barrier_id, generation) this thread is parked on, if any.
+        self.barrier_wait: Optional[tuple] = None
+        self.instructions_retired = 0
+        #: tids blocked joining on this thread.
+        self.joiners: list = []
+        #: Condition-variable progress: None, or
+        #: ("waiting"|"signaled", cv_id, lock_id).
+        self.cv_state = None
+
+    @property
+    def runnable(self) -> bool:
+        return self.status is ThreadStatus.RUNNABLE
+
+    @property
+    def exited(self) -> bool:
+        return self.status is ThreadStatus.EXITED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Thread tid={self.tid} pc={tuple(self.pc)} "
+                f"{self.status.value}>")
+
+
+class LockState:
+    """A guest userspace lock (futex-like): owner plus FIFO wait queue.
+
+    ``_handoff`` marks a direct grant: UNLOCK hands the lock to the first
+    waiter, who re-executes its LOCK instruction on wakeup and must see
+    "already mine, already acquired" exactly once.
+    """
+
+    __slots__ = ("lock_id", "owner", "waiters", "acquisitions", "_handoff")
+
+    def __init__(self, lock_id: int):
+        self.lock_id = lock_id
+        self.owner: Optional[int] = None
+        self.waiters: deque = deque()
+        self.acquisitions = 0
+        self._handoff: Optional[int] = None
+
+
+class BarrierState:
+    """A generation-counted barrier.
+
+    Threads that arrive park with the current generation; the last arrival
+    bumps the generation and wakes everyone. A woken thread re-executes
+    its BARRIER instruction, sees its stored generation has passed, and
+    proceeds — matching the re-execution protocol of the driver.
+    """
+
+    __slots__ = ("barrier_id", "generation", "arrived")
+
+    def __init__(self, barrier_id: int):
+        self.barrier_id = barrier_id
+        self.generation = 0
+        self.arrived: list = []
+
+
+class Process:
+    """A guest process: one page table, many threads.
+
+    ``tid_allocator`` (when provided by the kernel) makes thread ids
+    globally unique across processes — what Linux's single tid namespace
+    gives the real AikidoVM, and what lets the hypervisor key shadow
+    tables by tid alone.
+    """
+
+    def __init__(self, pid: int, program, tlb_capacity: int = 64,
+                 tid_allocator=None):
+        self.pid = pid
+        self.program = program
+        self.page_table = GuestPageTable(f"pid{pid}-pt")
+        self.threads: Dict[int, Thread] = {}
+        self.locks: Dict[int, LockState] = {}
+        self.barriers: Dict[int, BarrierState] = {}
+        #: condition variable id -> deque of waiting tids.
+        self.condvars: Dict[int, deque] = {}
+        #: signal number -> host-level handler callable(thread, SignalInfo).
+        #: Handlers model userspace runtime code (DynamoRIO's master signal
+        #: handler); see DESIGN.md on the host-level-runtime convention.
+        self.signal_handlers: Dict[int, object] = {}
+        self._next_tid = 1
+        self._tid_allocator = tid_allocator
+        self._tlb_capacity = tlb_capacity
+        #: Set once every thread has exited.
+        self.finished = False
+        #: Segment name -> mapped base address (filled by the loader).
+        self.segment_bases: Dict[str, int] = {}
+
+    def create_thread(self, start_block: int, arg: int = 0) -> Thread:
+        """Create a new thread; the caller schedules it."""
+        if self._tid_allocator is not None:
+            tid = self._tid_allocator()
+        else:
+            tid = self._next_tid
+            self._next_tid += 1
+        thread = Thread(tid, self, start_block, arg,
+                        tlb_capacity=self._tlb_capacity)
+        self.threads[tid] = thread
+        return thread
+
+    def lock_state(self, lock_id: int) -> LockState:
+        state = self.locks.get(lock_id)
+        if state is None:
+            state = self.locks[lock_id] = LockState(lock_id)
+        return state
+
+    def condvar_waiters(self, cv_id: int) -> deque:
+        waiters = self.condvars.get(cv_id)
+        if waiters is None:
+            waiters = self.condvars[cv_id] = deque()
+        return waiters
+
+    def barrier_state(self, barrier_id: int) -> BarrierState:
+        state = self.barriers.get(barrier_id)
+        if state is None:
+            state = self.barriers[barrier_id] = BarrierState(barrier_id)
+        return state
+
+    @property
+    def live_threads(self) -> list:
+        return [t for t in self.threads.values() if not t.exited]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process pid={self.pid} threads={len(self.threads)}>"

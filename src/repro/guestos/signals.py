@@ -1,0 +1,48 @@
+"""Signal delivery plumbing.
+
+Only SIGSEGV matters to Aikido: the guest kernel turns unhandleable page
+faults into SIGSEGV and invokes the process's registered handler — which,
+under DynamoRIO, is the *master signal handler* that routes Aikido faults
+to the sharing detector (paper §3.4). Handlers are host-level callables
+(they model userspace runtime code, not guest application code); they
+receive a :class:`SignalInfo` and return a :class:`HandlerResult`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+SIGSEGV = 11
+
+
+class HandlerResult(enum.Enum):
+    """What the userspace signal handler asks the kernel to do next."""
+
+    #: Re-execute the faulting instruction (the handler repaired the cause).
+    RESUME = "resume"
+    #: The handler could not deal with the fault; kill the process.
+    FATAL = "fatal"
+
+
+class SignalInfo:
+    """The siginfo_t of a delivered SIGSEGV.
+
+    ``fault_address`` is what the *kernel* saw — for Aikido faults this is
+    the pre-registered fake address, and the true address must be fetched
+    from the AikidoLib mailbox (paper §3.2.5). ``is_write`` mirrors the
+    page-fault error code.
+    """
+
+    __slots__ = ("signum", "fault_address", "is_write", "thread_id")
+
+    def __init__(self, signum: int, fault_address: int, is_write: bool,
+                 thread_id: int):
+        self.signum = signum
+        self.fault_address = fault_address
+        self.is_write = is_write
+        self.thread_id = thread_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "write" if self.is_write else "read"
+        return (f"<SignalInfo sig={self.signum} addr={self.fault_address:#x} "
+                f"{kind} tid={self.thread_id}>")

@@ -1,0 +1,29 @@
+"""Syscall numbers and their kernel-side semantics.
+
+Arguments arrive in r1..r3 and the result is written to r0, mirroring a
+conventional register ABI. ``SYS_WRITE`` deliberately reads the user
+buffer *from kernel mode*: under AikidoVM this is the §3.2.6 case where
+the guest OS trips over protections it does not know about, and the
+hypervisor must emulate the access and temporarily unprotect the page with
+the USER bit cleared.
+"""
+
+from __future__ import annotations
+
+SYS_EXIT = 1
+SYS_MMAP = 2       # r1 = length              -> r0 = base address
+SYS_BRK = 3        # r1 = increment (bytes)   -> r0 = old break
+SYS_GETTID = 4     #                          -> r0 = tid
+SYS_WRITE = 5      # r1 = addr, r2 = words    -> r0 = checksum (kernel reads buffer)
+SYS_FILL = 6       # r1 = addr, r2 = words, r3 = value (kernel writes buffer)
+SYS_YIELD = 7
+
+NAMES = {
+    SYS_EXIT: "exit",
+    SYS_MMAP: "mmap",
+    SYS_BRK: "brk",
+    SYS_GETTID: "gettid",
+    SYS_WRITE: "write",
+    SYS_FILL: "fill",
+    SYS_YIELD: "yield",
+}

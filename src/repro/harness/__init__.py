@@ -1,0 +1,21 @@
+"""Experiment harness: runners, cost-model utilities, experiment drivers
+for every table and figure of the paper's evaluation, and report
+rendering."""
+
+from repro.harness.runner import (
+    MODES,
+    RunResult,
+    run_aikido_fasttrack,
+    run_fasttrack,
+    run_mode,
+    run_native,
+)
+
+__all__ = [
+    "MODES",
+    "RunResult",
+    "run_aikido_fasttrack",
+    "run_fasttrack",
+    "run_mode",
+    "run_native",
+]

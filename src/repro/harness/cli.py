@@ -1,0 +1,127 @@
+"""Command-line entry point: regenerate any of the paper's artifacts.
+
+Usage (installed as ``aikido-repro`` or ``python -m repro.harness.cli``)::
+
+    aikido-repro fig5             # Figure 5 bar chart
+    aikido-repro fig6             # Figure 6 sharing fractions
+    aikido-repro table1           # Table 1 thread-count sweep
+    aikido-repro table2           # Table 2 instrumentation statistics
+    aikido-repro races            # §5.3 detected-races comparison
+    aikido-repro profile --benchmark vips   # workload profile
+    aikido-repro all              # everything, one suite run
+    aikido-repro all --scale 0.5  # faster, smaller run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import experiments
+from repro.harness.report import (
+    render_figure5,
+    render_figure6,
+    render_races,
+    render_summary,
+    render_table1,
+    render_table2,
+)
+
+SUITE_ARTIFACTS = ("fig5", "fig6", "table2", "races", "breakdown")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="aikido-repro",
+        description="Regenerate the Aikido paper's evaluation artifacts")
+    parser.add_argument("artifact",
+                        choices=("fig5", "fig6", "table1", "table2",
+                                 "races", "profile", "breakdown", "all"))
+    parser.add_argument("--benchmark", default=None,
+                        help="restrict 'profile' to one benchmark")
+    parser.add_argument("--threads", type=int,
+                        default=experiments.DEFAULT_THREADS)
+    parser.add_argument("--scale", type=float,
+                        default=experiments.DEFAULT_SCALE,
+                        help="workload size multiplier")
+    parser.add_argument("--seed", type=int, default=experiments.DEFAULT_SEED)
+    parser.add_argument("--quantum", type=int,
+                        default=experiments.DEFAULT_QUANTUM)
+    parser.add_argument("--json", metavar="PATH",
+                        help="also dump machine-readable suite results")
+    parser.add_argument("--latex", metavar="PATH",
+                        help="also write booktabs LaTeX tables")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    started = time.time()
+    pieces = []
+    wants_suite = args.artifact in SUITE_ARTIFACTS or args.artifact == "all"
+    suite = None
+    if wants_suite:
+        suite = experiments.run_suite(threads=args.threads,
+                                      scale=args.scale, seed=args.seed,
+                                      quantum=args.quantum)
+    if args.artifact in ("fig5", "all"):
+        pieces.append(render_figure5(suite))
+    if args.artifact in ("fig6", "all"):
+        pieces.append(render_figure6(suite))
+    if args.artifact in ("table1", "all"):
+        results = experiments.table1(scale=args.scale, seed=args.seed,
+                                     quantum=args.quantum)
+        pieces.append(render_table1(results))
+    if args.artifact in ("table2", "all"):
+        pieces.append(render_table2(suite))
+    if args.artifact in ("races", "all"):
+        pieces.append(render_races(experiments.detected_races(suite)))
+    if args.artifact == "breakdown":
+        from repro.harness.report import render_breakdown
+
+        pieces.append(render_breakdown(suite))
+    if args.artifact == "profile":
+        from repro.workloads.parsec import benchmark_names, get_benchmark
+        from repro.workloads.profile import (
+            dynamic_profile,
+            render_profile,
+            static_profile,
+        )
+
+        names = ([args.benchmark] if args.benchmark
+                 else benchmark_names())
+        for name in names:
+            spec = get_benchmark(name)
+
+            def factory(spec=spec):
+                return spec.program(threads=args.threads,
+                                    scale=args.scale)
+
+            pieces.append(render_profile(
+                name, static_profile(factory()),
+                dynamic_profile(factory, seed=args.seed,
+                                quantum=args.quantum)))
+    if args.artifact == "all":
+        pieces.append(render_summary(suite))
+    if args.latex and suite is not None:
+        from repro.harness.latex import render_all
+
+        with open(args.latex, "w") as handle:
+            handle.write(render_all(suite) + "\n")
+        pieces.append(f"(latex written to {args.latex})")
+    if args.json and suite is not None:
+        import json
+
+        from repro.harness.report import suite_to_dict
+
+        with open(args.json, "w") as handle:
+            json.dump(suite_to_dict(suite), handle, indent=2)
+        pieces.append(f"(json written to {args.json})")
+    print("\n".join(pieces))
+    print(f"[{time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

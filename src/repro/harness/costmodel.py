@@ -1,0 +1,47 @@
+"""Cost-model overrides for ablation experiments.
+
+All cycle costs live as module attributes of :mod:`repro.costs`.
+:class:`CostModel` is a context manager that temporarily replaces a set
+of them — e.g. to ask "what if VM exits were 10x more expensive?" or to
+zero out the mirror-page penalty — and restores the originals on exit.
+
+Example::
+
+    with CostModel(VMEXIT=2000, CONTEXT_SWITCH_TRAP=5000):
+        result = run_aikido_fasttrack(program)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import costs
+from repro.errors import HarnessError
+
+
+class CostModel:
+    """Temporarily override constants in :mod:`repro.costs`."""
+
+    def __init__(self, **overrides: int):
+        for name in overrides:
+            if not hasattr(costs, name):
+                raise HarnessError(f"unknown cost constant {name!r}")
+        self.overrides = overrides
+        self._saved: Dict[str, int] = {}
+
+    def __enter__(self) -> "CostModel":
+        for name, value in self.overrides.items():
+            self._saved[name] = getattr(costs, name)
+            setattr(costs, name, value)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for name, value in self._saved.items():
+            setattr(costs, name, value)
+        self._saved.clear()
+
+
+def snapshot() -> Dict[str, int]:
+    """All current cost constants (for reports)."""
+    return {name: value for name, value in vars(costs).items()
+            if name.isupper() and isinstance(value, int)}

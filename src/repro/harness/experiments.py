@@ -1,0 +1,189 @@
+"""Drivers for every table and figure of the paper's evaluation (§5).
+
+* :func:`run_suite` executes all ten PARSEC-like benchmarks in all three
+  modes once and caches the results; Figure 5, Figure 6 and Table 2 are
+  different projections of the same suite run, exactly as in the paper
+  (one set of measured executions, several views).
+* :func:`table1` runs fluidanimate and vips at 2/4/8 threads.
+* :func:`detected_races` reproduces §5.3: the two tools report the same
+  races (the canneal Mersenne-Twister race included).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.runner import (
+    RunResult,
+    run_aikido_fasttrack,
+    run_fasttrack,
+    run_native,
+)
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.parsec import PARSEC_BENCHMARKS, get_benchmark
+
+#: Default experiment parameters (8 threads = the paper's configuration).
+DEFAULT_THREADS = 8
+DEFAULT_SCALE = 1.0
+DEFAULT_SEED = 1
+DEFAULT_QUANTUM = 150
+
+
+@dataclass
+class BenchmarkRuns:
+    """One benchmark's three runs."""
+
+    spec: WorkloadSpec
+    native: RunResult
+    fasttrack: RunResult
+    aikido: RunResult
+
+    @property
+    def ft_slowdown(self) -> float:
+        return self.fasttrack.slowdown_vs(self.native)
+
+    @property
+    def aikido_slowdown(self) -> float:
+        return self.aikido.slowdown_vs(self.native)
+
+    @property
+    def speedup(self) -> float:
+        """FastTrack time / Aikido-FastTrack time (>1 means Aikido wins)."""
+        return self.ft_slowdown / self.aikido_slowdown
+
+    @property
+    def shared_fraction(self) -> float:
+        """Fraction of memory accesses that target shared pages (Fig. 6)."""
+        return self.aikido.shared_accesses / max(1, self.aikido.memory_refs)
+
+    @property
+    def instrumented_fraction(self) -> float:
+        return (self.aikido.instrumented_execs
+                / max(1, self.aikido.memory_refs))
+
+
+@dataclass
+class SuiteResult:
+    """All benchmarks, all modes, one configuration."""
+
+    threads: int
+    scale: float
+    seed: int
+    runs: Dict[str, BenchmarkRuns] = field(default_factory=dict)
+
+    def geomean_speedup(self) -> float:
+        values = [r.speedup for r in self.runs.values()]
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    def geomean_instrumentation_reduction(self) -> float:
+        """Table 2's headline: geomean of col1/col2 across benchmarks."""
+        values = []
+        for r in self.runs.values():
+            values.append(r.aikido.memory_refs
+                          / max(1, r.aikido.instrumented_execs))
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_benchmark(spec: WorkloadSpec, *, threads: int = DEFAULT_THREADS,
+                  scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
+                  quantum: int = DEFAULT_QUANTUM) -> BenchmarkRuns:
+    """Run one benchmark in all three modes."""
+    kwargs = dict(seed=seed, quantum=quantum)
+
+    def program():
+        return spec.program(threads=threads, scale=scale)
+
+    return BenchmarkRuns(
+        spec=spec,
+        native=run_native(program(), **kwargs),
+        fasttrack=run_fasttrack(program(), **kwargs),
+        aikido=run_aikido_fasttrack(program(), **kwargs),
+    )
+
+
+def run_suite(*, threads: int = DEFAULT_THREADS, scale: float = DEFAULT_SCALE,
+              seed: int = DEFAULT_SEED, quantum: int = DEFAULT_QUANTUM,
+              benchmarks: Optional[List[str]] = None) -> SuiteResult:
+    """Run the full PARSEC suite (or a named subset) in all modes."""
+    suite = SuiteResult(threads=threads, scale=scale, seed=seed)
+    specs = (PARSEC_BENCHMARKS if benchmarks is None
+             else [get_benchmark(n) for n in benchmarks])
+    for spec in specs:
+        suite.runs[spec.name] = run_benchmark(
+            spec, threads=threads, scale=scale, seed=seed, quantum=quantum)
+    return suite
+
+
+# ---------------------------------------------------------------------
+# Figure 5: slowdown vs native, FastTrack vs Aikido-FastTrack
+# ---------------------------------------------------------------------
+def figure5(suite: SuiteResult) -> List[Tuple[str, float, float]]:
+    """Rows of (benchmark, ft_slowdown, aikido_slowdown) + geomean row."""
+    rows = [(name, runs.ft_slowdown, runs.aikido_slowdown)
+            for name, runs in suite.runs.items()]
+    ft_geo = math.exp(sum(math.log(r[1]) for r in rows) / len(rows))
+    aik_geo = math.exp(sum(math.log(r[2]) for r in rows) / len(rows))
+    rows.append(("geomean", ft_geo, aik_geo))
+    return rows
+
+
+# ---------------------------------------------------------------------
+# Figure 6: percentage of accesses targeting shared pages
+# ---------------------------------------------------------------------
+def figure6(suite: SuiteResult) -> List[Tuple[str, float]]:
+    return [(name, runs.shared_fraction)
+            for name, runs in suite.runs.items()]
+
+
+# ---------------------------------------------------------------------
+# Table 1: fluidanimate and vips at 2/4/8 threads
+# ---------------------------------------------------------------------
+TABLE1_BENCHMARKS = ("fluidanimate", "vips")
+TABLE1_THREADS = (2, 4, 8)
+
+
+def table1(*, scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
+           quantum: int = DEFAULT_QUANTUM
+           ) -> Dict[str, Dict[int, Tuple[float, float]]]:
+    """benchmark -> {threads: (ft_slowdown, aikido_slowdown)}."""
+    out: Dict[str, Dict[int, Tuple[float, float]]] = {}
+    for name in TABLE1_BENCHMARKS:
+        spec = get_benchmark(name)
+        out[name] = {}
+        for threads in TABLE1_THREADS:
+            runs = run_benchmark(spec, threads=threads, scale=scale,
+                                 seed=seed, quantum=quantum)
+            out[name][threads] = (runs.ft_slowdown, runs.aikido_slowdown)
+    return out
+
+
+# ---------------------------------------------------------------------
+# Table 2: instrumentation statistics
+# ---------------------------------------------------------------------
+@dataclass
+class Table2Row:
+    benchmark: str
+    memory_refs: int          # col 1: instrs referencing memory (dynamic)
+    instrumented_execs: int   # col 2: executions of instrumented instrs
+    shared_accesses: int      # col 3: accesses that hit shared pages
+    segfaults: int            # col 4: faults delivered by AikidoVM
+
+
+def table2(suite: SuiteResult) -> List[Table2Row]:
+    return [Table2Row(name, runs.aikido.memory_refs,
+                      runs.aikido.instrumented_execs,
+                      runs.aikido.shared_accesses,
+                      runs.aikido.segfaults)
+            for name, runs in suite.runs.items()]
+
+
+# ---------------------------------------------------------------------
+# §5.3: detected races
+# ---------------------------------------------------------------------
+def detected_races(suite: SuiteResult) -> Dict[str, Dict[str, int]]:
+    """benchmark -> {'fasttrack': n_races, 'aikido': n_races}."""
+    return {name: {"fasttrack": len(runs.fasttrack.races),
+                   "aikido": len(runs.aikido.races)}
+            for name, runs in suite.runs.items()}

@@ -1,0 +1,113 @@
+"""LaTeX rendering of the reproduced artifacts.
+
+For dropping the measured-vs-paper comparison straight into a paper or
+report: each function returns a self-contained ``tabular`` environment
+(booktabs style — ``\\usepackage{booktabs}``).
+
+    from repro.harness import experiments
+    from repro.harness.latex import figure5_table, table2_table
+
+    suite = experiments.run_suite()
+    print(figure5_table(suite))
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.experiments import SuiteResult, table2
+from repro.harness.report import PAPER_TABLE2
+from repro.workloads.parsec import get_benchmark
+
+
+def _tabular(columns: str, header: List[str], rows: List[List[str]],
+             caption: str) -> str:
+    lines = [
+        "\\begin{table}[t]",
+        "  \\centering",
+        f"  \\caption{{{caption}}}",
+        f"  \\begin{{tabular}}{{{columns}}}",
+        "    \\toprule",
+        "    " + " & ".join(header) + " \\\\",
+        "    \\midrule",
+    ]
+    for row in rows:
+        lines.append("    " + " & ".join(row) + " \\\\")
+    lines += [
+        "    \\bottomrule",
+        "  \\end{tabular}",
+        "\\end{table}",
+    ]
+    return "\n".join(lines)
+
+
+def _name(benchmark: str) -> str:
+    return f"\\texttt{{{benchmark}}}"
+
+
+def figure5_table(suite: SuiteResult) -> str:
+    """Figure 5 as a table: slowdowns and speedups, measured vs paper."""
+    rows = []
+    for name, runs in suite.runs.items():
+        paper = get_benchmark(name).paper
+        paper_speedup = (paper.ft_slowdown_8t / paper.aikido_slowdown_8t)
+        rows.append([
+            _name(name),
+            f"{runs.ft_slowdown:.1f}$\\times$",
+            f"{runs.aikido_slowdown:.1f}$\\times$",
+            f"{runs.speedup:.2f}$\\times$",
+            f"{paper_speedup:.2f}$\\times$",
+        ])
+    rows.append([
+        "\\textbf{geomean}", "", "",
+        f"\\textbf{{{suite.geomean_speedup():.2f}$\\times$}}",
+        "\\textbf{1.76$\\times$}",
+    ])
+    return _tabular(
+        "lrrrr",
+        ["benchmark", "FastTrack", "Aikido-FT", "speedup",
+         "speedup (paper)"],
+        rows,
+        "Reproduction of Aikido Fig.~5: slowdown vs native at 8 threads.")
+
+
+def figure6_table(suite: SuiteResult) -> str:
+    rows = []
+    for name, runs in suite.runs.items():
+        paper = get_benchmark(name).paper
+        rows.append([
+            _name(name),
+            f"{100 * runs.shared_fraction:.2f}\\%",
+            f"{100 * paper.shared_fraction:.2f}\\%",
+        ])
+    return _tabular(
+        "lrr",
+        ["benchmark", "shared accesses (ours)", "paper"],
+        rows,
+        "Reproduction of Aikido Fig.~6: accesses to shared pages.")
+
+
+def table2_table(suite: SuiteResult) -> str:
+    rows = []
+    for row in table2(suite):
+        paper = PAPER_TABLE2[row.benchmark]
+        rows.append([
+            _name(row.benchmark),
+            f"{row.memory_refs:,}",
+            f"{row.instrumented_execs:,}",
+            f"{row.shared_accesses:,}",
+            f"{row.segfaults:,}",
+            f"{100 * row.instrumented_execs / row.memory_refs:.1f}\\% "
+            f"({100 * paper[1] / paper[0]:.1f}\\%)",
+        ])
+    return _tabular(
+        "lrrrrr",
+        ["benchmark", "mem.\\ refs", "instrumented", "shared",
+         "faults", "instr.\\ frac (paper)"],
+        rows,
+        "Reproduction of Aikido Table~2 (counts scaled; see text).")
+
+
+def render_all(suite: SuiteResult) -> str:
+    return "\n\n".join([figure5_table(suite), figure6_table(suite),
+                        table2_table(suite)])

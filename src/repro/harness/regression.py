@@ -1,0 +1,91 @@
+"""Compare two archived suite runs (the --json output) for regressions.
+
+Intended workflow: archive a baseline once the calibration looks right,
+then after any cost-constant or workload edit::
+
+    aikido-repro all --json new.json
+    python -m repro.harness.regression baseline.json new.json
+
+Exit code 1 when any benchmark's speedup moved more than the tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class Delta:
+    benchmark: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def relative(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 0.0
+        return (self.after - self.before) / self.before
+
+    def describe(self) -> str:
+        return (f"{self.benchmark:>14s} {self.metric:<18s} "
+                f"{self.before:8.3f} -> {self.after:8.3f} "
+                f"({self.relative:+.1%})")
+
+
+WATCHED_METRICS = ("speedup", "shared_fraction", "ft_slowdown",
+                   "aikido_slowdown")
+
+
+def compare(baseline: Dict, candidate: Dict,
+            tolerance: float = 0.10) -> List[Delta]:
+    """Return the deltas exceeding ``tolerance`` (relative)."""
+    offenders: List[Delta] = []
+    base_benches = baseline.get("benchmarks", {})
+    cand_benches = candidate.get("benchmarks", {})
+    for name in sorted(set(base_benches) | set(cand_benches)):
+        if name not in base_benches or name not in cand_benches:
+            offenders.append(Delta(name, "presence",
+                                   float(name in base_benches),
+                                   float(name in cand_benches)))
+            continue
+        for metric in WATCHED_METRICS:
+            before = base_benches[name].get(metric)
+            after = cand_benches[name].get(metric)
+            if before is None or after is None:
+                continue
+            delta = Delta(name, metric, before, after)
+            if abs(delta.relative) > tolerance:
+                offenders.append(delta)
+    return offenders
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="compare two aikido-repro --json archives")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="relative change that counts as a regression")
+    args = ap.parse_args(argv)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.candidate) as handle:
+        candidate = json.load(handle)
+    offenders = compare(baseline, candidate, args.tolerance)
+    if not offenders:
+        print(f"no metric moved more than {args.tolerance:.0%}")
+        return 0
+    print(f"{len(offenders)} metric(s) moved more than "
+          f"{args.tolerance:.0%}:")
+    for delta in offenders:
+        print("  " + delta.describe())
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

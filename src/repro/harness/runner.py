@@ -1,0 +1,175 @@
+"""Run one workload in one of the paper's three configurations.
+
+=====================  ====================================================
+mode                   stack
+=====================  ====================================================
+``native``             guest kernel + CPU; no tool (the normalization
+                       baseline of Figure 5)
+``fasttrack``          DBR engine + Umbra + FastTrack instrumenting every
+                       memory access (the paper's baseline tool)
+``aikido-fasttrack``   AikidoVM + AikidoSD + mirror pages; FastTrack fed
+                       only shared-page accesses (the paper's system)
+=====================  ====================================================
+
+Slowdowns are ratios of deterministic simulated cycle counts; see
+DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
+from repro.analyses.fasttrack.tool import FastTrackTool
+from repro.core.config import AikidoConfig
+from repro.core.system import AikidoSystem
+from repro.dbr.engine import DBREngine
+from repro.errors import HarnessError
+from repro.guestos.kernel import Kernel
+
+MODES = ("native", "fasttrack", "aikido-fasttrack")
+
+_DEFAULT_BUDGET = 200_000_000
+
+
+class RunResult:
+    """Everything one run produced."""
+
+    def __init__(self, mode: str, cycles: int, run_stats: Dict[str, int],
+                 cycle_breakdown: Dict[str, int],
+                 races: Optional[List] = None,
+                 aikido_stats: Optional[Dict[str, int]] = None,
+                 hypervisor_stats: Optional[Dict[str, int]] = None,
+                 detector_profile: Optional[Dict[str, int]] = None):
+        self.mode = mode
+        self.cycles = cycles
+        self.run_stats = run_stats
+        self.cycle_breakdown = cycle_breakdown
+        self.races = races if races is not None else []
+        self.aikido_stats = aikido_stats or {}
+        self.hypervisor_stats = hypervisor_stats or {}
+        self.detector_profile = detector_profile or {}
+
+    @property
+    def memory_refs(self) -> int:
+        """Dynamic memory-referencing instructions (Table 2 col 1)."""
+        return self.run_stats.get("memory_refs", 0)
+
+    @property
+    def instrumented_execs(self) -> int:
+        """Dynamic executions of instrumented instructions (col 2)."""
+        return self.run_stats.get("instrumented_execs", 0)
+
+    @property
+    def shared_accesses(self) -> int:
+        """Accesses that targeted shared pages (col 3)."""
+        return self.aikido_stats.get("shared_accesses", 0)
+
+    @property
+    def segfaults(self) -> int:
+        """Fake faults delivered by AikidoVM (col 4)."""
+        return self.hypervisor_stats.get("segfaults_delivered", 0)
+
+    def slowdown_vs(self, native: "RunResult") -> float:
+        if native.cycles == 0:
+            raise HarnessError("native run has zero cycles")
+        return self.cycles / native.cycles
+
+    def summary(self, native: Optional["RunResult"] = None) -> str:
+        """Multi-line human summary; includes the slowdown when the
+        matching native run is provided."""
+        lines = [f"mode: {self.mode}",
+                 f"simulated cycles: {self.cycles:,}"]
+        if native is not None:
+            lines.append(f"slowdown vs native: "
+                         f"{self.slowdown_vs(native):.1f}x")
+        instructions = self.run_stats.get("instructions", 0)
+        lines.append(f"instructions: {instructions:,} "
+                     f"({self.memory_refs:,} memory refs)")
+        if self.mode == "aikido-fasttrack":
+            frac = self.shared_accesses / max(1, self.memory_refs)
+            lines.append(f"shared accesses: {self.shared_accesses:,} "
+                         f"({frac:.1%}); faults: {self.segfaults}")
+        if self.races:
+            lines.append(f"races: {len(self.races)}")
+            lines.extend("  " + r.describe() for r in self.races[:5])
+        else:
+            lines.append("races: none")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RunResult {self.mode} cycles={self.cycles}>"
+
+
+def _detector_profile(detector) -> Dict[str, int]:
+    return {
+        "reads": detector.reads,
+        "writes": detector.writes,
+        "same_epoch_hits": detector.same_epoch_hits,
+        "read_shared_transitions": detector.read_shared_transitions,
+        "sync_ops": detector.sync_ops,
+        "race_count": len(detector.races),
+    }
+
+
+def run_native(program, *, seed: int = 0, quantum: int = 200,
+               jitter: float = 0.1,
+               max_instructions: int = _DEFAULT_BUDGET) -> RunResult:
+    """Bare execution: the baseline every slowdown is normalized to."""
+    kernel = Kernel(seed=seed, quantum=quantum, jitter=jitter)
+    kernel.create_process(program)
+    kernel.run(max_instructions=max_instructions)
+    return RunResult("native", kernel.counter.total,
+                     kernel.driver.stats.as_dict(),
+                     kernel.counter.snapshot())
+
+
+def run_fasttrack(program, *, seed: int = 0, quantum: int = 200,
+                  jitter: float = 0.1, block_size: int = 8,
+                  max_instructions: int = _DEFAULT_BUDGET) -> RunResult:
+    """The conservative instrument-everything FastTrack baseline."""
+    kernel = Kernel(seed=seed, quantum=quantum, jitter=jitter)
+    kernel.create_process(program)
+    engine = DBREngine(kernel)
+    tool = FastTrackTool(kernel, block_size=block_size)
+    engine.attach_tool(tool)
+    kernel.run(max_instructions=max_instructions)
+    return RunResult("fasttrack", kernel.counter.total,
+                     engine.stats.as_dict(), kernel.counter.snapshot(),
+                     races=list(tool.races),
+                     detector_profile=_detector_profile(tool.detector))
+
+
+def run_aikido_fasttrack(program, *, seed: int = 0, quantum: int = 200,
+                         jitter: float = 0.1,
+                         config: Optional[AikidoConfig] = None,
+                         max_instructions: int = _DEFAULT_BUDGET
+                         ) -> RunResult:
+    """The paper's system: FastTrack on shared-page accesses only."""
+    config = config if config is not None else AikidoConfig()
+    system = AikidoSystem(
+        program,
+        lambda kernel: AikidoFastTrack(kernel, block_size=config.block_size),
+        config, seed=seed, quantum=quantum, jitter=jitter)
+    system.run(max_instructions=max_instructions)
+    analysis = system.analysis
+    return RunResult("aikido-fasttrack", system.cycles,
+                     system.run_stats.as_dict(),
+                     system.kernel.counter.snapshot(),
+                     races=list(analysis.races),
+                     aikido_stats=system.stats.as_dict(),
+                     hypervisor_stats=system.hypervisor_stats.as_dict(),
+                     detector_profile=_detector_profile(analysis.detector))
+
+
+def run_mode(program, mode: str, **kwargs) -> RunResult:
+    """Dispatch by mode name."""
+    if mode == "native":
+        kwargs.pop("config", None)
+        return run_native(program, **kwargs)
+    if mode == "fasttrack":
+        kwargs.pop("config", None)
+        return run_fasttrack(program, **kwargs)
+    if mode == "aikido-fasttrack":
+        return run_aikido_fasttrack(program, **kwargs)
+    raise HarnessError(f"unknown mode {mode!r}; expected one of {MODES}")

@@ -1,0 +1,37 @@
+"""AikidoVM: a hypervisor exposing per-thread page protection.
+
+The real AikidoVM extends Linux KVM on Intel VMX. This package reproduces
+its architecture at the protocol level (paper §3.2):
+
+* one **shadow page table per guest thread** instead of one per guest page
+  table (:mod:`repro.hypervisor.shadow`);
+* **per-thread protection tables** consulted when deriving shadow PTEs
+  (:mod:`repro.hypervisor.protection`);
+* interception of guest page-table writes and context switches;
+* a **hypercall API** for userspace protection requests
+  (:mod:`repro.hypervisor.hypercalls`);
+* **fake page-fault injection** so Aikido faults reach the application's
+  SIGSEGV handler through the unmodified guest kernel;
+* **emulation of guest-kernel accesses** to Aikido-protected pages, with
+  temporary unprotection that clears the USER bit (§3.2.6).
+"""
+
+from repro.hypervisor.hypercalls import (
+    HC_INIT,
+    HC_SET_PROT,
+    PROT_CLEAR,
+)
+from repro.hypervisor.protection import ProtectionTable
+from repro.hypervisor.shadow import ShadowPageTable, effective_flags
+from repro.hypervisor.aikidovm import AikidoVM, HypervisorStats
+
+__all__ = [
+    "AikidoVM",
+    "HC_INIT",
+    "HC_SET_PROT",
+    "HypervisorStats",
+    "PROT_CLEAR",
+    "ProtectionTable",
+    "ShadowPageTable",
+    "effective_flags",
+]

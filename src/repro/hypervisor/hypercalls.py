@@ -1,0 +1,31 @@
+"""The AikidoVM hypercall ABI.
+
+Hypercalls bypass the guest operating system entirely (paper §3.1): the
+userspace AikidoLib issues them directly to the hypervisor. Arguments are
+positional integers, mirroring a register-based calling convention.
+
+=============  =====================================================
+number         semantics
+=============  =====================================================
+``HC_INIT``    register the fault-delivery pages and the mailbox:
+               ``(read_fault_page, write_fault_page, mailbox_addr)``
+``HC_SET_PROT``  set one thread's protection override for a page
+               range: ``(tid, vpn_start, page_count, prot)`` where
+               ``prot`` is PROT_NONE/PROT_READ/PROT_RW/PROT_CLEAR
+               (*CLEAR removes the override — the guest PTE rules*).
+               ``tid == ALL_THREADS`` applies to every current thread.
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+HC_INIT = 1
+HC_SET_PROT = 2
+
+#: Pseudo-protection value: remove the per-thread override entirely.
+PROT_CLEAR = 3
+
+#: Pseudo-tid addressing every thread of the calling process.
+ALL_THREADS = 0
+
+NAMES = {HC_INIT: "init", HC_SET_PROT: "set_prot"}

@@ -1,0 +1,53 @@
+"""Per-thread protection tables (paper §3.2.4, Fig. 2).
+
+AikidoVM keeps, for every thread, a table of *desired* protections that is
+consulted whenever a shadow PTE is (re)derived from a guest PTE. Absence
+of an entry means "no Aikido restriction": the guest PTE governs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.machine.paging import PROT_NONE, PROT_READ, PROT_RW
+
+_VALID = (PROT_NONE, PROT_READ, PROT_RW)
+
+
+class ProtectionTable:
+    """One thread's vpn -> requested-protection overrides."""
+
+    __slots__ = ("tid", "_overrides")
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self._overrides: Dict[int, int] = {}
+
+    def set(self, vpn: int, prot: int) -> None:
+        if prot not in _VALID:
+            raise ValueError(f"bad protection level {prot}")
+        self._overrides[vpn] = prot
+
+    def clear(self, vpn: int) -> None:
+        self._overrides.pop(vpn, None)
+
+    def get(self, vpn: int) -> Optional[int]:
+        """The override for a page, or None when unrestricted."""
+        return self._overrides.get(vpn)
+
+    def restricts(self, vpn: int, is_write: bool) -> bool:
+        """Would the override deny this access?"""
+        prot = self._overrides.get(vpn)
+        if prot is None:
+            return False
+        if prot == PROT_NONE:
+            return True
+        if prot == PROT_READ:
+            return is_write
+        return False
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._overrides.items())
+
+    def __len__(self) -> int:
+        return len(self._overrides)

@@ -1,0 +1,64 @@
+"""Per-thread shadow page tables (paper §3.2.3, Fig. 2).
+
+Where a traditional hypervisor keeps one shadow page table per guest page
+table, AikidoVM keeps one per *thread*: each performs the same virtual ->
+machine mapping, but with permission bits further restricted by that
+thread's protection table. This module implements the flag-combination
+rule and the shadow table itself.
+
+Temporary kernel unprotection (§3.2.6) is expressed as a third input: a
+page the guest kernel had to touch gets the guest's flags with the USER
+bit cleared, so the kernel proceeds but the next *userspace* access traps
+back into the hypervisor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.paging import (
+    PROT_NONE,
+    PROT_READ,
+    PTE,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+    PageTable,
+)
+
+
+def effective_flags(guest_flags: int, prot_override: Optional[int],
+                    kernel_unprotected: bool = False) -> int:
+    """Combine a guest PTE's flags with a thread's protection override.
+
+    ``kernel_unprotected`` wins over the override: the page is restored to
+    the guest's view minus the USER bit (accessible to the kernel only).
+    """
+    if kernel_unprotected:
+        return guest_flags & ~PTE_USER
+    if prot_override is None:
+        return guest_flags
+    if prot_override == PROT_NONE:
+        return 0
+    if prot_override == PROT_READ:
+        return guest_flags & ~PTE_WRITABLE
+    return guest_flags  # PROT_RW: no extra restriction
+
+
+class ShadowPageTable(PageTable):
+    """One thread's shadow table, kept in sync with the guest table."""
+
+    def __init__(self, tid: int):
+        super().__init__(f"shadow-t{tid}")
+        self.tid = tid
+
+    def sync_entry(self, vpn: int, guest_pte: Optional[PTE],
+                   prot_override: Optional[int],
+                   kernel_unprotected: bool = False) -> None:
+        """Re-derive one shadow PTE after a guest write or protection change."""
+        if guest_pte is None or not guest_pte.flags & PTE_PRESENT:
+            self.unmap(vpn)
+            return
+        flags = effective_flags(guest_pte.flags, prot_override,
+                                kernel_unprotected)
+        self.map(vpn, guest_pte.pfn, flags)

@@ -1,0 +1,63 @@
+"""Simulated hardware substrate.
+
+This package models the minimal hardware contract that Aikido's algorithms
+depend on: a small RISC-like ISA, word-addressable physical memory, page
+tables with PRESENT/WRITABLE/USER protection bits, per-thread TLBs, and a
+single-instruction CPU interpreter that raises :class:`~repro.machine.paging.PageFault`
+on protection violations.
+
+The real Aikido runs on x86-64 with Intel VMX; none of the x86 details
+matter to the paper's protocols, only fault/protection semantics, which are
+reproduced faithfully here (see DESIGN.md, substitution table).
+"""
+
+from repro.machine.isa import (
+    Instruction,
+    MemOperand,
+    Opcode,
+    REGISTER_COUNT,
+)
+from repro.machine.program import BasicBlock, Program
+from repro.machine.asm import ProgramBuilder
+from repro.machine.memory import PhysicalMemory, WORD_SIZE
+from repro.machine.paging import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PROT_NONE,
+    PROT_READ,
+    PROT_RW,
+    PTE,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+    PageFault,
+    PageTable,
+)
+from repro.machine.tlb import TLB
+from repro.machine.cpu import CPU, CycleCounter
+
+__all__ = [
+    "BasicBlock",
+    "CPU",
+    "CycleCounter",
+    "Instruction",
+    "MemOperand",
+    "Opcode",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PROT_NONE",
+    "PROT_READ",
+    "PROT_RW",
+    "PTE",
+    "PTE_PRESENT",
+    "PTE_USER",
+    "PTE_WRITABLE",
+    "PageFault",
+    "PageTable",
+    "PhysicalMemory",
+    "Program",
+    "ProgramBuilder",
+    "REGISTER_COUNT",
+    "TLB",
+    "WORD_SIZE",
+]

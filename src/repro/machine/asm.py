@@ -1,0 +1,311 @@
+"""ProgramBuilder: a small assembler DSL for constructing workloads.
+
+Workload generators build mini-ISA programs with this class instead of
+hand-assembling :class:`~repro.machine.isa.Instruction` lists. The builder
+manages basic-block splitting (a new block starts after every terminator
+and at every label), provides structured loops, and includes helpers for
+the LCG-based pseudo-random address generation that the synthetic PARSEC
+workloads use.
+
+Example::
+
+    b = ProgramBuilder("demo")
+    b.label("main")
+    b.li(1, 0)                        # r1 = 0
+    with b.loop(counter=2, count=100):
+        b.load(3, base=4, disp=0)     # r3 = mem[r4]
+    b.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, Optional
+
+from repro.errors import WorkloadError
+from repro.machine.isa import Instruction, MemOperand, Opcode
+from repro.machine.layout import STATIC_BASE, align_up
+from repro.machine.paging import PAGE_SIZE
+from repro.machine.program import DataSegment, Program
+
+#: Multiplier/increment of the builder's LCG helper (Knuth's MMIX values).
+LCG_MULTIPLIER = 6364136223846793005
+LCG_INCREMENT = 1442695040888963407
+
+
+class ProgramBuilder:
+    """Incrementally assemble a :class:`~repro.machine.program.Program`."""
+
+    def __init__(self, name: str = "program"):
+        self._program = Program(name)
+        self._current = None
+        self._fresh = 0
+        self._static_cursor = STATIC_BASE
+
+    # ------------------------------------------------------------------
+    # block management
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> None:
+        """Start a new basic block with an explicit label.
+
+        If the previous block does not end in a terminator it falls
+        through into this one.
+        """
+        self._current = self._program.add_block(name)
+
+    def fresh_label(self, hint: str = "L") -> str:
+        """Return a new unique label name (does not start a block)."""
+        self._fresh += 1
+        return f".{hint}{self._fresh}"
+
+    def segment(self, name: str, size: int,
+                initial: Optional[Dict[int, int]] = None,
+                writable: bool = True) -> int:
+        """Declare a static data segment and return its base address.
+
+        The address is computed with the same layout rule the loader uses
+        (:func:`repro.machine.layout.static_segment_bases`), so workload
+        code can embed it as an immediate. ``writable=False`` gives the
+        segment .rodata semantics (initialized at load, sealed after).
+        """
+        self._program.add_segment(DataSegment(name, size, initial,
+                                              writable=writable))
+        base = self._static_cursor
+        self._static_cursor += align_up(size) + PAGE_SIZE
+        return base
+
+    def build(self) -> Program:
+        """Finalize and return the program."""
+        return self._program.finalize()
+
+    # ------------------------------------------------------------------
+    # raw emission
+    # ------------------------------------------------------------------
+    def emit(self, instr: Instruction) -> Instruction:
+        """Append one instruction to the current block."""
+        if self._current is None:
+            raise WorkloadError("emit before any label()")
+        if self._current.terminated:
+            # A terminator ended the block; continue in an anonymous one.
+            self.label(self.fresh_label("cont"))
+        self._current.append(instr)
+        return instr
+
+    # ------------------------------------------------------------------
+    # data movement / arithmetic
+    # ------------------------------------------------------------------
+    def li(self, rd: int, imm: int) -> Instruction:
+        return self.emit(Instruction(Opcode.LI, rd=rd, imm=imm))
+
+    def mov(self, rd: int, rs: int) -> Instruction:
+        return self.emit(Instruction(Opcode.MOV, rd=rd, rs1=rs))
+
+    def _alu(self, op: Opcode, rd: int, rs1: int,
+             rs2: Optional[int], imm: int) -> Instruction:
+        return self.emit(Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm))
+
+    def add(self, rd: int, rs1: int, rs2: Optional[int] = None,
+            imm: int = 0) -> Instruction:
+        return self._alu(Opcode.ADD, rd, rs1, rs2, imm)
+
+    def sub(self, rd: int, rs1: int, rs2: Optional[int] = None,
+            imm: int = 0) -> Instruction:
+        return self._alu(Opcode.SUB, rd, rs1, rs2, imm)
+
+    def mul(self, rd: int, rs1: int, rs2: Optional[int] = None,
+            imm: int = 0) -> Instruction:
+        return self._alu(Opcode.MUL, rd, rs1, rs2, imm)
+
+    def and_(self, rd: int, rs1: int, rs2: Optional[int] = None,
+             imm: int = 0) -> Instruction:
+        return self._alu(Opcode.AND, rd, rs1, rs2, imm)
+
+    def or_(self, rd: int, rs1: int, rs2: Optional[int] = None,
+            imm: int = 0) -> Instruction:
+        return self._alu(Opcode.OR, rd, rs1, rs2, imm)
+
+    def xor(self, rd: int, rs1: int, rs2: Optional[int] = None,
+            imm: int = 0) -> Instruction:
+        return self._alu(Opcode.XOR, rd, rs1, rs2, imm)
+
+    def shl(self, rd: int, rs1: int, rs2: Optional[int] = None,
+            imm: int = 0) -> Instruction:
+        return self._alu(Opcode.SHL, rd, rs1, rs2, imm)
+
+    def shr(self, rd: int, rs1: int, rs2: Optional[int] = None,
+            imm: int = 0) -> Instruction:
+        return self._alu(Opcode.SHR, rd, rs1, rs2, imm)
+
+    def mod(self, rd: int, rs1: int, rs2: Optional[int] = None,
+            imm: int = 0) -> Instruction:
+        return self._alu(Opcode.MOD, rd, rs1, rs2, imm)
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def load(self, rd: int, base: Optional[int] = None,
+             disp: int = 0) -> Instruction:
+        """``rd <- mem[base + disp]`` (direct when ``base`` is None)."""
+        return self.emit(Instruction(Opcode.LOAD, rd=rd,
+                                     mem=MemOperand(base, disp)))
+
+    def store(self, rs: int, base: Optional[int] = None,
+              disp: int = 0) -> Instruction:
+        """``mem[base + disp] <- rs`` (direct when ``base`` is None)."""
+        return self.emit(Instruction(Opcode.STORE, rs1=rs,
+                                     mem=MemOperand(base, disp)))
+
+    def atomic_add(self, rd: int, rs: int, base: Optional[int] = None,
+                   disp: int = 0) -> Instruction:
+        """Atomic fetch-and-add: ``rd <- mem[ea]; mem[ea] += rs``."""
+        return self.emit(Instruction(Opcode.ATOMIC_ADD, rd=rd, rs1=rs,
+                                     mem=MemOperand(base, disp)))
+
+    # ------------------------------------------------------------------
+    # control flow
+    # ------------------------------------------------------------------
+    def jmp(self, label: str) -> Instruction:
+        return self.emit(Instruction(Opcode.JMP, label=label))
+
+    def bz(self, rs: int, label: str) -> Instruction:
+        return self.emit(Instruction(Opcode.BZ, rs1=rs, label=label))
+
+    def bnz(self, rs: int, label: str) -> Instruction:
+        return self.emit(Instruction(Opcode.BNZ, rs1=rs, label=label))
+
+    def blt(self, rs1: int, rs2: int, label: str) -> Instruction:
+        return self.emit(Instruction(Opcode.BLT, rs1=rs1, rs2=rs2,
+                                     label=label))
+
+    def bge(self, rs1: int, rs2: int, label: str) -> Instruction:
+        return self.emit(Instruction(Opcode.BGE, rs1=rs1, rs2=rs2,
+                                     label=label))
+
+    def call(self, label: str) -> Instruction:
+        return self.emit(Instruction(Opcode.CALL, label=label))
+
+    def ret(self) -> Instruction:
+        return self.emit(Instruction(Opcode.RET))
+
+    def halt(self) -> Instruction:
+        return self.emit(Instruction(Opcode.HALT))
+
+    # ------------------------------------------------------------------
+    # synchronization & system
+    # ------------------------------------------------------------------
+    def lock(self, lock_id: Optional[int] = None,
+             reg: Optional[int] = None) -> Instruction:
+        """Acquire lock ``lock_id`` (constant) or the lock id in ``reg``."""
+        if (lock_id is None) == (reg is None):
+            raise WorkloadError("lock() needs exactly one of lock_id/reg")
+        return self.emit(Instruction(Opcode.LOCK, rs1=reg,
+                                     imm=lock_id or 0))
+
+    def unlock(self, lock_id: Optional[int] = None,
+               reg: Optional[int] = None) -> Instruction:
+        if (lock_id is None) == (reg is None):
+            raise WorkloadError("unlock() needs exactly one of lock_id/reg")
+        return self.emit(Instruction(Opcode.UNLOCK, rs1=reg,
+                                     imm=lock_id or 0))
+
+    def wait(self, cv_id: int, lock_id: Optional[int] = None,
+             lock_reg: Optional[int] = None) -> Instruction:
+        """Wait on condition variable ``cv_id``; the calling thread must
+        hold the given lock (pthread_cond_wait semantics)."""
+        if (lock_id is None) == (lock_reg is None):
+            raise WorkloadError("wait() needs exactly one of lock_id/lock_reg")
+        if lock_reg is None:
+            self.li(15, lock_id)
+            lock_reg = 15
+        return self.emit(Instruction(Opcode.WAIT, rs1=lock_reg, imm=cv_id))
+
+    def notify(self, cv_id: int, all_threads: bool = False) -> Instruction:
+        """Wake one (or all) waiters of condition variable ``cv_id``."""
+        rs1 = None
+        if all_threads:
+            self.li(15, 1)
+            rs1 = 15
+        return self.emit(Instruction(Opcode.NOTIFY, rs1=rs1, imm=cv_id))
+
+    def barrier(self, barrier_id: int, parties_reg: int) -> Instruction:
+        """Wait on barrier ``barrier_id`` until ``regs[parties_reg]`` arrive."""
+        return self.emit(Instruction(Opcode.BARRIER, rs1=parties_reg,
+                                     imm=barrier_id))
+
+    def spawn(self, rd: int, label: str, arg_reg: int) -> Instruction:
+        """Spawn a thread at ``label`` with ``r1 = regs[arg_reg]``; tid in rd."""
+        return self.emit(Instruction(Opcode.SPAWN, rd=rd, rs1=arg_reg,
+                                     label=label))
+
+    def join(self, tid_reg: int) -> Instruction:
+        return self.emit(Instruction(Opcode.JOIN, rs1=tid_reg))
+
+    def syscall(self, number: int) -> Instruction:
+        return self.emit(Instruction(Opcode.SYSCALL, imm=number))
+
+    def hypercall(self, number: int) -> Instruction:
+        return self.emit(Instruction(Opcode.HYPERCALL, imm=number))
+
+    # ------------------------------------------------------------------
+    # structured helpers
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def loop(self, counter: int, count: int) -> Iterator[None]:
+        """Counted loop: ``for counter in range(count)``.
+
+        Emits the loop header/back edge around the with-block body.
+        ``counter`` must not be clobbered by the body.
+        """
+        head = self.fresh_label("loop")
+        done = self.fresh_label("done")
+        self.li(counter, 0)
+        self.label(head)
+        # counter >= count -> exit
+        scratch = self._loop_bound_reg(counter)
+        self.li(scratch, count)
+        self.bge(counter, scratch, done)
+        yield
+        self.add(counter, counter, imm=1)
+        self.jmp(head)
+        self.label(done)
+
+    @contextlib.contextmanager
+    def loop_reg(self, counter: int, bound_reg: int) -> Iterator[None]:
+        """Counted loop with a register bound: ``for counter in range(bound)``."""
+        head = self.fresh_label("loop")
+        done = self.fresh_label("done")
+        self.li(counter, 0)
+        self.label(head)
+        self.bge(counter, bound_reg, done)
+        yield
+        self.add(counter, counter, imm=1)
+        self.jmp(head)
+        self.label(done)
+
+    def lcg_next(self, state_reg: int) -> None:
+        """Advance an in-register LCG: ``state = state * A + C (mod 2^64)``."""
+        self.mul(state_reg, state_reg, imm=LCG_MULTIPLIER)
+        self.add(state_reg, state_reg, imm=LCG_INCREMENT)
+
+    def lcg_offset(self, dest_reg: int, state_reg: int, region_words: int,
+                   *, advance: bool = True) -> None:
+        """Derive an 8-aligned word offset within a region from the LCG.
+
+        ``dest = ((state >> 17) % region_words) * 8``. Advances the LCG
+        first unless ``advance`` is False.
+        """
+        if advance:
+            self.lcg_next(state_reg)
+        self.shr(dest_reg, state_reg, imm=17)
+        self.mod(dest_reg, dest_reg, imm=region_words)
+        self.shl(dest_reg, dest_reg, imm=3)
+
+    # ------------------------------------------------------------------
+    def _loop_bound_reg(self, counter: int) -> int:
+        """Pick a scratch register for loop bounds that isn't the counter.
+
+        r15 is reserved by convention for builder scratch; if the counter
+        *is* r15, fall back to r14.
+        """
+        return 14 if counter == 15 else 15

@@ -1,0 +1,87 @@
+"""Disassembler: render programs and blocks as readable listings.
+
+Used by debugging examples and by race reports that want to show the
+instruction behind a uid. The format round-trips conceptually (one line
+per instruction, explicit operands) but is for humans — there is no
+corresponding parser.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.machine.isa import Instruction, Opcode
+from repro.machine.program import BasicBlock, Program
+
+
+def format_instruction(instr: Instruction) -> str:
+    """One-line rendering: ``uid: OP operands``."""
+    op = instr.op
+    parts = []
+    if op in (Opcode.LI,):
+        parts = [f"r{instr.rd}", f"#{instr.imm:#x}"]
+    elif op is Opcode.MOV:
+        parts = [f"r{instr.rd}", f"r{instr.rs1}"]
+    elif op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR,
+                Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.MOD):
+        rhs = f"r{instr.rs2}" if instr.rs2 is not None else f"#{instr.imm}"
+        parts = [f"r{instr.rd}", f"r{instr.rs1}", rhs]
+    elif op is Opcode.LOAD:
+        parts = [f"r{instr.rd}", _mem(instr)]
+    elif op is Opcode.STORE:
+        parts = [f"r{instr.rs1}", _mem(instr)]
+    elif op is Opcode.ATOMIC_ADD:
+        parts = [f"r{instr.rd}", f"r{instr.rs1}", _mem(instr)]
+    elif op in (Opcode.JMP, Opcode.CALL):
+        parts = [instr.label]
+    elif op in (Opcode.BZ, Opcode.BNZ):
+        parts = [f"r{instr.rs1}", instr.label]
+    elif op in (Opcode.BLT, Opcode.BGE):
+        parts = [f"r{instr.rs1}", f"r{instr.rs2}", instr.label]
+    elif op in (Opcode.LOCK, Opcode.UNLOCK):
+        parts = [f"r{instr.rs1}" if instr.rs1 is not None
+                 else f"#{instr.imm}"]
+    elif op is Opcode.BARRIER:
+        parts = [f"#{instr.imm}", f"parties=r{instr.rs1}"]
+    elif op is Opcode.SPAWN:
+        parts = [f"r{instr.rd}", instr.label, f"arg=r{instr.rs1}"]
+    elif op is Opcode.JOIN:
+        parts = [f"r{instr.rs1}"]
+    elif op is Opcode.WAIT:
+        parts = [f"cv#{instr.imm}", f"lock=r{instr.rs1}"]
+    elif op is Opcode.NOTIFY:
+        parts = [f"cv#{instr.imm}",
+                 "all" if instr.rs1 is not None else "one"]
+    elif op in (Opcode.SYSCALL, Opcode.HYPERCALL):
+        parts = [f"#{instr.imm}"]
+    uid = f"{instr.uid:4d}" if instr.uid >= 0 else "   ?"
+    return f"{uid}: {op.name:<10s} " + ", ".join(p for p in parts if p)
+
+
+def _mem(instr: Instruction) -> str:
+    mem = instr.mem
+    if mem.base is None:
+        return f"[{mem.disp:#x}]"
+    if mem.disp:
+        return f"[r{mem.base}+{mem.disp:#x}]"
+    return f"[r{mem.base}]"
+
+
+def disassemble_block(block: BasicBlock) -> Iterator[str]:
+    yield f"{block.label}:"
+    for instr in block.instructions:
+        yield "    " + format_instruction(instr)
+
+
+def disassemble(program: Program,
+                highlight_uids: Optional[set] = None) -> str:
+    """Full program listing; uids in ``highlight_uids`` get a ``*`` mark
+    (the sharing detector's instrumented set, typically)."""
+    lines = []
+    for block in program.blocks:
+        lines.append(f"{block.label}:")
+        for instr in block.instructions:
+            mark = "*" if highlight_uids and instr.uid in highlight_uids \
+                else " "
+            lines.append(f"  {mark} " + format_instruction(instr))
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Canonical guest address-space layout.
+
+The layout is deterministic so workload generators can compute static
+segment addresses at *build* time (the loader lays segments out with the
+same rule). All regions are disjoint by construction:
+
+========  ==================  =========================================
+base      region              owner
+========  ==================  =========================================
+0x1000_0000   static segments     loader (program DataSegments)
+0x2000_0000   heap (brk)          kernel
+0x4000_0000   mmap arena          kernel (grows upward)
+0x8000_0000   mirror arena        AikidoSD mirror manager
+0xF000_0000   Aikido fault pages  AikidoLib (fake-fault delivery, mailbox)
+========  ==================  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.machine.paging import PAGE_SIZE
+
+STATIC_BASE = 0x1000_0000
+HEAP_BASE = 0x2000_0000
+MMAP_BASE = 0x4000_0000
+MIRROR_BASE = 0x8000_0000
+AIKIDO_SPECIAL_BASE = 0xF000_0000
+
+#: Hard ceiling of the heap so a runaway brk cannot collide with mmap.
+HEAP_LIMIT = MMAP_BASE
+#: Hard ceiling of the mmap arena.
+MMAP_LIMIT = MIRROR_BASE
+
+
+def align_up(value: int, alignment: int = PAGE_SIZE) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def static_segment_bases(sizes: List[int]) -> List[int]:
+    """Assign page-aligned base addresses to static segments in order.
+
+    This single function is the layout contract shared by
+    :class:`~repro.machine.asm.ProgramBuilder` (which tells workload code
+    where its data will live) and the loader (which maps it there).
+    """
+    bases = []
+    cursor = STATIC_BASE
+    for size in sizes:
+        bases.append(cursor)
+        cursor += align_up(size)
+        # Guard page between segments: keeps an off-by-one-page bug in a
+        # workload from silently touching its neighbour.
+        cursor += PAGE_SIZE
+    return bases

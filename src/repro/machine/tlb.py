@@ -1,0 +1,64 @@
+"""A small per-thread TLB.
+
+The TLB caches (vpn -> pfn, flags) translations so the interpreter does not
+walk the page table on every access — and, more importantly for fidelity,
+so that *stale protection* is a real hazard: when AikidoVM downgrades a
+page's protection it must invalidate the affected TLB entries in every
+thread, exactly as the real hypervisor must execute INVLPG/flushes. Tests
+deliberately break this invariant to show the sharing detector would miss
+accesses without the flushes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+class TLB:
+    """A capacity-bounded FIFO translation cache.
+
+    Entries store the PTE permission bits so protection checks hit the TLB
+    too (as on real hardware, where a cached translation bypasses the page
+    walk entirely).
+    """
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
+        #: statistics for the cost model
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+        self.single_invalidations = 0
+
+    def lookup(self, vpn: int) -> Optional[Tuple[int, int]]:
+        """Return (pfn, flags) or None on miss."""
+        entry = self._entries.get(vpn)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def fill(self, vpn: int, pfn: int, flags: int) -> None:
+        """Insert a translation, evicting FIFO-oldest when full."""
+        if vpn not in self._entries and len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[vpn] = (pfn, flags)
+
+    def invalidate(self, vpn: int) -> None:
+        """Drop one page's translation (INVLPG)."""
+        if self._entries.pop(vpn, None) is not None:
+            self.single_invalidations += 1
+
+    def flush(self) -> None:
+        """Drop every translation (CR3 reload / full flush)."""
+        self._entries.clear()
+        self.flushes += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries

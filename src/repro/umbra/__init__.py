@@ -1,0 +1,17 @@
+"""Umbra-style shadow memory framework (paper §2.2).
+
+Umbra maps densely populated application memory regions to shadow regions
+through an offset table, accelerated by layered caches: an inlined
+memoization cache, thread-local caches consulted by a lean procedure, and
+a slow full-context-switch lookup. Aikido extends Umbra to map each
+application address to *two* shadow addresses: analysis metadata and the
+mirror page (§3.3.1).
+
+In this reproduction the translation layers are a faithful *cost* model
+(the expensive part of Umbra is exactly these lookups) while metadata
+itself lives in host dictionaries keyed by 8-byte block id.
+"""
+
+from repro.umbra.shadow import ShadowMemory, ShadowRegion
+
+__all__ = ["ShadowMemory", "ShadowRegion"]

@@ -1,0 +1,11 @@
+"""Synthetic workloads.
+
+:mod:`repro.workloads.micro` holds small targeted programs for tests and
+examples; the ten PARSEC-like benchmarks live in their own modules and are
+indexed by :mod:`repro.workloads.parsec`.
+"""
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.parsec import PARSEC_BENCHMARKS, build_benchmark
+
+__all__ = ["PARSEC_BENCHMARKS", "WorkloadSpec", "build_benchmark"]

@@ -1,0 +1,99 @@
+"""fluidanimate: SPH fluid simulation on a partitioned grid.
+
+Character: the paper's worst case for Aikido — heavy sharing (~48 % at 8
+threads) that *grows with thread count*, because the fluid grid is
+spatially partitioned and neighbouring partitions exchange halo cells:
+more threads means proportionally more boundary. Per-partition locks
+guard the boundary cells and a barrier separates timesteps. At 8 threads
+the paper measures Aikido-FastTrack slightly *slower* than plain
+FastTrack (184.3x vs 178.6x); at 2 and 4 threads Aikido still wins
+(Table 1).
+"""
+
+from __future__ import annotations
+
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SIZE
+from repro.machine.program import Program
+from repro.workloads.base import (
+    WORDS_PER_PAGE,
+    alu_pad,
+    every_n,
+    rotating_partition_base,
+    per_thread_iters,
+    scaled,
+    seed_lcg,
+    spawn_workers,
+    stride_accesses,
+)
+
+#: Total grid pages, divided evenly among threads: partitions shrink (and
+#: the boundary fraction grows) as the thread count rises.
+GRID_PAGES_TOTAL = 32
+CELL_LOCK_BASE = 20
+BARRIER_ID = 1
+#: Source/destination grids swapped each timestep (the real fluidanimate
+#: double-buffers its cell arrays).
+GRID_RING = 5
+
+
+def build(threads: int = 8, scale: float = 1.0) -> Program:
+    if GRID_PAGES_TOTAL % threads:
+        pages_per_thread = max(1, GRID_PAGES_TOTAL // threads)
+    else:
+        pages_per_thread = GRID_PAGES_TOTAL // threads
+    timesteps = scaled(22, scale)
+    cells_per_step = per_thread_iters(40, threads, scale)
+    b = ProgramBuilder("fluidanimate")
+    grid_base = b.segment(
+        "grid", GRID_RING * threads * pages_per_thread * PAGE_SIZE)
+    b.label("main")
+    spawn_workers(b, threads)
+    b.halt()
+
+    b.label("worker")
+    seed_lcg(b)
+    b.li(8, threads)                                        # barrier parties
+    # The boundary fraction of the work grows with the thread count (a
+    # fixed-size grid split into more partitions has more surface); with
+    # few threads the halo exchange runs only every few cells.
+    halo_mask = max(1, 8 // threads) - 1
+    interior_pages = max(1, pages_per_thread - 1)
+    with b.loop(counter=2, count=timesteps):
+        # Double-buffered grid: source/destination swap every timestep,
+        # continuously exposing fresh pages to the sharing detector.
+        rotating_partition_base(b, 6, grid_base, pages_per_thread,
+                                threads, GRID_RING, counter_reg=2, shift=0)
+        rotating_partition_base(b, 7, grid_base, pages_per_thread,
+                                threads, GRID_RING, counter_reg=2, shift=0,
+                                neighbor=True)
+        b.add(14, 6, imm=PAGE_SIZE)        # r14 = own interior base
+        b.mod(9, 1, imm=threads)
+        b.add(9, 9, imm=CELL_LOCK_BASE)    # r9 = my partition's lock id
+        b.add(5, 1, imm=1)
+        b.mod(5, 5, imm=threads)
+        b.add(5, 5, imm=CELL_LOCK_BASE)    # r5 = neighbour's lock id
+        with b.loop(counter=3, count=cells_per_step):
+            # Density/force updates across the thread's own cells —
+            # including its boundary page, so they run under its own
+            # lock (the same lock a neighbour's halo update takes:
+            # every boundary page is protected by its owner's lock).
+            b.lock(reg=9)
+            stride_accesses(b, 6, pages_per_thread * WORDS_PER_PAGE,
+                            "rwrw")
+            b.unlock(reg=9)
+            # Interior-only relaxation: these instructions never touch a
+            # shared page.
+            stride_accesses(b, 14, interior_pages * WORDS_PER_PAGE,
+                            "rrwr")
+            alu_pad(b, 2, reg=12)
+            # Halo exchange into the neighbour's boundary page, under
+            # that partition's lock.
+            with every_n(b, counter_reg=3, mask=halo_mask):
+                b.lock(reg=5)
+                stride_accesses(b, 7, WORDS_PER_PAGE, "rwrwrw")
+                b.unlock(reg=5)
+        # Timestep barrier.
+        b.barrier(BARRIER_ID, parties_reg=8)
+    b.halt()
+    return b.build()

@@ -1,0 +1,301 @@
+"""Small targeted programs for tests and examples.
+
+Each builder returns ``(program, info)`` where ``info`` maps names to the
+addresses/parameters assertions need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SIZE
+from repro.machine.program import Program
+
+
+def racy_counter(n_threads: int = 2, iters: int = 20
+                 ) -> Tuple[Program, Dict]:
+    """Threads increment a shared counter with NO lock: write-write races."""
+    b = ProgramBuilder("racy-counter")
+    data = b.segment("counter", 64)
+    b.label("main")
+    b.li(4, data)
+    b.li(5, 1)
+    b.store(5, base=4, disp=8)     # main touches the page first
+    b.li(3, 0)
+    for i in range(n_threads):
+        b.spawn(6 + i, "worker", arg_reg=3)
+    for i in range(n_threads):
+        b.join(6 + i)
+    b.halt()
+    b.label("worker")
+    b.li(4, data)
+    with b.loop(counter=2, count=iters):
+        b.load(5, base=4, disp=0)
+        b.add(5, 5, imm=1)
+        b.store(5, base=4, disp=0)
+    b.halt()
+    return b.build(), {"counter": data, "iters": iters,
+                       "threads": n_threads}
+
+
+def locked_counter(n_threads: int = 2, iters: int = 20
+                   ) -> Tuple[Program, Dict]:
+    """Same increments but lock-protected: race free."""
+    b = ProgramBuilder("locked-counter")
+    data = b.segment("counter", 64)
+    b.label("main")
+    b.li(3, 0)
+    for i in range(n_threads):
+        b.spawn(6 + i, "worker", arg_reg=3)
+    for i in range(n_threads):
+        b.join(6 + i)
+    b.halt()
+    b.label("worker")
+    b.li(4, data)
+    with b.loop(counter=2, count=iters):
+        b.lock(lock_id=1)
+        b.load(5, base=4, disp=0)
+        b.add(5, 5, imm=1)
+        b.store(5, base=4, disp=0)
+        b.unlock(lock_id=1)
+    b.halt()
+    return b.build(), {"counter": data, "iters": iters,
+                       "threads": n_threads}
+
+
+def private_work(n_threads: int = 2, iters: int = 30
+                 ) -> Tuple[Program, Dict]:
+    """Each thread works on its own page: no sharing at all."""
+    b = ProgramBuilder("private-work")
+    # One page-aligned slab per thread, plus one for main.
+    data = b.segment("slabs", PAGE_SIZE * (n_threads + 1))
+    b.label("main")
+    b.li(3, 0)
+    for i in range(n_threads):
+        b.li(3, data + PAGE_SIZE * (i + 1))
+        b.spawn(6 + i, "worker", arg_reg=3)
+    for i in range(n_threads):
+        b.join(6 + i)
+    b.halt()
+    b.label("worker")
+    b.mov(4, 1)                     # r1 = slab base (spawn arg)
+    with b.loop(counter=2, count=iters):
+        b.load(5, base=4, disp=0)
+        b.add(5, 5, imm=1)
+        b.store(5, base=4, disp=0)
+    b.halt()
+    return b.build(), {"slabs": data, "iters": iters,
+                       "threads": n_threads}
+
+
+def racy_flag() -> Tuple[Program, Dict]:
+    """Main sets a flag; the child spins reading it: write-read race."""
+    b = ProgramBuilder("racy-flag")
+    data = b.segment("flag", 64)
+    b.label("main")
+    b.li(3, 0)
+    b.spawn(6, "reader", arg_reg=3)
+    b.li(4, data)
+    b.li(5, 1)
+    b.store(5, base=4, disp=0)     # unsynchronized publish
+    b.join(6)
+    b.halt()
+    b.label("reader")
+    b.li(4, data)
+    with b.loop(counter=2, count=10):
+        b.load(5, base=4, disp=0)  # unsynchronized read
+    b.halt()
+    return b.build(), {"flag": data}
+
+
+def fork_join_pipeline(stages: int = 3) -> Tuple[Program, Dict]:
+    """Strictly fork/join-ordered handoff through shared memory: race free."""
+    b = ProgramBuilder("fork-join-pipeline")
+    data = b.segment("cell", 64)
+    b.label("main")
+    b.li(4, data)
+    b.li(5, 1)
+    b.store(5, base=4, disp=0)
+    b.li(3, 0)
+    for i in range(stages):
+        b.spawn(6, "stage", arg_reg=3)
+        b.join(6)                    # full order between stages
+    b.load(7, base=4, disp=0)
+    b.store(7, base=4, disp=8)
+    b.halt()
+    b.label("stage")
+    b.li(4, data)
+    b.load(5, base=4, disp=0)
+    b.mul(5, 5, imm=2)
+    b.store(5, base=4, disp=0)
+    b.halt()
+    return b.build(), {"cell": data, "stages": stages}
+
+
+def first_touch_race() -> Tuple[Program, Dict]:
+    """The paper's §6 false-negative scenario.
+
+    Each thread makes exactly one access to the shared page and both are
+    the *first* accesses from their threads: main's unsynchronized write
+    is consumed by the private->shared transition and never observed by
+    an Aikido-accelerated tool, while a full-instrumentation tool reports
+    the write-read race.
+    """
+    b = ProgramBuilder("first-touch-race")
+    data = b.segment("cell", 64)
+    b.label("main")
+    b.li(3, 0)
+    b.spawn(6, "reader", arg_reg=3)
+    b.li(4, data)
+    b.li(5, 42)
+    b.store(5, base=4, disp=0)     # main's ONLY access to the page
+    b.join(6)
+    b.halt()
+    b.label("reader")
+    b.li(4, data)
+    b.load(5, base=4, disp=0)      # reader's ONLY access to the page
+    b.halt()
+    return b.build(), {"cell": data}
+
+
+def barrier_phases(n_threads: int = 2, phases: int = 3
+                   ) -> Tuple[Program, Dict]:
+    """Barrier-separated phases over a shared array: race free."""
+    b = ProgramBuilder("barrier-phases")
+    data = b.segment("array", 64 * max(1, n_threads))
+    b.label("main")
+    b.li(3, 0)
+    for i in range(n_threads):
+        b.li(3, i)
+        b.spawn(6 + i, "worker", arg_reg=3)
+    for i in range(n_threads):
+        b.join(6 + i)
+    b.halt()
+    b.label("worker")
+    # r1 = thread index; my slot = data + idx*8
+    b.li(4, data)
+    b.shl(5, 1, imm=3)
+    b.add(4, 4, 5)
+    b.li(8, n_threads)
+    with b.loop(counter=2, count=phases):
+        b.load(5, base=4, disp=0)
+        b.add(5, 5, imm=1)
+        b.store(5, base=4, disp=0)
+        b.barrier(1, parties_reg=8)
+    b.halt()
+    return b.build(), {"array": data, "threads": n_threads,
+                       "phases": phases}
+
+
+def mersenne_twister_canneal(n_threads: int = 2, draws: int = 15
+                             ) -> Tuple[Program, Dict]:
+    """The canneal benign race (paper §5.3): a shared Mersenne-Twister-like
+    RNG whose state is advanced by multiple threads without locking.
+
+    The "twist" is abstracted to an LCG step on a shared state word; the
+    racy pattern (read state / transform / write state from many threads)
+    is exactly what the paper found in canneal's random number generator.
+    """
+    b = ProgramBuilder("mt-canneal")
+    data = b.segment("rng", 64, initial={0: 0x1234})
+    b.label("main")
+    b.li(3, 0)
+    for i in range(n_threads):
+        b.spawn(6 + i, "annealer", arg_reg=3)
+    for i in range(n_threads):
+        b.join(6 + i)
+    b.halt()
+    b.label("annealer")
+    b.li(4, data)
+    with b.loop(counter=2, count=draws):
+        b.load(5, base=4, disp=0)       # racy read of RNG state
+        b.mul(5, 5, imm=6364136223846793005)
+        b.add(5, 5, imm=1442695040888963407)
+        b.store(5, base=4, disp=0)      # racy write back
+    b.halt()
+    return b.build(), {"rng": data, "threads": n_threads, "draws": draws}
+
+
+def producer_consumer(items=5, consumers=1):
+    """Classic bounded-buffer handshake over one cell.
+
+    The producer deposits ``items`` values; a consumer waits for the
+    cell to be full, consumes, and notifies. Everything is protected by
+    lock 1 and coordinated by condition variables 10 (full) and 11
+    (empty).
+    """
+    b = ProgramBuilder("prod-cons")
+    data = b.segment("cell", 64)   # +0: full flag, +8: value, +16: sum
+    b.label("main")
+    b.li(3, 0)
+    tids = []
+    for i in range(consumers):
+        # r13/r14 hold child tids (r5-r8 are clobbered by the loop body).
+        b.spawn(13 + i, "consumer", arg_reg=3)
+        tids.append(13 + i)
+    b.li(4, data)
+    with b.loop(counter=2, count=items):
+        b.lock(lock_id=1)
+        # wait until cell is empty
+        loop_head = b.fresh_label("notfull")
+        b.label(loop_head)
+        b.load(6, base=4, disp=0)
+        done = b.fresh_label("empty")
+        b.bz(6, done)
+        b.wait(10, lock_id=1)          # wait for "cell emptied"
+        b.jmp(loop_head)
+        b.label(done)
+        b.add(7, 2, imm=100)           # value = 100 + i
+        b.store(7, base=4, disp=8)
+        b.li(6, 1)
+        b.store(6, base=4, disp=0)     # full = 1
+        b.notify(11)                   # wake a consumer
+        b.unlock(lock_id=1)
+    # Signal termination: value 0 with full=1, once per consumer.
+    for _ in range(consumers):
+        b.lock(lock_id=1)
+        poison_head = b.fresh_label("poison")
+        b.label(poison_head)
+        b.load(6, base=4, disp=0)
+        poison_ok = b.fresh_label("pok")
+        b.bz(6, poison_ok)
+        b.wait(10, lock_id=1)
+        b.jmp(poison_head)
+        b.label(poison_ok)
+        b.li(7, 0)
+        b.store(7, base=4, disp=8)
+        b.li(6, 1)
+        b.store(6, base=4, disp=0)
+        b.notify(11)
+        b.unlock(lock_id=1)
+    for tid_reg in tids:
+        b.join(tid_reg)
+    b.halt()
+
+    b.label("consumer")
+    b.li(4, data)
+    b.label("consume_loop")
+    b.lock(lock_id=1)
+    wait_head = b.fresh_label("notempty")
+    b.label(wait_head)
+    b.load(6, base=4, disp=0)
+    have = b.fresh_label("have")
+    b.bnz(6, have)
+    b.wait(11, lock_id=1)              # wait for "cell filled"
+    b.jmp(wait_head)
+    b.label(have)
+    b.load(7, base=4, disp=8)          # value
+    b.li(6, 0)
+    b.store(6, base=4, disp=0)         # full = 0
+    b.notify(10)                       # wake the producer
+    b.bz(7, "consumer_done_locked")
+    b.load(8, base=4, disp=16)
+    b.add(8, 8, 7)
+    b.store(8, base=4, disp=16)        # sum += value
+    b.unlock(lock_id=1)
+    b.jmp("consume_loop")
+    b.label("consumer_done_locked")
+    b.unlock(lock_id=1)
+    b.halt()
+    return b.build(), data, items

@@ -1,0 +1,106 @@
+"""Registry of the ten PARSEC 2.1 benchmarks the paper evaluates.
+
+``PARSEC_BENCHMARKS`` preserves the paper's presentation order (Figure 5
+left-to-right). Each :class:`~repro.workloads.base.WorkloadSpec` carries
+the paper's published ratios so the harness can print measured-vs-paper
+columns:
+
+* ``shared_fraction`` = Table 2 col 3 / col 1 (what Figure 6 plots);
+* ``instrumented_fraction`` = Table 2 col 2 / col 1;
+* the Figure 5 slowdowns are read off the published bar chart (FastTrack
+  / Aikido-FastTrack at 8 threads) and are approximate by nature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.machine.program import Program
+from repro.workloads import (
+    blackscholes,
+    bodytrack,
+    canneal,
+    fluidanimate,
+    freqmine,
+    raytrace,
+    streamcluster,
+    swaptions,
+    vips,
+    x264,
+)
+from repro.workloads.base import PaperRow, WorkloadSpec
+
+PARSEC_BENCHMARKS: List[WorkloadSpec] = [
+    WorkloadSpec(
+        "freqmine", freqmine.build,
+        "FP-growth frequent itemset mining over one global locked FP-tree",
+        PaperRow(shared_fraction=0.5575, instrumented_fraction=0.6356,
+                 ft_slowdown_8t=88.0, aikido_slowdown_8t=78.0)),
+    WorkloadSpec(
+        "blackscholes", blackscholes.build,
+        "embarrassingly parallel option pricing over a read-shared input",
+        PaperRow(shared_fraction=0.0693, instrumented_fraction=0.0698,
+                 ft_slowdown_8t=75.0, aikido_slowdown_8t=20.0)),
+    WorkloadSpec(
+        "bodytrack", bodytrack.build,
+        "particle-filter tracking with a locked task queue",
+        PaperRow(shared_fraction=0.2004, instrumented_fraction=0.2170,
+                 ft_slowdown_8t=55.0, aikido_slowdown_8t=37.0)),
+    WorkloadSpec(
+        "raytrace", raytrace.build,
+        "ray tracing: vast private tiles, almost no sharing",
+        PaperRow(shared_fraction=0.0011, instrumented_fraction=0.0013,
+                 ft_slowdown_8t=60.0, aikido_slowdown_8t=10.0)),
+    WorkloadSpec(
+        "swaptions", swaptions.build,
+        "Monte-Carlo swaption pricing over a read-shared term structure",
+        PaperRow(shared_fraction=0.1189, instrumented_fraction=0.1667,
+                 ft_slowdown_8t=95.0, aikido_slowdown_8t=35.0)),
+    WorkloadSpec(
+        "fluidanimate", fluidanimate.build,
+        "SPH fluid: partitioned grid, halo locks, per-step barriers",
+        PaperRow(shared_fraction=0.4813, instrumented_fraction=0.6405,
+                 ft_slowdown_8t=178.6, aikido_slowdown_8t=184.3)),
+    WorkloadSpec(
+        "vips", vips.build,
+        "image pipeline: stage boundaries shared, work-queue lock",
+        PaperRow(shared_fraction=0.2217, instrumented_fraction=0.2431,
+                 ft_slowdown_8t=67.2, aikido_slowdown_8t=66.4)),
+    WorkloadSpec(
+        "x264", x264.build,
+        "H.264: pipeline over reference frames, progress locks",
+        PaperRow(shared_fraction=0.2933, instrumented_fraction=0.3419,
+                 ft_slowdown_8t=45.0, aikido_slowdown_8t=36.0)),
+    WorkloadSpec(
+        "canneal", canneal.build,
+        "simulated annealing: atomic element swaps + racy shared RNG",
+        PaperRow(shared_fraction=0.1216, instrumented_fraction=0.1233,
+                 ft_slowdown_8t=40.0, aikido_slowdown_8t=30.0)),
+    WorkloadSpec(
+        "streamcluster", streamcluster.build,
+        "online clustering: read-shared scans, locked centers, barriers",
+        PaperRow(shared_fraction=0.3713, instrumented_fraction=0.3785,
+                 ft_slowdown_8t=150.0, aikido_slowdown_8t=140.0)),
+]
+
+_BY_NAME: Dict[str, WorkloadSpec] = {s.name: s for s in PARSEC_BENCHMARKS}
+
+
+def benchmark_names() -> List[str]:
+    return [s.name for s in PARSEC_BENCHMARKS]
+
+
+def get_benchmark(name: str) -> WorkloadSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; known: {benchmark_names()}"
+        ) from None
+
+
+def build_benchmark(name: str, threads: int = 8,
+                    scale: float = 1.0) -> Program:
+    """Build one benchmark's program by name."""
+    return get_benchmark(name).build(threads=threads, scale=scale)

@@ -1,0 +1,81 @@
+"""streamcluster: online k-median clustering.
+
+Character: all threads repeatedly scan the same shared point block
+(read-shared pages), update shared cluster centers under a lock, and
+synchronize with barriers between passes — high sharing (~37 % in the
+paper) dominated by the read-shared scans.
+"""
+
+from __future__ import annotations
+
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SIZE
+from repro.machine.program import Program
+from repro.workloads.base import (
+    WORDS_PER_PAGE,
+    alu_pad,
+    every_n,
+    partition_base,
+    per_thread_iters,
+    scaled,
+    seed_lcg,
+    spawn_workers,
+    stride_accesses,
+)
+
+POINTS_PAGES = 8
+CENTERS_PAGES = 1
+LOCAL_PAGES_PER_THREAD = 2
+CENTER_LOCK = 3
+BARRIER_ID = 2
+#: Streaming input: each pass processes a fresh chunk of points, so new
+#: read-shared pages appear throughout the run.
+CHUNK_RING = 9
+
+
+def build(threads: int = 8, scale: float = 1.0) -> Program:
+    passes = scaled(18, scale)
+    points_per_pass = per_thread_iters(48, threads, scale)
+    b = ProgramBuilder("streamcluster")
+    points_base = b.segment("points",
+                            CHUNK_RING * POINTS_PAGES * PAGE_SIZE)
+    centers_base = b.segment("centers", CENTERS_PAGES * PAGE_SIZE)
+    local_base = b.segment(
+        "local-costs", threads * LOCAL_PAGES_PER_THREAD * PAGE_SIZE)
+    b.label("main")
+    b.li(4, centers_base)
+    b.li(5, 5)
+    b.store(5, base=4, disp=0)
+    spawn_workers(b, threads)
+    b.halt()
+
+    b.label("worker")
+    seed_lcg(b)
+    b.li(7, centers_base)
+    partition_base(b, 6, local_base, LOCAL_PAGES_PER_THREAD)
+    b.li(8, threads)
+    with b.loop(counter=2, count=passes):
+        # This pass's chunk of streamed points.
+        b.mod(4, 2, imm=CHUNK_RING)
+        b.mul(4, 4, imm=POINTS_PAGES * PAGE_SIZE)
+        b.add(4, 4, imm=points_base)
+        with b.loop(counter=3, count=points_per_pass):
+            # Distance evaluation: shared point scan, plus a direct
+            # (absolute-address) read of the shared center count — the
+            # instruction AikidoSD rewrites by patching its displacement.
+            b.load(12, disp=centers_base + 8)
+            stride_accesses(b, 4, POINTS_PAGES * WORDS_PER_PAGE, "rrr")
+            alu_pad(b, 3)
+            # Private cost accumulation.
+            stride_accesses(b, 6, LOCAL_PAGES_PER_THREAD * WORDS_PER_PAGE,
+                            "rwrwrw")
+            # Occasionally open a new center (shared, lock-protected).
+            with every_n(b, counter_reg=3, mask=0x3):
+                b.lock(lock_id=CENTER_LOCK)
+                b.load(12, base=7, disp=0)
+                b.add(12, 12, imm=1)
+                b.store(12, base=7, disp=0)
+                b.unlock(lock_id=CENTER_LOCK)
+        b.barrier(BARRIER_ID, parties_reg=8)
+    b.halt()
+    return b.build()

@@ -1,0 +1,103 @@
+"""Direct tests for the AikidoFastTrack adapter (§6 page clocks etc.)."""
+
+import pytest
+
+from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
+from repro.events import AcquireEvent, BarrierEvent, ReleaseEvent
+from repro.guestos.kernel import Kernel
+from repro.workloads import micro
+
+
+@pytest.fixture
+def adapter():
+    kernel = Kernel(jitter=0.0)
+    kernel.create_process(micro.private_work(1, 1)[0])
+    return AikidoFastTrack(kernel)
+
+
+class FakeThread:
+    def __init__(self, tid):
+        self.tid = tid
+
+
+class FakeInstr:
+    uid = 7
+    is_write = True
+
+
+class TestPageClockWorkaround:
+    def test_first_touch_snapshot_then_shared_join(self, adapter):
+        owner, sharer = FakeThread(1), FakeThread(2)
+        detector = adapter.detector
+        # Owner does some work, then first-touches the page.
+        detector.on_acquire(1, 5)
+        detector.on_release(1, 5)
+        owner_clock = detector.meta.thread(1).vc.get(1)
+        adapter.on_page_first_touch(0x40, owner)
+        # The snapshot is taken and the owner's clock advances.
+        assert detector.meta.thread(1).vc.get(1) == owner_clock + 1
+        # Sharer joins the snapshot on the share transition.
+        adapter.on_page_shared(0x40, sharer)
+        assert detector.meta.thread(2).vc.get(1) >= owner_clock
+
+    def test_share_without_recorded_touch_is_noop(self, adapter):
+        before = adapter.detector.meta.thread(2).vc.copy()
+        adapter.on_page_shared(0x99, FakeThread(2))
+        assert adapter.detector.meta.thread(2).vc == before
+
+    def test_page_clock_consumed_once(self, adapter):
+        adapter.on_page_first_touch(0x40, FakeThread(1))
+        adapter.on_page_shared(0x40, FakeThread(2))
+        assert 0x40 not in adapter._page_clocks
+
+    def test_ordering_suppresses_the_first_touch_race(self, adapter):
+        owner, sharer = FakeThread(1), FakeThread(2)
+        # Owner writes the page (unobserved by Aikido), page recorded.
+        adapter.on_page_first_touch(0x40, owner)
+        # With the workaround, the sharer's read is ordered after the
+        # owner's phase, so a subsequent owner-visible write by the
+        # sharer does not race with anything the owner does *before*
+        # the touch... exercised end-to-end in test_equivalence; here we
+        # check the clock algebra directly:
+        adapter.on_page_shared(0x40, sharer)
+        owner_state = adapter.detector.meta.thread(1)
+        sharer_state = adapter.detector.meta.thread(2)
+        # Everything owner did before first_touch ⊑ sharer now.
+        assert sharer_state.vc.get(1) >= owner_state.vc.get(1) - 1
+
+
+class TestEventDispatch:
+    def test_sync_events_reach_detector(self, adapter):
+        adapter.on_sync_event(AcquireEvent(1, 5))
+        adapter.on_sync_event(ReleaseEvent(1, 5))
+        adapter.on_sync_event(BarrierEvent(1, 0, (1, 2)))
+        assert adapter.detector.sync_ops == 3
+
+    def test_shared_access_reaches_detector(self, adapter):
+        adapter.on_shared_access(FakeThread(1), FakeInstr(), 0x100, True)
+        assert adapter.detector.writes == 1
+
+    def test_races_property_delegates(self, adapter):
+        adapter.on_shared_access(FakeThread(1), FakeInstr(), 0x100, True)
+        adapter.on_shared_access(FakeThread(2), FakeInstr(), 0x100, True)
+        assert adapter.races is adapter.detector.races
+        assert len(adapter.races) == 1
+
+
+class TestToolBaseDefaults:
+    def test_tool_defaults_are_noops(self):
+        from repro.dbr.tool import Tool
+        tool = Tool()
+        tool.instrument_block(None)
+        tool.on_sync_event(None)
+        tool.on_run_end()
+        assert tool.engine is None
+
+    def test_shared_data_analysis_defaults_are_noops(self):
+        from repro.core.analysis import SharedDataAnalysis
+        analysis = SharedDataAnalysis()
+        analysis.on_shared_access(None, None, 0, False)
+        analysis.on_sync_event(None)
+        analysis.on_page_first_touch(0, None)
+        analysis.on_page_shared(0, None)
+        analysis.on_run_end()

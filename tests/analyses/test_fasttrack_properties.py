@@ -1,0 +1,176 @@
+"""Property-based tests of FastTrack against a reference detector.
+
+The oracle is a naive exact happens-before checker that keeps a full
+vector-clock snapshot for *every* access and compares all conflicting
+pairs (O(n^2), fine for generated traces). FastTrack's guarantee (its
+paper's Theorem 1, relied on by Aikido §4.1): on any trace, FastTrack
+reports a race on a variable **iff** the variable has two conflicting,
+happens-before-unordered accesses — no false positives, and the first
+race per variable is never missed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analyses.fasttrack.detector import FastTrackDetector
+from repro.analyses.fasttrack.vectorclock import VectorClock
+
+N_THREADS = 3
+N_VARS = 3
+N_LOCKS = 2
+
+# A trace event is one of:
+#   ("access", tid, var, is_write)
+#   ("acquire", tid, lock) / ("release", tid, lock)
+#   ("fork", parent, child) / ("join", parent, child)
+event_strategy = st.one_of(
+    st.tuples(st.just("access"), st.integers(1, N_THREADS),
+              st.integers(0, N_VARS - 1), st.booleans()),
+    st.tuples(st.just("acquire"), st.integers(1, N_THREADS),
+              st.integers(0, N_LOCKS - 1)),
+    st.tuples(st.just("release"), st.integers(1, N_THREADS),
+              st.integers(0, N_LOCKS - 1)),
+)
+trace_strategy = st.lists(event_strategy, max_size=40)
+
+
+def sanitize(trace):
+    """Make lock usage well-formed (no double acquire, no free release)."""
+    held = {}
+    out = []
+    for event in trace:
+        if event[0] == "acquire":
+            _, tid, lock = event
+            if held.get(lock) is None:
+                held[lock] = tid
+                out.append(event)
+        elif event[0] == "release":
+            _, tid, lock = event
+            if held.get(lock) == tid:
+                held[lock] = None
+                out.append(event)
+        else:
+            out.append(event)
+    return out
+
+
+class ReferenceDetector:
+    """Exact happens-before race detection via full VC snapshots."""
+
+    def __init__(self):
+        self.thread_vcs = {}
+        self.lock_vcs = {}
+        self.accesses = {}   # var -> list of (tid, is_write, vc snapshot)
+
+    def vc(self, tid):
+        vc = self.thread_vcs.get(tid)
+        if vc is None:
+            vc = self.thread_vcs[tid] = VectorClock({tid: 1})
+        return vc
+
+    def run(self, trace):
+        racy_vars = set()
+        for event in trace:
+            kind = event[0]
+            if kind == "access":
+                _, tid, var, is_write = event
+                snapshot = self.vc(tid).copy()
+                for other_tid, other_write, other_vc in \
+                        self.accesses.setdefault(var, []):
+                    if other_tid == tid:
+                        continue
+                    if not (is_write or other_write):
+                        continue
+                    # Unordered iff neither snapshot ⊑ the other.
+                    if not other_vc.leq(snapshot) \
+                            and not snapshot.leq(other_vc):
+                        racy_vars.add(var)
+                self.accesses[var].append((tid, is_write, snapshot))
+            elif kind == "acquire":
+                _, tid, lock = event
+                self.vc(tid).join(self.lock_vcs.get(lock, VectorClock()))
+            elif kind == "release":
+                _, tid, lock = event
+                self.lock_vcs[lock] = self.vc(tid).copy()
+                self.vc(tid).increment(tid)
+        return racy_vars
+
+
+def run_fasttrack_on(trace):
+    detector = FastTrackDetector()
+    for event in trace:
+        kind = event[0]
+        if kind == "access":
+            _, tid, var, is_write = event
+            detector.on_access(tid, var * 8, is_write)
+        elif kind == "acquire":
+            detector.on_acquire(event[1], event[2])
+        elif kind == "release":
+            detector.on_release(event[1], event[2])
+    return {r.block for r in detector.races}
+
+
+@settings(max_examples=300, deadline=None)
+@given(trace_strategy)
+def test_fasttrack_matches_exact_happens_before(trace):
+    """FastTrack reports on a variable iff the exact checker finds a race."""
+    trace = sanitize(trace)
+    expected = ReferenceDetector().run(trace)
+    reported = run_fasttrack_on(trace)
+    assert reported == expected, trace
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, N_VARS - 1), st.booleans()),
+                max_size=30))
+def test_single_thread_never_races(accesses):
+    detector = FastTrackDetector()
+    for var, is_write in accesses:
+        detector.on_access(1, var * 8, is_write)
+    assert not detector.races
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, N_THREADS),
+                          st.integers(0, N_VARS - 1), st.booleans()),
+                max_size=25))
+def test_global_lock_discipline_never_races(accesses):
+    """Every access wrapped in the same lock: provably race-free."""
+    detector = FastTrackDetector()
+    for tid, var, is_write in accesses:
+        detector.on_acquire(tid, 0)
+        detector.on_access(tid, var * 8, is_write)
+        detector.on_release(tid, 0)
+    assert not detector.races
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, N_THREADS),
+                          st.integers(0, N_VARS - 1), st.booleans()),
+                max_size=25))
+def test_barrier_between_all_accesses_never_races(accesses):
+    detector = FastTrackDetector()
+    tids = tuple(range(1, N_THREADS + 1))
+    for tid, var, is_write in accesses:
+        detector.on_access(tid, var * 8, is_write)
+        detector.on_barrier(tids)
+    assert not detector.races
+
+
+@settings(max_examples=100, deadline=None)
+@given(trace_strategy)
+def test_extra_synchronization_only_removes_races(trace):
+    """Adding a global-lock wrap around every access can only shrink the
+    set of racy variables (monotonicity of happens-before)."""
+    trace = sanitize(trace)
+    base = run_fasttrack_on(trace)
+    wrapped = []
+    for event in trace:
+        if event[0] == "access":
+            wrapped.append(("acquire", event[1], N_LOCKS))
+            wrapped.append(event)
+            wrapped.append(("release", event[1], N_LOCKS))
+        else:
+            wrapped.append(event)
+    assert run_fasttrack_on(wrapped) <= base

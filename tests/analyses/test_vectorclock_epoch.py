@@ -1,0 +1,107 @@
+"""Unit and property tests for vector clocks and epochs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analyses.fasttrack.epoch import (
+    EPOCH_NONE,
+    epoch_clock,
+    epoch_leq_vc,
+    epoch_tid,
+    format_epoch,
+    make_epoch,
+)
+from repro.analyses.fasttrack.vectorclock import VectorClock
+
+clock_dicts = st.dictionaries(st.integers(1, 16), st.integers(0, 1000),
+                              max_size=8)
+
+
+class TestVectorClock:
+    def test_default_zero(self):
+        vc = VectorClock()
+        assert vc.get(5) == 0
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({1: 2, 3: 7})
+        a.join(b)
+        assert a.get(1) == 3 and a.get(2) == 1 and a.get(3) == 7
+
+    def test_leq(self):
+        a = VectorClock({1: 1, 2: 2})
+        b = VectorClock({1: 2, 2: 2})
+        assert a.leq(b)
+        assert not b.leq(a)
+
+    def test_incomparable(self):
+        a = VectorClock({1: 2, 2: 1})
+        b = VectorClock({1: 1, 2: 2})
+        assert not a.leq(b) and not b.leq(a)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({1: 1})
+        b = a.copy()
+        b.increment(1)
+        assert a.get(1) == 1 and b.get(1) == 2
+
+    def test_eq_modulo_zeros(self):
+        assert VectorClock({1: 1, 2: 0}) == VectorClock({1: 1})
+
+    @given(clock_dicts, clock_dicts)
+    def test_join_upper_bound_property(self, da, db):
+        a, b = VectorClock(da), VectorClock(db)
+        joined = a.copy()
+        joined.join(b)
+        assert a.leq(joined) and b.leq(joined)
+
+    @given(clock_dicts, clock_dicts, clock_dicts)
+    def test_leq_transitive_property(self, da, db, dc):
+        a, b, c = VectorClock(da), VectorClock(db), VectorClock(dc)
+        if a.leq(b) and b.leq(c):
+            assert a.leq(c)
+
+    @given(clock_dicts)
+    def test_leq_reflexive_property(self, d):
+        vc = VectorClock(d)
+        assert vc.leq(vc)
+
+    @given(clock_dicts, clock_dicts)
+    def test_join_idempotent_property(self, da, db):
+        a, b = VectorClock(da), VectorClock(db)
+        once = a.copy()
+        once.join(b)
+        twice = once.copy()
+        twice.join(b)
+        assert once == twice
+
+
+class TestEpoch:
+    def test_roundtrip(self):
+        e = make_epoch(5, 100)
+        assert epoch_tid(e) == 5
+        assert epoch_clock(e) == 100
+
+    @given(st.integers(1, 255), st.integers(0, 10**9))
+    def test_roundtrip_property(self, tid, clock):
+        e = make_epoch(tid, clock)
+        assert epoch_tid(e) == tid and epoch_clock(e) == clock
+
+    def test_tid_zero_rejected(self):
+        with pytest.raises(ValueError):
+            make_epoch(0, 1)
+        with pytest.raises(ValueError):
+            make_epoch(256, 1)
+
+    def test_epoch_none_leq_everything(self):
+        assert epoch_leq_vc(EPOCH_NONE, VectorClock())
+
+    def test_leq_vc(self):
+        vc = VectorClock({3: 10})
+        assert epoch_leq_vc(make_epoch(3, 10), vc)
+        assert not epoch_leq_vc(make_epoch(3, 11), vc)
+        assert not epoch_leq_vc(make_epoch(4, 1), vc)
+
+    def test_format(self):
+        assert format_epoch(EPOCH_NONE) == "⊥"
+        assert format_epoch(make_epoch(2, 7)) == "7@t2"

@@ -1,0 +1,22 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.guestos.kernel import Kernel
+from repro.machine.asm import ProgramBuilder
+
+
+@pytest.fixture
+def builder() -> ProgramBuilder:
+    return ProgramBuilder("test")
+
+
+def run_native(program, *, seed: int = 0, quantum: int = 50,
+               jitter: float = 0.0) -> Kernel:
+    """Run a program bare-metal to completion and return the kernel."""
+    kernel = Kernel(seed=seed, quantum=quantum, jitter=jitter)
+    kernel.create_process(program)
+    kernel.run()
+    return kernel

@@ -1,0 +1,100 @@
+"""Configuration-matrix integration tests.
+
+Every sane combination of the Aikido toggles must preserve two
+invariants on the same workloads:
+
+1. **Transparency**: the program computes the same final memory state as
+   a native run (mirror redirection, protection faults, re-JIT — none of
+   it may change program semantics).
+2. **Soundness envelope**: the races reported are a subset of full
+   FastTrack's (configurations differ in *which* accesses they observe,
+   never in inventing accesses).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.config import AikidoConfig
+from repro.guestos.kernel import Kernel
+from repro.harness.runner import run_aikido_fasttrack, run_fasttrack
+from repro.workloads import micro
+
+MIRROR = (True, False)
+ORDERING = (True, False)
+CTX_MODE = ("hypercall", "gs_trap")
+
+MATRIX = list(itertools.product(MIRROR, ORDERING, CTX_MODE))
+
+
+def config_id(params):
+    mirror, ordering, ctx = params
+    return (f"mirror={'y' if mirror else 'n'}-"
+            f"order={'y' if ordering else 'n'}-{ctx}")
+
+
+@pytest.mark.parametrize("params", MATRIX, ids=config_id)
+class TestConfigMatrix:
+    def _config(self, params):
+        mirror, ordering, ctx = params
+        return AikidoConfig(mirror_pages=mirror,
+                            order_first_accesses=ordering,
+                            ctx_switch_mode=ctx)
+
+    def test_locked_counter_transparent_and_clean(self, params):
+        program, info = micro.locked_counter(3, 12)
+        result = run_aikido_fasttrack(program, seed=4, quantum=9,
+                                      config=self._config(params))
+        assert not result.races
+        # Verify the final value through a fresh native run.
+        program2, info2 = micro.locked_counter(3, 12)
+        kernel = Kernel(seed=4, quantum=9, jitter=0.1)
+        process = kernel.create_process(program2)
+        kernel.run()
+        assert process.vm.read_word(info2["counter"]) == 36
+
+    def test_racy_counter_subset_of_fasttrack(self, params):
+        ft = run_fasttrack(micro.racy_counter(2, 20)[0], seed=4,
+                           quantum=9)
+        aik = run_aikido_fasttrack(micro.racy_counter(2, 20)[0], seed=4,
+                                   quantum=9, config=self._config(params))
+        assert {r.key for r in aik.races} <= {r.key for r in ft.races}
+
+    def test_barrier_phases_race_free(self, params):
+        result = run_aikido_fasttrack(micro.barrier_phases(3, 3)[0],
+                                      seed=4, quantum=9,
+                                      config=self._config(params))
+        assert not result.races
+
+
+@pytest.mark.parametrize("eager", (True, False), ids=("eager", "lazy"))
+@pytest.mark.parametrize("seed", (1, 7, 23))
+class TestShadowModeStress:
+    def test_eight_thread_mix_matches_native(self, eager, seed):
+        """Heavy interleaving: shared + private traffic on 8 threads,
+        final memory identical to a native run under every shadow-sync
+        strategy and seed."""
+        from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
+        from repro.core.sharing import SharingDetector
+        from repro.dbr.engine import DBREngine
+        from repro.hypervisor.aikidovm import AikidoVM
+
+        def final_state(aikido: bool):
+            program, info = micro.locked_counter(8, 6)
+            if aikido:
+                vm = AikidoVM(eager_shadow=eager)
+                kernel = Kernel(platform=vm, seed=seed, quantum=5,
+                                jitter=0.4)
+                kernel.create_process(program)
+                engine = DBREngine(kernel)
+                sd = SharingDetector(kernel, vm, AikidoFastTrack(kernel))
+                sd.install(engine)
+            else:
+                kernel = Kernel(seed=seed, quantum=5, jitter=0.4)
+                kernel.create_process(program)
+            kernel.run()
+            return kernel.process.vm.read_word(info["counter"])
+
+        assert final_state(True) == final_state(False) == 48

@@ -1,0 +1,185 @@
+"""Unit tests for mirror manager, page-state table and AikidoLib."""
+
+import pytest
+
+from repro.core.aikidolib import AikidoLib
+from repro.core.mirror import MirrorManager
+from repro.core.pagestate import PageState, PageStateTable
+from repro.errors import HypervisorError, ToolError
+from repro.guestos.kernel import Kernel
+from repro.guestos.signals import SignalInfo, SIGSEGV
+from repro.hypervisor.aikidovm import AikidoVM
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SHIFT, PAGE_SIZE
+from repro.umbra.shadow import ShadowMemory
+
+
+class TestPageStateTable:
+    def test_initial_state_unused(self):
+        table = PageStateTable()
+        assert table.state(5) == (PageState.UNUSED, None)
+        assert not table.is_shared(5)
+
+    def test_private_transition(self):
+        table = PageStateTable()
+        table.make_private(5, tid=3)
+        assert table.state(5) == (PageState.PRIVATE, 3)
+        assert table.private_pages == 1
+
+    def test_shared_transition_returns_owner(self):
+        table = PageStateTable()
+        table.make_private(5, tid=3)
+        assert table.make_shared(5) == 3
+        assert table.state(5) == (PageState.SHARED, None)
+        assert table.is_shared(5)
+        assert table.shared_pages == 1
+
+    def test_double_private_rejected(self):
+        table = PageStateTable()
+        table.make_private(5, tid=3)
+        with pytest.raises(ToolError):
+            table.make_private(5, tid=4)
+
+    def test_share_from_unused_rejected(self):
+        table = PageStateTable()
+        with pytest.raises(ToolError):
+            table.make_shared(5)
+
+    def test_share_twice_rejected(self):
+        table = PageStateTable()
+        table.make_private(5, 1)
+        table.make_shared(5)
+        with pytest.raises(ToolError):
+            table.make_shared(5)
+
+    def test_transition_counters(self):
+        table = PageStateTable()
+        for vpn in range(4):
+            table.make_private(vpn, 1)
+        table.make_shared(0)
+        assert table.private_transitions == 4
+        assert table.shared_transitions == 1
+        assert len(table) == 4
+
+
+def make_stack():
+    b = ProgramBuilder()
+    data = b.segment("data", PAGE_SIZE * 2)
+    b.label("main")
+    b.halt()
+    vm = AikidoVM()
+    kernel = Kernel(platform=vm, jitter=0.0)
+    kernel.create_process(b.build())
+    return kernel, vm, data
+
+
+class TestMirrorManager:
+    def test_attach_mirrors_all_user_regions(self):
+        kernel, _, data = make_stack()
+        shadow = ShadowMemory()
+        manager = MirrorManager(kernel.process.vm, shadow)
+        manager.attach()
+        mirror = manager.mirror_address(data + 24)
+        assert mirror != data + 24
+        # Same physical word through both mappings.
+        kernel.process.vm.write_word(data + 24, 0xAB)
+        assert kernel.process.vm.read_word(mirror) == 0xAB
+
+    def test_mirror_write_visible_through_original(self):
+        kernel, _, data = make_stack()
+        manager = MirrorManager(kernel.process.vm, ShadowMemory())
+        manager.attach()
+        mirror = manager.mirror_address(data)
+        kernel.process.vm.write_word(mirror, 7)
+        assert kernel.process.vm.read_word(data) == 7
+
+    def test_new_mmap_gets_mirrored(self):
+        kernel, _, _ = make_stack()
+        manager = MirrorManager(kernel.process.vm, ShadowMemory())
+        manager.attach()
+        before = len(manager.backing_files)
+        addr = kernel.process.vm.mmap(PAGE_SIZE)
+        assert len(manager.backing_files) == before + 1
+        assert manager.mirror_address(addr) != addr
+
+    def test_backing_file_records_both_mappings(self):
+        kernel, _, data = make_stack()
+        manager = MirrorManager(kernel.process.vm, ShadowMemory())
+        manager.attach()
+        for backing in manager.backing_files.values():
+            assert len(backing.mappings) == 2
+            assert backing.mappings[0] != backing.mappings[1]
+
+    def test_disabled_manager_registers_regions_without_aliases(self):
+        kernel, _, data = make_stack()
+        shadow = ShadowMemory()
+        manager = MirrorManager(kernel.process.vm, shadow, enabled=False)
+        manager.attach()
+        assert shadow.region_for(data) is not None
+        with pytest.raises(ToolError):
+            manager.mirror_address(data)
+
+    def test_double_attach_rejected(self):
+        kernel, _, _ = make_stack()
+        manager = MirrorManager(kernel.process.vm, ShadowMemory())
+        manager.attach()
+        with pytest.raises(ToolError, match="twice"):
+            manager.attach()
+
+    def test_unmirrored_address_raises(self):
+        kernel, _, _ = make_stack()
+        manager = MirrorManager(kernel.process.vm, ShadowMemory())
+        manager.attach()
+        with pytest.raises(ToolError):
+            manager.mirror_address(0xDEAD0000)
+
+
+class TestAikidoLib:
+    def test_initialize_maps_and_registers_pages(self):
+        kernel, vm, _ = make_stack()
+        lib = AikidoLib(kernel, vm)
+        lib.initialize()
+        assert vm.fault_read_page == lib.read_fault_page
+        assert vm.fault_write_page == lib.write_fault_page
+        assert vm.mailbox_addr == lib.mailbox
+        # The special regions must not be user regions (never protected).
+        kinds = {r.kind for r in kernel.process.vm.regions
+                 if r.name.startswith("aikido-")}
+        assert kinds == {"special"}
+
+    def test_double_initialize_rejected(self):
+        kernel, vm, _ = make_stack()
+        lib = AikidoLib(kernel, vm)
+        lib.initialize()
+        with pytest.raises(HypervisorError, match="twice"):
+            lib.initialize()
+
+    def test_is_aikido_pagefault_discriminates(self):
+        kernel, vm, _ = make_stack()
+        lib = AikidoLib(kernel, vm)
+        lib.initialize()
+        yes = SignalInfo(SIGSEGV, lib.read_fault_page, False, 1)
+        no = SignalInfo(SIGSEGV, 0x1234000, False, 1)
+        assert lib.is_aikido_pagefault(yes)
+        assert not lib.is_aikido_pagefault(no)
+
+    def test_true_fault_roundtrip_through_mailbox(self):
+        kernel, vm, data = make_stack()
+        lib = AikidoLib(kernel, vm)
+        lib.initialize()
+        vm._write_mailbox(kernel.process, lib.mailbox, 0xABC000, True)
+        assert lib.true_fault() == (0xABC000, True)
+        vm._write_mailbox(kernel.process, lib.mailbox, 0xDEF008, False)
+        assert lib.true_fault() == (0xDEF008, False)
+
+    def test_protect_range_covers_partial_pages(self):
+        kernel, vm, data = make_stack()
+        lib = AikidoLib(kernel, vm)
+        lib.initialize()
+        thread = kernel.process.threads[1]
+        from repro.machine.paging import PROT_NONE
+        # 2 bytes straddling a page boundary -> both pages protected.
+        lib.protect_range(thread, 1, data + PAGE_SIZE - 8, 16, PROT_NONE)
+        ptable = vm.protection_tables[1]
+        assert ptable.get(data >> PAGE_SHIFT) == PROT_NONE
+        assert ptable.get((data >> PAGE_SHIFT) + 1) == PROT_NONE

@@ -1,0 +1,348 @@
+"""End-to-end tests of the Aikido stack with a recording analysis."""
+
+import pytest
+
+from repro.core.analysis import SharedDataAnalysis
+from repro.core.config import AikidoConfig
+from repro.core.pagestate import PageState
+from repro.core.system import AikidoSystem
+from repro.guestos import syscalls
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SHIFT, PAGE_SIZE
+
+
+class RecordingAnalysis(SharedDataAnalysis):
+    """Captures everything AikidoSD reports."""
+
+    name = "recorder"
+
+    def __init__(self):
+        self.accesses = []          # (tid, addr, is_write)
+        self.sync_events = []
+        self.first_touches = []     # (vpn, tid)
+        self.page_shares = []       # (vpn, tid)
+        self.ended = False
+
+    def on_shared_access(self, thread, instr, addr, is_write):
+        self.accesses.append((thread.tid, addr, is_write))
+
+    def on_sync_event(self, event):
+        self.sync_events.append(event)
+
+    def on_page_first_touch(self, vpn, thread):
+        self.first_touches.append((vpn, thread.tid))
+
+    def on_page_shared(self, vpn, thread):
+        self.page_shares.append((vpn, thread.tid))
+
+    def on_run_end(self):
+        self.ended = True
+
+
+def run_aikido(program, config=None, **kw):
+    analysis = RecordingAnalysis()
+    system = AikidoSystem(program, analysis, config,
+                          jitter=kw.pop("jitter", 0.0), **kw)
+    system.run()
+    return system, analysis
+
+
+def private_only_program():
+    b = ProgramBuilder()
+    data = b.segment("data", 256)
+    b.label("main")
+    b.li(4, data)
+    with b.loop(counter=2, count=20):
+        b.load(5, base=4, disp=0)
+        b.add(5, 5, imm=1)
+        b.store(5, base=4, disp=0)
+    b.halt()
+    return b.build(), data
+
+
+def sharing_program(writer_offset=0, reader_offset=0):
+    """Main writes a word; spawned child reads the same page."""
+    b = ProgramBuilder()
+    data = b.segment("data", 256)
+    b.label("main")
+    b.li(4, data)
+    b.li(5, 41)
+    b.store(5, base=4, disp=writer_offset)   # page becomes PRIVATE(main)
+    b.li(3, 0)
+    b.spawn(6, "child", arg_reg=3)
+    b.join(6)
+    b.load(7, base=4, disp=16)               # read child's result
+    b.store(7, base=4, disp=24)
+    b.halt()
+    b.label("child")
+    b.li(4, data)
+    b.load(5, base=4, disp=reader_offset)    # second thread -> SHARED
+    b.add(5, 5, imm=1)
+    b.store(5, base=4, disp=16)
+    b.halt()
+    return b.build(), data
+
+
+class TestPrivateExecution:
+    def test_private_pages_never_reach_analysis(self):
+        program, data = private_only_program()
+        system, analysis = run_aikido(program)
+        assert analysis.accesses == []
+        assert system.stats.shared_transitions == 0
+        assert system.stats.instructions_instrumented == 0
+
+    def test_one_fault_per_private_page(self):
+        program, data = private_only_program()
+        system, analysis = run_aikido(program)
+        # One page of data -> exactly one Aikido fault for it.
+        state, owner = system.sd.pagestate.state(data >> PAGE_SHIFT)
+        assert state is PageState.PRIVATE and owner == 1
+        assert system.stats.private_transitions == 1
+        # 20 loop iterations x2 accesses but only one fault.
+        assert system.stats.faults_handled == system.stats.private_transitions
+
+    def test_results_correct_under_aikido(self):
+        program, data = private_only_program()
+        system, _ = run_aikido(program)
+        assert system.process.vm.read_word(data) == 20
+
+
+class TestSharingDetection:
+    def test_page_becomes_shared_on_second_thread(self):
+        program, data = sharing_program()
+        system, analysis = run_aikido(program)
+        assert system.sd.pagestate.state(data >> PAGE_SHIFT)[0] \
+            is PageState.SHARED
+        assert system.stats.shared_transitions == 1
+
+    def test_computation_correct_through_mirror(self):
+        program, data = sharing_program()
+        system, _ = run_aikido(program)
+        assert system.process.vm.read_word(data + 16) == 42
+        assert system.process.vm.read_word(data + 24) == 42
+
+    def test_post_sharing_accesses_are_observed(self):
+        program, data = sharing_program()
+        system, analysis = run_aikido(program)
+        # Child's read (the sharing access) is observed after re-JIT,
+        # the child's store too, and main's post-join accesses.
+        assert (2, data, False) in analysis.accesses
+        assert (2, data + 16, True) in analysis.accesses
+        assert (1, data + 16, False) in analysis.accesses
+        assert (1, data + 24, True) in analysis.accesses
+
+    def test_owner_presharing_access_is_the_false_negative(self):
+        """Pins the paper's §6 semantics: main's first store is missed."""
+        program, data = sharing_program()
+        system, analysis = run_aikido(program)
+        assert (1, data + 0, True) not in analysis.accesses
+
+    def test_instrumented_instruction_count_is_static(self):
+        program, data = sharing_program()
+        system, analysis = run_aikido(program)
+        # child load, child store, main load, main store = 4 static instrs.
+        assert system.stats.instructions_instrumented == 4
+
+    def test_segfault_accounting_matches_hypervisor(self):
+        program, data = sharing_program()
+        system, analysis = run_aikido(program)
+        assert (system.hypervisor_stats.segfaults_delivered
+                == system.stats.faults_handled)
+        assert system.hypervisor_stats.segfaults_delivered > 0
+
+    def test_shared_accesses_counted(self):
+        program, data = sharing_program()
+        system, analysis = run_aikido(program)
+        assert system.stats.shared_accesses == len(analysis.accesses)
+
+
+class TestMirrorCoherence:
+    def test_mirror_is_alias_of_same_frames(self):
+        program, data = sharing_program()
+        system, _ = run_aikido(program)
+        mirror_addr = system.sd.mirror.mirror_address(data + 16)
+        assert mirror_addr != data + 16
+        assert system.process.vm.read_word(mirror_addr) \
+            == system.process.vm.read_word(data + 16) == 42
+
+    def test_every_user_region_has_backing_file_with_two_mappings(self):
+        program, data = sharing_program()
+        system, _ = run_aikido(program)
+        files = system.sd.mirror.backing_files
+        assert files
+        for backing in files.values():
+            assert len(backing.mappings) == 2
+
+
+class TestDynamicRegions:
+    def test_mmapped_region_is_protected_and_mirrored(self):
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("main")
+        b.li(1, PAGE_SIZE)
+        b.syscall(syscalls.SYS_MMAP)
+        b.mov(4, 0)
+        b.li(5, 7)
+        b.store(5, base=4, disp=0)      # private fault on the new region
+        b.li(3, 0)
+        b.mov(3, 4)
+        b.spawn(6, "child", arg_reg=3)
+        b.join(6)
+        b.halt()
+        b.label("child")
+        b.load(5, base=1, disp=0)       # shares the mmapped page
+        b.store(5, base=1, disp=8)
+        b.halt()
+        system, analysis = run_aikido(b.build())
+        mmap_region = next(r for r in system.process.vm.regions
+                           if r.kind == "mmap")
+        vpn = mmap_region.start >> PAGE_SHIFT
+        assert system.sd.pagestate.state(vpn)[0] is PageState.SHARED
+        assert (2, mmap_region.start, False) in analysis.accesses
+        assert system.process.vm.read_word(mmap_region.start + 8) == 7
+
+    def test_brk_heap_is_protected_and_mirrored(self):
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("main")
+        b.li(1, 64)
+        b.syscall(syscalls.SYS_BRK)
+        b.mov(4, 0)
+        b.li(5, 9)
+        b.store(5, base=4, disp=0)
+        b.halt()
+        system, _ = run_aikido(b.build())
+        heap = next(r for r in system.process.vm.regions
+                    if r.kind == "heap")
+        assert system.sd.pagestate.state(heap.start >> PAGE_SHIFT)[0] \
+            is PageState.PRIVATE
+        assert system.sd.mirror.mirror_address(heap.start) is not None
+
+
+class TestGuestKernelInteraction:
+    def test_write_syscall_on_protected_page_is_emulated(self):
+        b = ProgramBuilder()
+        data = b.segment("data", 64, initial={0: 10, 8: 20})
+        b.label("main")
+        b.li(1, data)
+        b.li(2, 2)
+        b.syscall(syscalls.SYS_WRITE)   # kernel reads Aikido-protected page
+        b.store(0, disp=data + 16)      # user touch restores + faults
+        b.halt()
+        system, _ = run_aikido(b.build())
+        assert system.hypervisor_stats.emulated_kernel_accesses >= 1
+        assert system.hypervisor_stats.temp_unprotect_restores >= 1
+        assert system.process.vm.read_word(data + 16) == 30
+
+
+class TestAblations:
+    def test_no_mirror_mode_runs_but_misses_instructions(self):
+        program, data = sharing_program()
+        config = AikidoConfig(mirror_pages=False)
+        system, analysis = run_aikido(program, config)
+        # Still computes correctly...
+        assert system.process.vm.read_word(data + 16) == 42
+        # ...but only the two faulting instructions were discovered:
+        # main's later accesses to the shared page went unobserved.
+        full_system, full_analysis = run_aikido(program)
+        assert (len(analysis.accesses) < len(full_analysis.accesses))
+
+    def test_order_first_accesses_reports_page_lifecycle(self):
+        program, data = sharing_program()
+        config = AikidoConfig(order_first_accesses=True)
+        system, analysis = run_aikido(program, config)
+        vpn = data >> PAGE_SHIFT
+        assert (vpn, 1) in analysis.first_touches
+        assert (vpn, 2) in analysis.page_shares
+
+
+class TestIndirectFastPath:
+    def test_private_fastpath_taken_for_unshared_addresses(self):
+        # One indirect instruction touches a shared page AND a private
+        # page; the private accesses take the check-only fast path.
+        b = ProgramBuilder()
+        shared = b.segment("shared", 64)
+        private = b.segment("private", 64)
+        b.label("main")
+        b.li(4, shared)
+        b.li(5, 1)
+        b.store(5, base=4, disp=0)
+        b.li(3, 0)
+        b.spawn(6, "child", arg_reg=3)
+        b.join(6)
+        b.halt()
+        b.label("child")
+        # The same static load reads both segments alternately.
+        b.li(8, shared)
+        b.li(9, private)
+        with b.loop(counter=2, count=10):
+            b.load(5, base=8, disp=0)   # shared page (instrumented)
+            b.mov(10, 8)
+            b.mov(8, 9)
+            b.mov(9, 10)
+        b.halt()
+        system, analysis = run_aikido(b.build())
+        assert system.stats.private_fastpath > 0
+        assert system.stats.shared_accesses > 0
+        # Every reported access targets the shared segment.
+        assert all(addr >> PAGE_SHIFT == shared >> PAGE_SHIFT
+                   for _, addr, _ in analysis.accesses)
+
+
+class TestRunLifecycle:
+    def test_on_run_end_called(self):
+        program, _ = private_only_program()
+        system, analysis = run_aikido(program)
+        assert analysis.ended
+
+    def test_sync_events_forwarded_to_analysis(self):
+        program, _ = sharing_program()
+        system, analysis = run_aikido(program)
+        kinds = {type(e).__name__ for e in analysis.sync_events}
+        assert "ForkEvent" in kinds and "JoinEvent" in kinds
+
+
+class TestPerProcessProtectionAblation:
+    """Without per-thread protection, every touched page is 'shared'."""
+
+    def test_private_pages_become_shared_immediately(self):
+        program, data = private_only_program()
+        config = AikidoConfig(per_thread_protection=False)
+        system, analysis = run_aikido(program, config)
+        assert system.sd.pagestate.state(data >> PAGE_SHIFT)[0] \
+            is PageState.SHARED
+        # The single-threaded accesses are now all observed: the
+        # acceleration is gone.
+        assert analysis.accesses
+        assert system.stats.instructions_instrumented > 0
+
+    def test_per_thread_mode_instruments_far_less(self):
+        program, _ = private_only_program()
+        per_thread, _ = run_aikido(program)
+        program2, _ = private_only_program()
+        per_process, _ = run_aikido(
+            program2, AikidoConfig(per_thread_protection=False))
+        assert per_thread.run_stats.instrumented_execs == 0
+        assert per_process.run_stats.instrumented_execs > 0
+
+    def test_races_still_detected_conservatively(self):
+        from repro.workloads import micro
+        from repro.harness.runner import run_aikido_fasttrack
+        result = run_aikido_fasttrack(
+            micro.racy_counter(2, 20)[0], seed=3, quantum=20,
+            config=AikidoConfig(per_thread_protection=False))
+        assert result.races
+
+
+class TestFaultLog:
+    def test_fault_log_matches_fault_count_and_is_ordered(self):
+        program, data = sharing_program()
+        system, _ = run_aikido(program)
+        log = system.sd.fault_log
+        assert len(log) == system.stats.faults_handled
+        cycles = [entry[0] for entry in log]
+        assert cycles == sorted(cycles)
+        # First fault on the data page is its first touch (state was
+        # 'unused' when the fault was classified).
+        first = next(e for e in log if e[1] == data >> PAGE_SHIFT)
+        assert first[2] == "unused"

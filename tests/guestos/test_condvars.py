@@ -1,0 +1,112 @@
+"""Tests for condition variables (WAIT/NOTIFY)."""
+
+import pytest
+
+from repro.errors import DeadlockError, GuestOSError
+from repro.guestos.kernel import Kernel
+from repro.harness.runner import run_aikido_fasttrack, run_fasttrack
+from repro.machine.asm import ProgramBuilder
+
+from tests.conftest import run_native
+
+
+from repro.workloads.micro import producer_consumer
+
+
+class TestProducerConsumer:
+    def test_all_items_consumed_exactly_once(self):
+        program, data, items = producer_consumer(items=6)
+        kernel = run_native(program, quantum=7, seed=5, jitter=0.3)
+        expected = sum(100 + i for i in range(items))
+        assert kernel.process.vm.read_word(data + 16) == expected
+
+    def test_two_consumers(self):
+        program, data, items = producer_consumer(items=8, consumers=2)
+        kernel = run_native(program, quantum=5, seed=9, jitter=0.3)
+        expected = sum(100 + i for i in range(items))
+        assert kernel.process.vm.read_word(data + 16) == expected
+
+    def test_race_free_under_fasttrack(self):
+        """The handshake is fully synchronized: the mutex carries the
+        happens-before edges through the condition variable."""
+        program, *_ = producer_consumer(items=5)
+        result = run_fasttrack(program, seed=5, quantum=7)
+        assert not result.races
+
+    def test_runs_under_full_aikido(self):
+        program, data, items = producer_consumer(items=5)
+        result = run_aikido_fasttrack(program, seed=5, quantum=7)
+        assert not result.races
+
+
+class TestCVErrors:
+    def test_wait_without_lock_is_error(self):
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("main")
+        b.wait(1, lock_id=1)
+        b.halt()
+        with pytest.raises(GuestOSError, match="without holding"):
+            run_native(b.build())
+
+    def test_waiters_with_no_notifier_deadlock(self):
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("main")
+        b.lock(lock_id=1)
+        b.wait(1, lock_id=1)
+        b.halt()
+        with pytest.raises(DeadlockError):
+            run_native(b.build())
+
+    def test_notify_with_no_waiters_is_noop(self):
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("main")
+        b.notify(1)
+        b.notify(2, all_threads=True)
+        b.halt()
+        run_native(b.build())  # completes
+
+
+class TestNotifyAll:
+    def test_notify_all_wakes_every_waiter(self):
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(3, 0)
+        b.spawn(5, "waiter", arg_reg=3)
+        b.spawn(6, "waiter", arg_reg=3)
+        b.li(4, data)
+        # Wait for both to park (they bump +0 before waiting).
+        b.label("spin")
+        b.load(7, base=4, disp=0)
+        b.li(8, 2)
+        b.blt(7, 8, "spin")
+        b.lock(lock_id=1)
+        b.li(7, 1)
+        b.store(7, base=4, disp=8)     # condition
+        b.notify(9, all_threads=True)
+        b.unlock(lock_id=1)
+        b.join(5)
+        b.join(6)
+        b.halt()
+        b.label("waiter")
+        b.li(4, data)
+        b.lock(lock_id=1)
+        b.load(7, base=4, disp=0)      # register arrival (under lock)
+        b.add(7, 7, imm=1)
+        b.store(7, base=4, disp=0)
+        b.label("wcheck")
+        b.load(7, base=4, disp=8)
+        b.bnz(7, "wdone")
+        b.wait(9, lock_id=1)
+        b.jmp("wcheck")
+        b.label("wdone")
+        b.load(7, base=4, disp=16)
+        b.add(7, 7, imm=1)
+        b.store(7, base=4, disp=16)    # proof of progress (under lock)
+        b.unlock(lock_id=1)
+        b.halt()
+        kernel = run_native(b.build(), quantum=6, seed=4, jitter=0.2)
+        assert kernel.process.vm.read_word(data + 16) == 2

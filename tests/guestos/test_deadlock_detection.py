@@ -1,0 +1,178 @@
+"""Tests for immediate lock-cycle (AB-BA) deadlock detection."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.guestos.kernel import Kernel
+from repro.machine.asm import ProgramBuilder
+
+
+def ab_ba_program():
+    """Classic two-lock deadlock: main takes A then B; child B then A.
+
+    A spin-wait handshake makes both threads hold their first lock
+    before either attempts its second, so the cycle is guaranteed on
+    every schedule.
+    """
+    b = ProgramBuilder("ab-ba")
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(3, 0)
+    b.spawn(5, "other", arg_reg=3)
+    b.li(4, data)
+    b.lock(lock_id=1)                  # A
+    b.li(6, 1)
+    b.store(6, base=4, disp=0)         # signal: I hold A
+    b.label("wait_b")
+    b.load(7, base=4, disp=8)
+    b.bz(7, "wait_b")                  # wait until child holds B
+    b.lock(lock_id=2)                  # B -> deadlock
+    b.unlock(lock_id=2)
+    b.unlock(lock_id=1)
+    b.join(5)
+    b.halt()
+    b.label("other")
+    b.li(4, data)
+    b.lock(lock_id=2)                  # B
+    b.li(6, 1)
+    b.store(6, base=4, disp=8)         # signal: I hold B
+    b.label("wait_a")
+    b.load(7, base=4, disp=0)
+    b.bz(7, "wait_a")                  # wait until main holds A
+    b.lock(lock_id=1)                  # A -> deadlock
+    b.unlock(lock_id=1)
+    b.unlock(lock_id=2)
+    b.halt()
+    return b.build()
+
+
+class TestLockCycleDetection:
+    def test_ab_ba_reported_as_lock_cycle(self):
+        kernel = Kernel(seed=1, quantum=5, jitter=0.0)
+        kernel.create_process(ab_ba_program())
+        with pytest.raises(DeadlockError, match="lock cycle"):
+            kernel.run(max_instructions=100_000)
+
+    def test_cycle_message_names_the_locks(self):
+        kernel = Kernel(seed=1, quantum=5, jitter=0.0)
+        kernel.create_process(ab_ba_program())
+        with pytest.raises(DeadlockError) as excinfo:
+            kernel.run(max_instructions=100_000)
+        message = str(excinfo.value)
+        assert "1" in message and "2" in message
+
+    def test_plain_contention_is_not_a_cycle(self):
+        """Many threads contending on one lock must never trip the
+        detector."""
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("main")
+        b.li(3, 0)
+        for i in range(3):
+            b.spawn(5 + i, "worker", arg_reg=3)
+        for i in range(3):
+            b.join(5 + i)
+        b.halt()
+        b.label("worker")
+        with b.loop(counter=2, count=10):
+            b.lock(lock_id=1)
+            b.unlock(lock_id=1)
+        b.halt()
+        kernel = Kernel(seed=1, quantum=2, jitter=0.5)
+        kernel.create_process(b.build())
+        kernel.run()  # completes
+
+    def test_three_way_cycle_detected(self):
+        """A -> B -> C -> A across three threads."""
+        b = ProgramBuilder("abc")
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(3, 0)
+        b.spawn(5, "t2", arg_reg=3)
+        b.spawn(6, "t3", arg_reg=3)
+        b.li(4, data)
+        b.lock(lock_id=1)
+        b.li(7, 1)
+        b.store(7, base=4, disp=0)
+        b.label("w1")                   # wait for both others to hold
+        b.load(7, base=4, disp=8)
+        b.bz(7, "w1")
+        b.label("w1b")
+        b.load(7, base=4, disp=16)
+        b.bz(7, "w1b")
+        b.lock(lock_id=2)
+        b.halt()
+        b.label("t2")
+        b.li(4, data)
+        b.lock(lock_id=2)
+        b.li(7, 1)
+        b.store(7, base=4, disp=8)
+        b.label("w2")
+        b.load(7, base=4, disp=0)
+        b.bz(7, "w2")
+        b.label("w2b")
+        b.load(7, base=4, disp=16)
+        b.bz(7, "w2b")
+        b.lock(lock_id=3)
+        b.halt()
+        b.label("t3")
+        b.li(4, data)
+        b.lock(lock_id=3)
+        b.li(7, 1)
+        b.store(7, base=4, disp=16)
+        b.label("w3")
+        b.load(7, base=4, disp=0)
+        b.bz(7, "w3")
+        b.label("w3b")
+        b.load(7, base=4, disp=8)
+        b.bz(7, "w3b")
+        b.lock(lock_id=1)
+        b.halt()
+        kernel = Kernel(seed=2, quantum=5, jitter=0.0)
+        kernel.create_process(b.build())
+        with pytest.raises(DeadlockError, match="lock cycle"):
+            kernel.run(max_instructions=200_000)
+
+
+class TestSDInvariants:
+    def test_invariants_hold_after_runs(self):
+        from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
+        from repro.core.system import AikidoSystem
+        from repro.workloads import micro
+
+        for factory in (lambda: micro.racy_counter(3, 12)[0],
+                        lambda: micro.barrier_phases(2, 3)[0],
+                        lambda: micro.private_work(2, 10)[0]):
+            system = AikidoSystem(factory(),
+                                  lambda k: AikidoFastTrack(k),
+                                  seed=5, quantum=7, jitter=0.3)
+            system.run()
+            system.sd.verify_invariants()  # must not raise
+
+    def test_invariants_catch_a_planted_violation(self):
+        from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
+        from repro.core.system import AikidoSystem
+        from repro.errors import ToolError
+        from repro.hypervisor.hypercalls import PROT_CLEAR
+        from repro.machine.paging import PAGE_SHIFT
+        from repro.workloads import micro
+
+        program, info = micro.racy_counter(2, 10)
+        system = AikidoSystem(program, lambda k: AikidoFastTrack(k),
+                              seed=5, quantum=7, jitter=0.0)
+        # Sabotage mid-run is hard; sabotage after: unprotect a shared
+        # page for a live thread behind the SD's back.
+        system.run()
+        sd = system.sd
+        shared_vpn = next(vpn for vpn in sd.pagestate._table
+                          if sd.pagestate.is_shared(vpn))
+        live = next((t for t in system.process.threads.values()
+                     if not t.exited), None)
+        if live is None:
+            # All exited: create one so a protection table exists.
+            live = system.process.create_thread(0)
+            system.hypervisor.on_thread_created(live)
+        system.sd.lib.set_page_protection(live, live.tid, shared_vpn, 1,
+                                          PROT_CLEAR)
+        with pytest.raises(ToolError, match="accessible"):
+            sd.verify_invariants()

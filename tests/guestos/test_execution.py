@@ -1,0 +1,386 @@
+"""End-to-end tests of native program execution under the guest kernel."""
+
+import pytest
+
+from repro.errors import DeadlockError, GuestOSError, SegmentationFaultError
+from repro.events import (
+    AcquireEvent,
+    BarrierEvent,
+    ForkEvent,
+    JoinEvent,
+    ReleaseEvent,
+)
+from repro.guestos.kernel import Kernel
+from repro.guestos import syscalls
+from repro.machine.asm import ProgramBuilder
+
+from tests.conftest import run_native
+
+
+def test_arithmetic_and_store():
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(1, 6)
+    b.li(2, 7)
+    b.mul(3, 1, 2)
+    b.li(4, data)
+    b.store(3, base=4, disp=0)
+    b.halt()
+    kernel = run_native(b.build())
+    assert kernel.process.vm.read_word(data) == 42
+
+
+def test_direct_addressing_store_and_load():
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(1, 0x1234)
+    b.store(1, disp=data + 8)       # direct store
+    b.load(2, disp=data + 8)        # direct load
+    b.store(2, disp=data + 16)
+    b.halt()
+    kernel = run_native(b.build())
+    assert kernel.process.vm.read_word(data + 16) == 0x1234
+
+
+def test_loop_counts():
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(4, data)
+    b.li(5, 0)
+    with b.loop(counter=2, count=10):
+        b.add(5, 5, imm=3)
+    b.store(5, base=4, disp=0)
+    b.halt()
+    kernel = run_native(b.build())
+    assert kernel.process.vm.read_word(data) == 30
+
+
+def test_call_and_ret():
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(4, data)
+    b.call("helper")
+    b.call("helper")
+    b.halt()
+    b.label("helper")
+    b.load(1, base=4, disp=0)
+    b.add(1, 1, imm=1)
+    b.store(1, base=4, disp=0)
+    b.ret()
+    kernel = run_native(b.build())
+    assert kernel.process.vm.read_word(data) == 2
+
+
+def test_spawn_join_runs_child():
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(3, data)          # arg for the child: segment base
+    b.spawn(5, "child", arg_reg=3)
+    b.join(5)
+    b.load(6, disp=data)   # observe child's write after join
+    b.store(6, disp=data + 8)
+    b.halt()
+    b.label("child")
+    b.li(2, 99)
+    b.store(2, base=1, disp=0)  # r1 = arg = data base
+    b.halt()
+    kernel = run_native(b.build())
+    assert kernel.process.vm.read_word(data) == 99
+    assert kernel.process.vm.read_word(data + 8) == 99
+
+
+def test_spawn_many_children_counter_with_lock():
+    n = 4
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(3, 0)
+    for i in range(n):
+        b.spawn(5 + i, "child", arg_reg=3)
+    for i in range(n):
+        b.join(5 + i)
+    b.halt()
+    b.label("child")
+    b.li(4, data)
+    with b.loop(counter=2, count=50):
+        b.lock(lock_id=1)
+        b.load(6, base=4, disp=0)
+        b.add(6, 6, imm=1)
+        b.store(6, base=4, disp=0)
+        b.unlock(lock_id=1)
+    b.halt()
+    kernel = run_native(b.build(), quantum=7, jitter=0.3, seed=42)
+    assert kernel.process.vm.read_word(data) == n * 50
+
+
+def test_barrier_orders_phases():
+    # Two threads: each writes its slot, barrier, then reads the other's.
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(3, 0)
+    b.spawn(5, "worker", arg_reg=3)
+    b.li(1, 0)
+    b.call("work")  # main participates as thread index 0 via r1=0
+    b.join(5)
+    b.halt()
+    b.label("worker")
+    # child's r1 = 0 (arg); use index 1
+    b.li(1, 1)
+    b.call("work")
+    b.halt()
+    b.label("work")
+    b.li(4, data)
+    b.shl(6, 1, imm=3)       # r6 = idx*8
+    b.add(6, 6, 4)           # wait: add(rd, rs1, rs2) signature
+    b.add(7, 1, imm=100)     # value = 100 + idx
+    b.store(7, base=6, disp=0)
+    b.li(8, 2)
+    b.barrier(1, parties_reg=8)
+    # read the other slot: other = 1 - idx
+    b.li(9, 1)
+    b.sub(9, 9, 1)           # r9 = 1 - idx  (rs2 form)
+    b.shl(9, 9, imm=3)
+    b.add(9, 9, 4)
+    b.load(10, base=9, disp=0)
+    b.store(10, base=6, disp=16)  # park observed value at slot+16
+    b.ret()
+    kernel = run_native(b.build(), quantum=3, seed=7)
+    vm = kernel.process.vm
+    assert vm.read_word(data + 0) == 100
+    assert vm.read_word(data + 8) == 101
+    assert vm.read_word(data + 16) == 101   # thread 0 saw thread 1's write
+    assert vm.read_word(data + 24) == 100
+
+
+def test_sync_events_emitted_in_order():
+    b = ProgramBuilder()
+    b.segment("data", 64)
+    b.label("main")
+    b.li(3, 0)
+    b.spawn(5, "child", arg_reg=3)
+    b.lock(lock_id=9)
+    b.unlock(lock_id=9)
+    b.join(5)
+    b.halt()
+    b.label("child")
+    b.halt()
+    kernel = Kernel(jitter=0.0)
+    events = []
+    kernel.add_sync_listener(events.append)
+    kernel.create_process(b.build())
+    kernel.run()
+    kinds = [type(e).__name__ for e in events]
+    assert "ForkEvent" in kinds
+    assert "AcquireEvent" in kinds and "ReleaseEvent" in kinds
+    assert "JoinEvent" in kinds
+    fork = next(e for e in events if isinstance(e, ForkEvent))
+    join = next(e for e in events if isinstance(e, JoinEvent))
+    assert fork.child_tid == join.child_tid
+    acq = next(e for e in events if isinstance(e, AcquireEvent))
+    rel = next(e for e in events if isinstance(e, ReleaseEvent))
+    assert acq.lock_id == rel.lock_id == 9
+    assert events.index(acq) < events.index(rel)
+
+
+def test_lock_handoff_emits_single_acquire_per_acquisition():
+    b = ProgramBuilder()
+    b.segment("data", 64)
+    b.label("main")
+    b.li(3, 0)
+    b.spawn(5, "child", arg_reg=3)
+    with b.loop(counter=2, count=10):
+        b.lock(lock_id=1)
+        b.unlock(lock_id=1)
+    b.join(5)
+    b.halt()
+    b.label("child")
+    with b.loop(counter=2, count=10):
+        b.lock(lock_id=1)
+        b.unlock(lock_id=1)
+    b.halt()
+    kernel = Kernel(quantum=3, jitter=0.25, seed=3)
+    events = []
+    kernel.add_sync_listener(events.append)
+    kernel.create_process(b.build())
+    kernel.run()
+    acquires = [e for e in events if isinstance(e, AcquireEvent)]
+    releases = [e for e in events if isinstance(e, ReleaseEvent)]
+    assert len(acquires) == 20
+    assert len(releases) == 20
+    assert kernel.process.locks[1].acquisitions == 20
+
+
+def test_barrier_event_lists_all_parties():
+    b = ProgramBuilder()
+    b.segment("data", 64)
+    b.label("main")
+    b.li(3, 0)
+    b.spawn(5, "child", arg_reg=3)
+    b.li(8, 2)
+    b.barrier(7, parties_reg=8)
+    b.join(5)
+    b.halt()
+    b.label("child")
+    b.li(8, 2)
+    b.barrier(7, parties_reg=8)
+    b.halt()
+    kernel = Kernel(jitter=0.0)
+    events = []
+    kernel.add_sync_listener(events.append)
+    kernel.create_process(b.build())
+    kernel.run()
+    barriers = [e for e in events if isinstance(e, BarrierEvent)]
+    assert len(barriers) == 1
+    assert sorted(barriers[0].tids) == [1, 2]
+
+
+def test_unmapped_access_segfaults():
+    b = ProgramBuilder()
+    b.label("main")
+    b.li(1, 0xDEAD000)
+    b.load(2, base=1, disp=0)
+    b.halt()
+    with pytest.raises(SegmentationFaultError):
+        run_native(b.build())
+
+
+def test_unlock_not_owned_is_error():
+    b = ProgramBuilder()
+    b.label("main")
+    b.unlock(lock_id=1)
+    b.halt()
+    with pytest.raises(GuestOSError, match="released"):
+        run_native(b.build())
+
+
+def test_recursive_lock_is_error():
+    b = ProgramBuilder()
+    b.label("main")
+    b.lock(lock_id=1)
+    b.lock(lock_id=1)
+    b.halt()
+    with pytest.raises(GuestOSError, match="recursively"):
+        run_native(b.build())
+
+
+def test_join_self_deadlocks():
+    b = ProgramBuilder()
+    b.label("main")
+    b.syscall(syscalls.SYS_GETTID)
+    b.mov(1, 0)
+    b.join(1)
+    b.halt()
+    with pytest.raises(DeadlockError):
+        run_native(b.build())
+
+
+def test_mmap_and_brk_syscalls():
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(1, 8192)
+    b.syscall(syscalls.SYS_MMAP)
+    b.mov(4, 0)                   # r4 = mmap base
+    b.li(2, 77)
+    b.store(2, base=4, disp=4096)  # touch second page of the mapping
+    b.li(1, 4096)
+    b.syscall(syscalls.SYS_BRK)
+    b.mov(5, 0)                   # r5 = old break (heap base)
+    b.li(2, 88)
+    b.store(2, base=5, disp=0)
+    b.load(3, base=4, disp=4096)
+    b.store(3, disp=data)
+    b.halt()
+    kernel = run_native(b.build())
+    assert kernel.process.vm.read_word(data) == 77
+    assert kernel.process.vm.mmap_count == 1
+    assert kernel.process.vm.brk_count == 1
+
+
+def test_write_syscall_checksums_buffer_from_kernel_mode():
+    b = ProgramBuilder()
+    data = b.segment("data", 64, initial={0: 5, 8: 6, 16: 7})
+    b.label("main")
+    b.li(1, data)
+    b.li(2, 3)
+    b.syscall(syscalls.SYS_WRITE)
+    b.store(0, disp=data + 32)
+    b.halt()
+    kernel = run_native(b.build())
+    assert kernel.process.vm.read_word(data + 32) == 18
+
+
+def test_fill_syscall_writes_buffer_from_kernel_mode():
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(1, data)
+    b.li(2, 4)
+    b.li(3, 9)
+    b.syscall(syscalls.SYS_FILL)
+    b.halt()
+    kernel = run_native(b.build())
+    for i in range(4):
+        assert kernel.process.vm.read_word(data + 8 * i) == 9
+
+
+def test_gettid_and_yield():
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.syscall(syscalls.SYS_GETTID)
+    b.store(0, disp=data)
+    b.syscall(syscalls.SYS_YIELD)
+    b.halt()
+    kernel = run_native(b.build())
+    assert kernel.process.vm.read_word(data) == 1
+
+
+def test_deterministic_execution_same_seed():
+    def run(seed):
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(3, 0)
+        b.spawn(5, "child", arg_reg=3)
+        b.li(4, data)
+        with b.loop(counter=2, count=30):
+            b.lock(lock_id=1)
+            b.load(6, base=4, disp=0)
+            b.add(6, 6, imm=1)
+            b.store(6, base=4, disp=0)
+            b.unlock(lock_id=1)
+        b.join(5)
+        b.halt()
+        b.label("child")
+        b.li(4, data)
+        with b.loop(counter=2, count=30):
+            b.lock(lock_id=1)
+            b.load(6, base=4, disp=8)
+            b.add(6, 6, imm=1)
+            b.store(6, base=4, disp=8)
+            b.unlock(lock_id=1)
+        b.halt()
+        kernel = Kernel(seed=seed, quantum=5, jitter=0.5)
+        kernel.create_process(b.build())
+        kernel.run()
+        return kernel.counter.total
+    assert run(11) == run(11)
+
+
+def test_cycle_counter_accumulates():
+    b = ProgramBuilder()
+    b.segment("data", 64)
+    b.label("main")
+    with b.loop(counter=2, count=100):
+        b.add(3, 3, imm=1)
+    b.halt()
+    kernel = run_native(b.build())
+    assert kernel.counter.total > 300
+    assert kernel.counter.instr_cycles > 0

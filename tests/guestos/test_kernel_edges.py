@@ -1,0 +1,207 @@
+"""Edge-case tests for the kernel: traps, budgets, lifecycle corners."""
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    HarnessError,
+    HypervisorError,
+    NoSuchSyscallError,
+)
+from repro.guestos.kernel import Kernel
+from repro.guestos import syscalls
+from repro.hypervisor.aikidovm import AikidoVM
+from repro.hypervisor.hypercalls import HC_SET_PROT
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SHIFT, PROT_NONE
+
+from tests.conftest import run_native
+
+
+class TestSyscallEdges:
+    def test_unknown_syscall_raises(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.syscall(999)
+        b.halt()
+        with pytest.raises(NoSuchSyscallError):
+            run_native(b.build())
+
+    def test_exit_syscall_equivalent_to_halt(self):
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(1, 1)
+        b.store(1, disp=data)
+        b.syscall(syscalls.SYS_EXIT)
+        # unreachable:
+        b.li(1, 2)
+        b.store(1, disp=data)
+        b.halt()
+        kernel = run_native(b.build())
+        assert kernel.process.vm.read_word(data) == 1
+
+
+class TestHypercallFromGuestCode:
+    def test_hypercall_instruction_reaches_hypervisor(self):
+        """The guest ISA HYPERCALL path (vs host-level AikidoLib calls):
+        args come from r1..r4."""
+        vm = AikidoVM()
+        kernel = Kernel(platform=vm, jitter=0.0)
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(1, 1)                       # tid
+        b.li(2, data >> PAGE_SHIFT)      # vpn
+        b.li(3, 1)                       # count
+        b.li(4, PROT_NONE)               # prot
+        b.hypercall(HC_SET_PROT)
+        b.halt()
+        kernel.create_process(b.build())
+        kernel.run()
+        # (The thread exited, so its tables were reclaimed; the counters
+        # prove the hypercall went through the guest-ISA path.)
+        assert vm.stats.hypercalls == 1
+        assert vm.stats.protection_updates == 1
+
+    def test_hypercall_without_hypervisor_is_error(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.hypercall(1)
+        b.halt()
+        with pytest.raises(HypervisorError, match="no hypervisor"):
+            run_native(b.build())
+
+
+class TestLifecycleEdges:
+    def test_main_exit_with_live_children_keeps_running(self):
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(3, 0)
+        b.spawn(5, "child", arg_reg=3)
+        b.halt()                        # main leaves without join
+        b.label("child")
+        b.li(4, data)
+        with b.loop(counter=2, count=10):
+            b.load(5, base=4, disp=0)
+            b.add(5, 5, imm=1)
+            b.store(5, base=4, disp=0)
+        b.halt()
+        kernel = run_native(b.build())
+        assert kernel.process.vm.read_word(data) == 10
+        assert kernel.process.finished
+
+    def test_barrier_party_mismatch_deadlocks(self):
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("main")
+        b.li(8, 2)                      # waits for 2 parties, alone
+        b.barrier(1, parties_reg=8)
+        b.halt()
+        with pytest.raises(DeadlockError):
+            run_native(b.build())
+
+    def test_instruction_budget_enforced(self):
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("spin")
+        b.jmp("spin")
+        kernel = Kernel(jitter=0.0)
+        kernel.create_process(b.build())
+        with pytest.raises(HarnessError, match="budget"):
+            kernel.run(max_instructions=10_000)
+
+    def test_two_generations_of_the_same_barrier(self):
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(3, 0)
+        b.spawn(5, "worker", arg_reg=3)
+        b.li(8, 2)
+        b.barrier(1, parties_reg=8)
+        b.barrier(1, parties_reg=8)     # same id, next generation
+        b.li(1, 1)
+        b.store(1, disp=data)
+        b.join(5)
+        b.halt()
+        b.label("worker")
+        b.li(8, 2)
+        b.barrier(1, parties_reg=8)
+        b.barrier(1, parties_reg=8)
+        b.halt()
+        kernel = run_native(b.build(), quantum=3)
+        assert kernel.process.vm.read_word(data) == 1
+        assert kernel.process.barriers[1].generation == 2
+
+
+class TestCallStack:
+    def test_deep_call_chain(self):
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(4, data)
+        b.li(5, 0)
+        b.li(6, 40)                     # recursion depth
+        b.call("rec")
+        b.store(5, base=4, disp=0)
+        b.halt()
+        b.label("rec")
+        b.add(5, 5, imm=1)
+        b.sub(6, 6, imm=1)
+        b.bz(6, "done")
+        b.call("rec")
+        b.label("done")
+        b.ret()
+        kernel = run_native(b.build())
+        assert kernel.process.vm.read_word(data) == 40
+
+
+class TestSpawnLimits:
+    def test_spawn_workers_rejects_too_many(self):
+        from repro.workloads.base import spawn_workers
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("main")
+        with pytest.raises(ValueError, match="at most 10"):
+            spawn_workers(b, 11)
+
+
+class TestYield:
+    def test_yield_rotates_to_other_thread(self):
+        """A yielding thread lets the sibling run even inside its quantum:
+        thread A spins yielding until B writes the flag."""
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(3, 0)
+        b.spawn(5, "setter", arg_reg=3)
+        b.li(4, data)
+        b.label("wait")
+        b.load(6, base=4, disp=0)
+        b.bnz(6, "go")
+        b.syscall(syscalls.SYS_YIELD)
+        b.jmp("wait")
+        b.label("go")
+        b.join(5)
+        b.halt()
+        b.label("setter")
+        b.li(4, data)
+        b.li(6, 1)
+        b.store(6, base=4, disp=0)
+        b.halt()
+        # Huge quantum: without the yield this would spin the budget out.
+        kernel = Kernel(seed=0, quantum=100_000, jitter=0.0)
+        kernel.create_process(b.build())
+        kernel.run(max_instructions=50_000)
+
+
+class TestRetWithoutCall:
+    def test_ret_on_empty_stack_is_invalid_instruction(self):
+        from repro.errors import InvalidInstructionError
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("main")
+        b.ret()
+        with pytest.raises(InvalidInstructionError, match="RET"):
+            run_native(b.build())

@@ -1,0 +1,198 @@
+"""Multi-process tests: isolation, CR3 traps, per-process drivers, and
+Aikido confined to one process while others run natively."""
+
+import pytest
+
+from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
+from repro.core.sharing import SharingDetector
+from repro.dbr.engine import DBREngine
+from repro.guestos.kernel import Kernel
+from repro.hypervisor.aikidovm import AikidoVM
+from repro.machine.asm import ProgramBuilder
+from repro.workloads import micro
+
+
+def counter_program(iters, lock=False):
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(4, data)
+    with b.loop(counter=2, count=iters):
+        if lock:
+            b.lock(lock_id=1)
+        b.load(5, base=4, disp=0)
+        b.add(5, 5, imm=1)
+        b.store(5, base=4, disp=0)
+        if lock:
+            b.unlock(lock_id=1)
+    b.halt()
+    return b.build(), data
+
+
+class TestIsolation:
+    def test_same_virtual_addresses_different_data(self):
+        kernel = Kernel(jitter=0.0, quantum=7)
+        p1_prog, d1 = counter_program(10)
+        p2_prog, d2 = counter_program(25)
+        p1 = kernel.create_process(p1_prog)
+        p2 = kernel.create_process(p2_prog)
+        assert d1 == d2  # identical layout...
+        kernel.run()
+        # ...but fully isolated contents.
+        assert p1.vm.read_word(d1) == 10
+        assert p2.vm.read_word(d2) == 25
+
+    def test_tids_globally_unique(self):
+        kernel = Kernel(jitter=0.0)
+        program1, _ = micro.racy_counter(2, 5)
+        program2, _ = micro.racy_counter(2, 5)
+        p1 = kernel.create_process(program1)
+        p2 = kernel.create_process(program2)
+        kernel.run()
+        tids1 = set(p1.threads)
+        tids2 = set(p2.threads)
+        assert not tids1 & tids2
+
+    def test_locks_are_per_process(self):
+        """Lock id 1 in process A is unrelated to lock id 1 in B: both
+        can hold 'their' lock 1 simultaneously without interaction."""
+        kernel = Kernel(jitter=0.0, quantum=3)
+        pa, _ = counter_program(10, lock=True)
+        pb, _ = counter_program(10, lock=True)
+        p1 = kernel.create_process(pa)
+        p2 = kernel.create_process(pb)
+        kernel.run()  # would deadlock if the lock were shared
+        assert p1.finished and p2.finished
+        assert p1.locks[1].acquisitions == 10
+        assert p2.locks[1].acquisitions == 10
+
+
+class TestHypervisorMultiProcess:
+    def test_cr3_exits_counted_on_cross_process_switches(self):
+        vm = AikidoVM()
+        kernel = Kernel(platform=vm, jitter=0.0, quantum=5)
+        kernel.create_process(counter_program(20)[0])
+        kernel.create_process(counter_program(20)[0])
+        kernel.run()
+        assert vm.stats.cr3_exits > 0
+
+    def test_no_cr3_exits_single_process(self):
+        vm = AikidoVM()
+        kernel = Kernel(platform=vm, jitter=0.0, quantum=5)
+        program, _ = micro.locked_counter(2, 10)
+        kernel.create_process(program)
+        kernel.run()
+        assert vm.stats.cr3_exits == 0
+
+    def test_shadow_tables_track_the_right_page_tables(self):
+        vm = AikidoVM()
+        kernel = Kernel(platform=vm, jitter=0.0, quantum=5)
+        p1_prog, d1 = counter_program(5)
+        p2_prog, d2 = counter_program(5)
+        p1 = kernel.create_process(p1_prog)
+        p2 = kernel.create_process(p2_prog)
+        t1 = next(iter(p1.threads.values()))
+        t2 = next(iter(p2.threads.values()))
+        from repro.machine.paging import PAGE_SHIFT
+        vpn = d1 >> PAGE_SHIFT
+        pfn1 = vm.shadow_tables[t1.tid].lookup(vpn).pfn
+        pfn2 = vm.shadow_tables[t2.tid].lookup(vpn).pfn
+        assert pfn1 != pfn2
+        assert pfn1 == p1.page_table.lookup(vpn).pfn
+        assert pfn2 == p2.page_table.lookup(vpn).pfn
+
+
+class TestAikidoConfinedToOneProcess:
+    def test_aikido_process_coexists_with_native_process(self):
+        """The paper's deployment story: Aikido instruments one target
+        application; everything else on the guest runs untouched."""
+        vm = AikidoVM()
+        kernel = Kernel(platform=vm, seed=3, quantum=10, jitter=0.0)
+        # Process 1: the Aikido-enabled target (racy).
+        target_prog, info = micro.racy_counter(2, 15)
+        target = kernel.create_process(target_prog)
+        engine = DBREngine(kernel, process=target)
+        analysis = AikidoFastTrack(kernel)
+        sd = SharingDetector(kernel, vm, analysis)
+        sd.install(engine)
+        # Process 2: an unrelated native workload.
+        bystander_prog, bdata = counter_program(30)
+        bystander = kernel.create_process(bystander_prog)
+        kernel.run()
+        # The target's races are found...
+        assert analysis.races
+        # ...the bystander computed correctly, untouched by any page
+        # protection (a protected page would have faulted; the only
+        # faults the hypervisor delivered belong to the target)...
+        assert bystander.vm.read_word(bdata) == 30
+        # ...and every fault the sharing detector handled belongs to the
+        # target's address space (virtual addresses overlap between
+        # processes, so the meaningful check is against the target).
+        for cycle, vpn, state in sd.fault_log:
+            assert target.vm.region_for(vpn << 12) is not None
+        assert sd.fault_log
+
+    def test_sync_events_from_other_processes_are_distinct(self):
+        """Global tids mean the detector can never confuse processes."""
+        vm = AikidoVM()
+        kernel = Kernel(platform=vm, seed=3, quantum=10, jitter=0.0)
+        target_prog, _ = micro.locked_counter(2, 10)
+        target = kernel.create_process(target_prog)
+        engine = DBREngine(kernel, process=target)
+        analysis = AikidoFastTrack(kernel)
+        sd = SharingDetector(kernel, vm, analysis)
+        sd.install(engine)
+        other_prog, _ = micro.locked_counter(2, 10)
+        kernel.create_process(other_prog)
+        kernel.run()
+        assert not analysis.races  # both workloads are lock-clean
+
+
+class TestTwoAikidoProcesses:
+    def test_two_instrumented_targets_coexist(self):
+        """Two Aikido-enabled processes, each with its own engine,
+        sharing detector and fault-page registration (per-process
+        HC_INIT), finding their own races independently."""
+        from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
+
+        vm = AikidoVM()
+        kernel = Kernel(platform=vm, seed=3, quantum=10, jitter=0.0)
+        stacks = []
+        for _ in range(2):
+            prog, info = micro.racy_counter(2, 12)
+            process = kernel.create_process(prog)
+            engine = DBREngine(kernel, process=process)
+            analysis = AikidoFastTrack(kernel)
+            sd = SharingDetector(kernel, vm, analysis, process=process)
+            sd.install(engine)
+            stacks.append((process, analysis, info))
+        kernel.run()
+        assert len(vm._registrations) == 2
+        for process, analysis, info in stacks:
+            assert analysis.races, process.pid
+            assert process.vm.read_word(info["counter"]) <= 24
+
+    def test_dual_targets_do_not_cross_contaminate(self):
+        """One racy target, one clean target: each detector reports only
+        its own process's behaviour."""
+        from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
+
+        vm = AikidoVM()
+        kernel = Kernel(platform=vm, seed=3, quantum=10, jitter=0.0)
+        racy_prog, _ = micro.racy_counter(2, 12)
+        racy = kernel.create_process(racy_prog)
+        racy_engine = DBREngine(kernel, process=racy)
+        racy_analysis = AikidoFastTrack(kernel)
+        SharingDetector(kernel, vm, racy_analysis,
+                        process=racy).install(racy_engine)
+
+        clean_prog, _ = micro.locked_counter(2, 12)
+        clean = kernel.create_process(clean_prog)
+        clean_engine = DBREngine(kernel, process=clean)
+        clean_analysis = AikidoFastTrack(kernel)
+        SharingDetector(kernel, vm, clean_analysis,
+                        process=clean).install(clean_engine)
+
+        kernel.run()
+        assert racy_analysis.races
+        assert not clean_analysis.races

@@ -1,0 +1,74 @@
+"""Tests for read-only (.rodata-style) data segments."""
+
+import pytest
+
+from repro.core.pagestate import PageState
+from repro.errors import SegmentationFaultError
+from repro.guestos.kernel import Kernel
+from repro.harness.runner import run_aikido_fasttrack
+from repro.machine.asm import ProgramBuilder
+
+from tests.conftest import run_native
+
+
+def ro_program(write_attempt=False):
+    b = ProgramBuilder()
+    ro = b.segment("table", 64, initial={0: 11, 8: 22}, writable=False)
+    rw = b.segment("out", 64)
+    b.label("main")
+    b.load(1, disp=ro)
+    b.load(2, disp=ro + 8)
+    b.add(1, 1, 2)
+    b.store(1, disp=rw)
+    if write_attempt:
+        b.store(1, disp=ro)
+    b.halt()
+    return b.build(), ro, rw
+
+
+class TestReadOnlySegments:
+    def test_reads_work_and_initials_survive_sealing(self):
+        program, ro, rw = ro_program()
+        kernel = run_native(program)
+        assert kernel.process.vm.read_word(rw) == 33
+
+    def test_write_to_sealed_segment_segfaults(self):
+        program, ro, rw = ro_program(write_attempt=True)
+        with pytest.raises(SegmentationFaultError):
+            run_native(program)
+
+    def test_default_segments_stay_writable(self):
+        b = ProgramBuilder()
+        data = b.segment("data", 64, initial={0: 5})
+        b.label("main")
+        b.li(1, 6)
+        b.store(1, disp=data)
+        b.halt()
+        kernel = run_native(b.build())
+        assert kernel.process.vm.read_word(data) == 6
+
+    def test_readonly_sharing_detected_under_aikido(self):
+        """Read-only pages shared by two threads still become SHARED
+        (Aikido's sharing is page-granular regardless of access kind)."""
+        b = ProgramBuilder()
+        ro = b.segment("table", 64, initial={0: 7}, writable=False)
+        b.label("main")
+        b.load(1, disp=ro)
+        b.li(3, 0)
+        b.spawn(5, "reader", arg_reg=3)
+        b.join(5)
+        b.halt()
+        b.label("reader")
+        b.load(1, disp=ro)
+        b.halt()
+        result = run_aikido_fasttrack(b.build(), seed=1, quantum=20)
+        assert result.aikido_stats["shared_transitions"] == 1
+        # Read-only sharing is not a race.
+        assert not result.races
+
+    def test_aikido_write_to_readonly_is_genuine_fault_not_aikido(self):
+        """Under Aikido, a store to .rodata must be classified as a guest
+        fault (the guest PTE denies it), not swallowed by the SD."""
+        program, ro, rw = ro_program(write_attempt=True)
+        with pytest.raises(SegmentationFaultError):
+            run_aikido_fasttrack(program, seed=1, quantum=20)

@@ -1,0 +1,224 @@
+"""Unit tests for the VM manager, scheduler and process structures."""
+
+import pytest
+
+from repro.errors import GuestOSError
+from repro.guestos.kernel import Kernel
+from repro.guestos.process import Process, ThreadStatus
+from repro.guestos.scheduler import Scheduler
+from repro.guestos.vm import VMManager
+from repro.machine.asm import ProgramBuilder
+from repro.machine.layout import HEAP_BASE, MMAP_BASE
+from repro.machine.memory import PhysicalMemory
+from repro.machine.paging import GuestPageTable, PAGE_SHIFT, PAGE_SIZE
+
+
+def make_vm():
+    memory = PhysicalMemory()
+    pt = GuestPageTable()
+    return VMManager(memory, pt), memory, pt
+
+
+class TestVMManager:
+    def test_mmap_is_eager_and_guarded(self):
+        vm, memory, pt = make_vm()
+        a = vm.mmap(PAGE_SIZE * 2)
+        b = vm.mmap(PAGE_SIZE)
+        assert a == MMAP_BASE
+        # Guard page between mappings.
+        assert b >= a + 3 * PAGE_SIZE
+        assert pt.lookup(a >> PAGE_SHIFT) is not None
+        assert pt.lookup((a >> PAGE_SHIFT) + 1) is not None
+        assert pt.lookup((a >> PAGE_SHIFT) + 2) is None  # the guard
+
+    def test_mmap_zero_length_rejected(self):
+        vm, *_ = make_vm()
+        with pytest.raises(GuestOSError):
+            vm.mmap(0)
+
+    def test_overlapping_map_rejected(self):
+        vm, *_ = make_vm()
+        vm.map_region(0x10000, PAGE_SIZE, "a")
+        with pytest.raises(GuestOSError, match="overlaps"):
+            vm.map_region(0x10000, PAGE_SIZE, "b")
+
+    def test_unaligned_map_rejected(self):
+        vm, *_ = make_vm()
+        with pytest.raises(GuestOSError, match="unaligned"):
+            vm.map_region(0x10008, PAGE_SIZE, "a")
+
+    def test_brk_growth_and_old_break_semantics(self):
+        vm, *_ = make_vm()
+        assert vm.brk(0) == HEAP_BASE
+        old = vm.brk(100)
+        assert old == HEAP_BASE
+        assert vm.brk(0) == HEAP_BASE + 100
+        # The page is mapped and usable.
+        vm.write_word(HEAP_BASE + 96, 5)
+        assert vm.read_word(HEAP_BASE + 96) == 5
+
+    def test_brk_shrink_rejected(self):
+        vm, *_ = make_vm()
+        with pytest.raises(GuestOSError):
+            vm.brk(-1)
+
+    def test_brk_within_mapped_page_does_not_remap(self):
+        vm, *_ = make_vm()
+        vm.brk(8)
+        regions_before = len(vm.regions)
+        vm.brk(8)   # still inside the first heap page
+        assert len(vm.regions) == regions_before
+
+    def test_alias_same_frames(self):
+        vm, memory, pt = make_vm()
+        src = vm.mmap(PAGE_SIZE * 2)
+        dst = vm.alloc_mirror_range(PAGE_SIZE * 2)
+        vm.map_alias_at(dst, src, PAGE_SIZE * 2, "alias")
+        vm.write_word(src + 8, 42)
+        assert vm.read_word(dst + 8) == 42
+        vm.write_word(dst + PAGE_SIZE, 7)
+        assert vm.read_word(src + PAGE_SIZE) == 7
+
+    def test_alias_of_unmapped_source_rejected(self):
+        vm, *_ = make_vm()
+        with pytest.raises(GuestOSError, match="not mapped"):
+            vm.map_alias_at(0x900000, 0x800000, PAGE_SIZE, "alias")
+
+    def test_alias_regions_are_not_user_regions(self):
+        vm, *_ = make_vm()
+        src = vm.mmap(PAGE_SIZE)
+        dst = vm.alloc_mirror_range(PAGE_SIZE)
+        vm.map_alias_at(dst, src, PAGE_SIZE, "alias")
+        kinds = {r.kind for r in vm.user_regions()}
+        assert "alias" not in kinds
+
+    def test_post_map_hooks_fire_for_new_regions_only(self):
+        vm, *_ = make_vm()
+        seen = []
+        vm.post_map_hooks.append(lambda region: seen.append(region.name))
+        vm.mmap(PAGE_SIZE, name="wanted")
+        src = vm.regions[0].start
+        dst = vm.alloc_mirror_range(PAGE_SIZE)
+        vm.map_alias_at(dst, src, PAGE_SIZE, "alias")  # no hook
+        assert seen == ["wanted"]
+
+    def test_region_for(self):
+        vm, *_ = make_vm()
+        addr = vm.mmap(PAGE_SIZE)
+        assert vm.region_for(addr).name == "mmap"
+        assert vm.region_for(addr + PAGE_SIZE) is None
+
+
+class TestScheduler:
+    class FakeThread:
+        def __init__(self, runnable=True):
+            self._runnable = runnable
+            self.status = None
+
+        @property
+        def runnable(self):
+            return self._runnable
+
+    def test_round_robin_order(self):
+        sched = Scheduler(jitter=0.0)
+        threads = [self.FakeThread() for _ in range(3)]
+        for t in threads:
+            sched.register(t)
+        picks = [sched.pick() for _ in range(6)]
+        assert picks == threads * 2
+
+    def test_skips_blocked_threads(self):
+        sched = Scheduler(jitter=0.0)
+        a, b = self.FakeThread(), self.FakeThread(runnable=False)
+        sched.register(a)
+        sched.register(b)
+        assert sched.pick() is a
+        assert sched.pick() is a
+
+    def test_all_blocked_returns_none(self):
+        sched = Scheduler(jitter=0.0)
+        sched.register(self.FakeThread(runnable=False))
+        assert sched.pick() is None
+
+    def test_empty_returns_none(self):
+        assert Scheduler().pick() is None
+
+    def test_unregister_keeps_cursor_valid(self):
+        sched = Scheduler(jitter=0.0)
+        threads = [self.FakeThread() for _ in range(3)]
+        for t in threads:
+            sched.register(t)
+        sched.pick()
+        sched.pick()
+        sched.unregister(threads[0])
+        # Remaining threads still reachable, no crash.
+        remaining = {sched.pick() for _ in range(4)}
+        assert remaining == set(threads[1:])
+        sched.unregister(threads[1])
+        sched.unregister(threads[2])
+        assert sched.pick() is None
+        assert sched.registered_count == 0
+
+    def test_unregister_unknown_is_noop(self):
+        sched = Scheduler()
+        sched.unregister(self.FakeThread())
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def picks(seed):
+            sched = Scheduler(seed=seed, jitter=0.8)
+            threads = [self.FakeThread() for _ in range(4)]
+            for t in threads:
+                sched.register(t)
+            return [threads.index(sched.pick()) for _ in range(20)]
+        assert picks(3) == picks(3)
+        assert picks(3) != picks(4)
+
+
+class TestProcessStructures:
+    def _program(self):
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("main")
+        b.halt()
+        return b.build()
+
+    def test_tids_monotonic_from_one(self):
+        process = Process(1, self._program())
+        t1 = process.create_thread(0)
+        t2 = process.create_thread(0)
+        assert (t1.tid, t2.tid) == (1, 2)
+
+    def test_spawn_argument_lands_in_r1(self):
+        process = Process(1, self._program())
+        t = process.create_thread(0, arg=123)
+        assert t.regs[1] == 123
+
+    def test_lock_and_barrier_state_lazily_created(self):
+        process = Process(1, self._program())
+        assert process.lock_state(9) is process.lock_state(9)
+        assert process.barrier_state(2) is process.barrier_state(2)
+
+    def test_live_threads_excludes_exited(self):
+        process = Process(1, self._program())
+        t1 = process.create_thread(0)
+        t2 = process.create_thread(0)
+        t1.status = ThreadStatus.EXITED
+        assert process.live_threads == [t2]
+
+    def test_kernel_hosts_multiple_isolated_processes(self):
+        kernel = Kernel()
+        p1 = kernel.create_process(self._program())
+        p2 = kernel.create_process(self._program())
+        assert p1.pid != p2.pid
+        assert p1.page_table is not p2.page_table
+        # Same virtual layout, different physical frames.
+        base = p1.segment_bases["data"]
+        assert p2.segment_bases["data"] == base
+        from repro.machine.paging import PAGE_SHIFT
+        assert (p1.page_table.lookup(base >> PAGE_SHIFT).pfn
+                != p2.page_table.lookup(base >> PAGE_SHIFT).pfn)
+
+    def test_segment_bases_recorded(self):
+        kernel = Kernel()
+        process = kernel.create_process(self._program())
+        assert "data" in process.segment_bases

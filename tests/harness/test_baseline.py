@@ -1,0 +1,56 @@
+"""Guard the calibrated results against silent drift.
+
+``baselines/suite-8t-scale1.json`` is the archived calibrated suite run
+(the numbers EXPERIMENTS.md quotes). Any code or cost-constant change
+that moves a headline metric by more than the tolerance fails here —
+re-run ``aikido-repro all --json baselines/suite-8t-scale1.json`` and
+update EXPERIMENTS.md deliberately if the move is intended.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.regression import compare
+from repro.harness.report import suite_to_dict
+
+BASELINE = (pathlib.Path(__file__).resolve().parents[2]
+            / "baselines" / "suite-8t-scale1.json")
+
+
+@pytest.fixture(scope="module")
+def current():
+    suite = experiments.run_suite(threads=8, scale=1.0, seed=1,
+                                  quantum=150)
+    return suite_to_dict(suite)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    with open(BASELINE) as handle:
+        return json.load(handle)
+
+
+class TestAgainstBaseline:
+    def test_no_metric_drifted(self, baseline, current):
+        offenders = compare(baseline, current, tolerance=0.10)
+        assert not offenders, "\n".join(d.describe() for d in offenders)
+
+    def test_headline_claims_still_hold(self, current):
+        speedups = {name: entry["speedup"]
+                    for name, entry in current["benchmarks"].items()}
+        # Paper-shape assertions EXPERIMENTS.md promises.
+        assert max(speedups, key=speedups.get) == "raytrace"
+        assert speedups["raytrace"] > 4.0
+        assert 1.5 < current["geomean_speedup"] < 2.0
+        assert current["geomean_instrumentation_reduction"] > 5.0
+        near_parity = [n for n, s in speedups.items() if 0.9 < s < 1.1]
+        assert set(near_parity) >= {"freqmine", "fluidanimate", "vips"}
+
+    def test_baseline_file_is_at_the_calibrated_config(self, baseline):
+        assert baseline["config"] == {"threads": 8, "scale": 1.0,
+                                      "seed": 1}

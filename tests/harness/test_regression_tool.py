@@ -1,0 +1,125 @@
+"""Tests for the suite-comparison (regression) tool and JSON export."""
+
+import json
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.regression import Delta, compare, main
+from repro.harness.report import suite_to_dict
+
+FAST = dict(threads=2, scale=0.1, quantum=100, seed=2)
+
+
+@pytest.fixture(scope="module")
+def suite_dict():
+    return suite_to_dict(experiments.run_suite(**FAST))
+
+
+class TestSuiteToDict:
+    def test_contains_all_benchmarks_and_config(self, suite_dict):
+        assert len(suite_dict["benchmarks"]) == 10
+        assert suite_dict["config"]["threads"] == 2
+        assert suite_dict["geomean_speedup"] > 0
+
+    def test_benchmark_entries_complete(self, suite_dict):
+        for name, entry in suite_dict["benchmarks"].items():
+            for key in ("ft_slowdown", "aikido_slowdown", "speedup",
+                        "shared_fraction", "segfaults", "paper"):
+                assert key in entry, (name, key)
+
+    def test_json_serializable(self, suite_dict):
+        json.loads(json.dumps(suite_dict))
+
+
+class TestCompare:
+    def test_identical_runs_have_no_offenders(self, suite_dict):
+        assert compare(suite_dict, suite_dict) == []
+
+    def test_moved_metric_reported(self, suite_dict):
+        import copy
+        moved = copy.deepcopy(suite_dict)
+        moved["benchmarks"]["raytrace"]["speedup"] *= 2
+        offenders = compare(suite_dict, moved)
+        assert any(d.benchmark == "raytrace" and d.metric == "speedup"
+                   for d in offenders)
+
+    def test_tolerance_respected(self, suite_dict):
+        import copy
+        moved = copy.deepcopy(suite_dict)
+        moved["benchmarks"]["vips"]["speedup"] *= 1.05
+        assert compare(suite_dict, moved, tolerance=0.10) == []
+        assert compare(suite_dict, moved, tolerance=0.01)
+
+    def test_missing_benchmark_reported(self, suite_dict):
+        import copy
+        moved = copy.deepcopy(suite_dict)
+        del moved["benchmarks"]["vips"]
+        offenders = compare(suite_dict, moved)
+        assert any(d.metric == "presence" for d in offenders)
+
+    def test_delta_relative_and_describe(self):
+        delta = Delta("x264", "speedup", 1.0, 1.5)
+        assert delta.relative == pytest.approx(0.5)
+        assert "x264" in delta.describe()
+
+
+class TestCLI:
+    def test_main_exit_codes(self, suite_dict, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(suite_dict))
+        assert main([str(base), str(base)]) == 0
+        import copy
+        moved = copy.deepcopy(suite_dict)
+        moved["benchmarks"]["raytrace"]["speedup"] *= 3
+        cand = tmp_path / "cand.json"
+        cand.write_text(json.dumps(moved))
+        assert main([str(base), str(cand)]) == 1
+
+
+class TestLatexRendering:
+    def test_tables_render(self):
+        from repro.harness import experiments
+        from repro.harness.latex import (
+            figure5_table,
+            figure6_table,
+            render_all,
+            table2_table,
+        )
+        suite = experiments.run_suite(threads=2, scale=0.1, seed=2,
+                                      quantum=100)
+        for text in (figure5_table(suite), figure6_table(suite),
+                     table2_table(suite)):
+            assert "\\begin{tabular}" in text
+            assert "raytrace" in text
+            assert text.count("\\\\") >= 10
+        combined = render_all(suite)
+        assert combined.count("\\begin{table}") == 3
+
+    def test_figure5_table_has_geomean(self):
+        from repro.harness import experiments
+        from repro.harness.latex import figure5_table
+        suite = experiments.run_suite(threads=2, scale=0.1, seed=2,
+                                      quantum=100)
+        assert "geomean" in figure5_table(suite)
+        assert "1.76" in figure5_table(suite)
+
+
+class TestMakeReport:
+    def test_report_script_writes_all_sections(self, tmp_path):
+        import runpy
+        import sys
+        out = tmp_path / "REPORT.md"
+        argv = sys.argv
+        sys.argv = ["make_report.py", "--out", str(out),
+                    "--threads", "2", "--scale", "0.1"]
+        try:
+            runpy.run_path("scripts/make_report.py", run_name="__main__")
+        finally:
+            sys.argv = argv
+        text = out.read_text()
+        for section in ("# Reproduction report", "## Figure 5",
+                        "## Figure 6", "## Table 1", "## Table 2",
+                        "## Detected races", "## Provenance"):
+            assert section in text, section
+        assert "CLEAN_CALL" in text

@@ -1,0 +1,243 @@
+"""Tests for the harness: runners, experiments, cost model, reports, CLI."""
+
+import pytest
+
+from repro import costs
+from repro.errors import HarnessError
+from repro.harness import experiments
+from repro.harness.costmodel import CostModel, snapshot
+from repro.harness.report import (
+    render_figure5,
+    render_figure6,
+    render_races,
+    render_summary,
+    render_table1,
+    render_table2,
+)
+from repro.harness.runner import (
+    run_aikido_fasttrack,
+    run_fasttrack,
+    run_mode,
+    run_native,
+)
+from repro.workloads import micro
+
+FAST = dict(threads=2, scale=0.1, quantum=100, seed=2)
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return experiments.run_suite(**FAST)
+
+
+class TestRunner:
+    def test_three_modes_agree_on_program_semantics(self):
+        cycles = {}
+        for mode in ("native", "fasttrack", "aikido-fasttrack"):
+            result = run_mode(micro.locked_counter(2, 10)[0], mode,
+                              seed=2, quantum=50)
+            cycles[mode] = result.cycles
+        assert cycles["native"] < cycles["aikido-fasttrack"]
+        assert cycles["native"] < cycles["fasttrack"]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(HarnessError, match="unknown mode"):
+            run_mode(micro.racy_flag()[0], "valgrind")
+
+    def test_slowdown_vs(self):
+        program, _ = micro.private_work(2, 20)
+        nat = run_native(micro.private_work(2, 20)[0], seed=2, quantum=50)
+        ft = run_fasttrack(micro.private_work(2, 20)[0], seed=2, quantum=50)
+        assert ft.slowdown_vs(nat) > 1.0
+
+    def test_result_accessors(self):
+        aik = run_aikido_fasttrack(micro.racy_counter(2, 10)[0],
+                                   seed=2, quantum=50)
+        assert aik.memory_refs > 0
+        assert aik.segfaults > 0
+        assert aik.shared_accesses <= aik.instrumented_execs \
+            or aik.instrumented_execs >= 0
+        assert "instr" in aik.cycle_breakdown
+
+    def test_detector_profile_populated(self):
+        ft = run_fasttrack(micro.racy_counter(2, 10)[0], seed=2, quantum=50)
+        assert ft.detector_profile["reads"] > 0
+        assert ft.detector_profile["writes"] > 0
+
+
+class TestSuiteExperiments:
+    def test_suite_covers_all_benchmarks(self, small_suite):
+        assert len(small_suite.runs) == 10
+
+    def test_figure5_has_geomean_row(self, small_suite):
+        rows = experiments.figure5(small_suite)
+        assert rows[-1][0] == "geomean"
+        assert len(rows) == 11
+        for _, ft, aik in rows:
+            assert ft > 1 and aik > 1
+
+    def test_figure6_fractions_bounded(self, small_suite):
+        for name, fraction in experiments.figure6(small_suite):
+            assert 0 <= fraction <= 1, name
+
+    def test_table2_column_invariants(self, small_suite):
+        for row in experiments.table2(small_suite):
+            # col3 <= col2 <= col1 and col4 > 0 (paper Table 2 structure)
+            assert row.shared_accesses <= row.instrumented_execs, \
+                row.benchmark
+            assert row.instrumented_execs <= row.memory_refs, row.benchmark
+            assert row.segfaults > 0, row.benchmark
+
+    def test_instrumentation_reduction_exceeds_one(self, small_suite):
+        assert small_suite.geomean_instrumentation_reduction() > 1.0
+
+    def test_detected_races_table(self, small_suite):
+        races = experiments.detected_races(small_suite)
+        assert races["canneal"]["fasttrack"] > 0
+        for name, counts in races.items():
+            assert counts["aikido"] <= counts["fasttrack"] + 2, name
+
+    def test_table1_structure(self):
+        results = experiments.table1(scale=0.1, seed=2, quantum=100)
+        assert set(results) == {"fluidanimate", "vips"}
+        for per_thread in results.values():
+            assert set(per_thread) == {2, 4, 8}
+            for ft, aik in per_thread.values():
+                assert ft > 1 and aik > 1
+
+
+class TestCostModel:
+    def test_override_and_restore(self):
+        original = costs.VMEXIT
+        with CostModel(VMEXIT=9999):
+            assert costs.VMEXIT == 9999
+        assert costs.VMEXIT == original
+
+    def test_restore_on_exception(self):
+        original = costs.VMEXIT
+        with pytest.raises(RuntimeError):
+            with CostModel(VMEXIT=1):
+                raise RuntimeError("boom")
+        assert costs.VMEXIT == original
+
+    def test_unknown_constant_rejected(self):
+        with pytest.raises(HarnessError):
+            CostModel(NOT_A_COST=5)
+
+    def test_override_changes_measured_cycles(self):
+        def measure():
+            return run_aikido_fasttrack(micro.racy_counter(2, 10)[0],
+                                        seed=2, quantum=50).cycles
+        base = measure()
+        with CostModel(SIGNAL_DELIVERY=50_000):
+            inflated = measure()
+        assert inflated > base
+
+    def test_snapshot_contains_constants(self):
+        snap = snapshot()
+        assert snap["VMEXIT"] == costs.VMEXIT
+        assert "CLEAN_CALL" in snap
+
+
+class TestReports:
+    def test_figure5_rendering(self, small_suite):
+        text = render_figure5(small_suite)
+        assert "Figure 5" in text
+        assert "geomean" in text
+        assert "FastTrack" in text and "Aikido-FastTrack" in text
+
+    def test_figure6_rendering(self, small_suite):
+        text = render_figure6(small_suite)
+        assert "Figure 6" in text
+        assert "raytrace" in text
+
+    def test_table1_rendering(self):
+        results = {"vips": {2: (10.0, 5.0), 4: (11.0, 6.0),
+                            8: (12.0, 11.0)}}
+        text = render_table1(results)
+        assert "Table 1" in text
+        assert "45.5" in text  # paper comparison column
+
+    def test_table2_rendering(self, small_suite):
+        text = render_table2(small_suite)
+        assert "geomean reduction" in text
+        assert "6.75x" in text
+
+    def test_races_rendering(self, small_suite):
+        text = render_races(experiments.detected_races(small_suite))
+        assert "canneal" in text
+
+    def test_summary_rendering(self, small_suite):
+        text = render_summary(small_suite)
+        assert "average speedup" in text
+        assert "paper: 76%" in text
+
+
+class TestCLI:
+    def test_cli_fig5(self, capsys):
+        from repro.harness.cli import main
+        assert main(["fig5", "--threads", "2", "--scale", "0.1",
+                     "--quantum", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+
+    def test_cli_table1(self, capsys):
+        from repro.harness.cli import main
+        assert main(["table1", "--scale", "0.1", "--quantum", "100"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_artifact(self):
+        from repro.harness.cli import main
+        with pytest.raises(SystemExit):
+            main(["fig7"])
+
+
+class TestSeedRobustness:
+    """The Fig. 5 shape must not be an artifact of one scheduler seed."""
+
+    def test_raytrace_speedup_stable_across_seeds(self):
+        from repro.workloads.parsec import get_benchmark
+        spec = get_benchmark("raytrace")
+        for seed in (1, 2, 3):
+            kw = dict(seed=seed, quantum=150)
+            nat = run_native(spec.program(threads=4, scale=0.5), **kw)
+            ft = run_fasttrack(spec.program(threads=4, scale=0.5), **kw)
+            aik = run_aikido_fasttrack(spec.program(threads=4, scale=0.5),
+                                       **kw)
+            speedup = ft.slowdown_vs(nat) / aik.slowdown_vs(nat)
+            assert speedup > 3.0, seed
+
+    def test_freqmine_parity_stable_across_seeds(self):
+        from repro.workloads.parsec import get_benchmark
+        spec = get_benchmark("freqmine")
+        for seed in (1, 2, 3):
+            kw = dict(seed=seed, quantum=150)
+            nat = run_native(spec.program(threads=4, scale=0.5), **kw)
+            ft = run_fasttrack(spec.program(threads=4, scale=0.5), **kw)
+            aik = run_aikido_fasttrack(spec.program(threads=4, scale=0.5),
+                                       **kw)
+            speedup = ft.slowdown_vs(nat) / aik.slowdown_vs(nat)
+            assert 0.7 < speedup < 1.5, seed
+
+    def test_cli_profile(self, capsys):
+        from repro.harness.cli import main
+        assert main(["profile", "--benchmark", "raytrace", "--threads",
+                     "2", "--scale", "0.1", "--quantum", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "raytrace" in out and "mem fraction" in out
+
+    def test_cli_latex_export(self, capsys, tmp_path):
+        from repro.harness.cli import main
+        path = tmp_path / "tables.tex"
+        assert main(["fig5", "--threads", "2", "--scale", "0.1",
+                     "--quantum", "100", "--latex", str(path)]) == 0
+        text = path.read_text()
+        assert text.count("\\begin{table}") == 3
+
+    def test_cli_breakdown(self, capsys):
+        from repro.harness.cli import main
+        assert main(["breakdown", "--threads", "2", "--scale", "0.1",
+                     "--quantum", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Cycle breakdown" in out
+        assert "fasttrack" in out

@@ -1,0 +1,360 @@
+"""Tests for AikidoVM: shadow tables, per-thread protection, fault routing."""
+
+import pytest
+
+from repro.errors import BadHypercallError, SegmentationFaultError
+from repro.guestos.kernel import Kernel
+from repro.guestos.signals import SIGSEGV, HandlerResult
+from repro.guestos import syscalls
+from repro.hypervisor.aikidovm import AikidoVM
+from repro.hypervisor.hypercalls import (
+    ALL_THREADS,
+    HC_INIT,
+    HC_SET_PROT,
+    PROT_CLEAR,
+)
+from repro.hypervisor.shadow import effective_flags
+from repro.machine.asm import ProgramBuilder
+from repro.machine.layout import AIKIDO_SPECIAL_BASE
+from repro.machine.paging import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PROT_NONE,
+    PROT_READ,
+    PROT_RW,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+)
+
+USER_RW = PTE_PRESENT | PTE_WRITABLE | PTE_USER
+
+
+def make_vm_kernel(**kw):
+    vm = AikidoVM()
+    kernel = Kernel(platform=vm, jitter=0.0, **kw)
+    return vm, kernel
+
+
+def simple_store_program(extra=None):
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(1, 7)
+    b.store(1, disp=data)
+    if extra:
+        extra(b, data)
+    b.halt()
+    return b.build(), data
+
+
+def register_fault_pages(vm, kernel):
+    """Map the special pages and register them, as AikidoLib would."""
+    process = kernel.process
+    base = AIKIDO_SPECIAL_BASE
+    # read-fault page: present but not readable from userspace is modeled
+    # as a PROT_NONE page; write-fault page: read-only.
+    process.vm.map_region(base, PAGE_SIZE, "aikido-read-fault",
+                          kind="special", flags=0, notify=False)
+    process.vm.map_region(base + PAGE_SIZE, PAGE_SIZE, "aikido-write-fault",
+                          kind="special", flags=PTE_PRESENT | PTE_USER,
+                          notify=False)
+    process.vm.map_region(base + 2 * PAGE_SIZE, PAGE_SIZE, "aikido-mailbox",
+                          kind="special", flags=USER_RW, notify=False)
+    main = process.threads[1]
+    vm.hypercall(main, HC_INIT,
+                 (base, base + PAGE_SIZE, base + 2 * PAGE_SIZE))
+    return base, base + PAGE_SIZE, base + 2 * PAGE_SIZE
+
+
+class TestEffectiveFlags:
+    def test_no_override_passthrough(self):
+        assert effective_flags(USER_RW, None) == USER_RW
+
+    def test_prot_none_clears_everything(self):
+        assert effective_flags(USER_RW, PROT_NONE) == 0
+
+    def test_prot_read_clears_writable(self):
+        assert effective_flags(USER_RW, PROT_READ) == PTE_PRESENT | PTE_USER
+
+    def test_prot_rw_passthrough(self):
+        assert effective_flags(USER_RW, PROT_RW) == USER_RW
+
+    def test_kernel_unprotect_wins_and_clears_user(self):
+        assert effective_flags(USER_RW, PROT_NONE, kernel_unprotected=True) \
+            == PTE_PRESENT | PTE_WRITABLE
+
+
+class TestShadowSync:
+    def test_thread_gets_shadow_copy_of_guest_table(self):
+        vm, kernel = make_vm_kernel()
+        program, data = simple_store_program()
+        kernel.create_process(program)
+        shadow = vm.shadow_tables[1]
+        guest = kernel.process.page_table
+        assert len(shadow) == len(guest)
+        for vpn, pte in guest.entries.items():
+            assert shadow.lookup(vpn).pfn == pte.pfn
+
+    def test_guest_pt_write_propagates_to_all_shadows(self):
+        vm, kernel = make_vm_kernel()
+        program, data = simple_store_program()
+        kernel.create_process(program)
+        t2 = kernel.process.create_thread(0)
+        vm.on_thread_created(t2)
+        addr = kernel.process.vm.mmap(PAGE_SIZE)
+        vpn = addr >> PAGE_SHIFT
+        for tid in (1, 2):
+            assert vm.shadow_tables[tid].lookup(vpn) is not None
+
+    def test_execution_under_hypervisor_matches_native(self):
+        program, data = simple_store_program()
+        vm, kernel = make_vm_kernel()
+        kernel.create_process(program)
+        kernel.run()
+        assert kernel.process.vm.read_word(data) == 7
+        assert vm.stats.vmexits == 0  # no protections -> no faults
+
+
+class TestPerThreadProtection:
+    def test_protection_applies_to_one_thread_only(self):
+        vm, kernel = make_vm_kernel()
+        program, data = simple_store_program()
+        kernel.create_process(program)
+        t1 = kernel.process.threads[1]
+        t2 = kernel.process.create_thread(0)
+        vm.on_thread_created(t2)
+        vpn = data >> PAGE_SHIFT
+        vm.hypercall(t1, HC_SET_PROT, (1, vpn, 1, PROT_NONE))
+        # t1 faults, t2 does not.
+        from repro.machine.paging import PageFault
+        with pytest.raises(PageFault):
+            vm.translate(t1, data, is_write=False)
+        assert vm.translate(t2, data, is_write=False) >= 0
+
+    def test_prot_read_blocks_writes_only(self):
+        vm, kernel = make_vm_kernel()
+        program, data = simple_store_program()
+        kernel.create_process(program)
+        t1 = kernel.process.threads[1]
+        vpn = data >> PAGE_SHIFT
+        vm.hypercall(t1, HC_SET_PROT, (1, vpn, 1, PROT_READ))
+        from repro.machine.paging import PageFault
+        assert vm.translate(t1, data, is_write=False) >= 0
+        with pytest.raises(PageFault):
+            vm.translate(t1, data, is_write=True)
+
+    def test_prot_clear_removes_override(self):
+        vm, kernel = make_vm_kernel()
+        program, data = simple_store_program()
+        kernel.create_process(program)
+        t1 = kernel.process.threads[1]
+        vpn = data >> PAGE_SHIFT
+        vm.hypercall(t1, HC_SET_PROT, (1, vpn, 1, PROT_NONE))
+        vm.hypercall(t1, HC_SET_PROT, (1, vpn, 1, PROT_CLEAR))
+        assert vm.translate(t1, data, is_write=True) >= 0
+
+    def test_all_threads_addressing(self):
+        vm, kernel = make_vm_kernel()
+        program, data = simple_store_program()
+        kernel.create_process(program)
+        t1 = kernel.process.threads[1]
+        t2 = kernel.process.create_thread(0)
+        vm.on_thread_created(t2)
+        vpn = data >> PAGE_SHIFT
+        vm.hypercall(t1, HC_SET_PROT, (ALL_THREADS, vpn, 1, PROT_NONE))
+        from repro.machine.paging import PageFault
+        for t in (t1, t2):
+            with pytest.raises(PageFault):
+                vm.translate(t, data, is_write=False)
+
+    def test_stale_tlb_entry_would_hide_protection_without_shootdown(self):
+        """Documents why _resync must invalidate the TLB: simulate the bug."""
+        vm, kernel = make_vm_kernel()
+        program, data = simple_store_program()
+        kernel.create_process(program)
+        t1 = kernel.process.threads[1]
+        vpn = data >> PAGE_SHIFT
+        # Warm the TLB with a permissive entry.
+        vm.translate(t1, data, is_write=True)
+        assert vpn in t1.tlb
+        # Protection update shoots the entry down...
+        vm.hypercall(t1, HC_SET_PROT, (1, vpn, 1, PROT_NONE))
+        assert vpn not in t1.tlb
+        # ...whereas a manually re-inserted stale entry grants access.
+        shadow_pte_flags = USER_RW
+        t1.tlb.fill(vpn, kernel.process.page_table.lookup(vpn).pfn,
+                    shadow_pte_flags)
+        assert vm.translate(t1, data, is_write=True) >= 0  # the hazard
+
+    def test_bad_hypercall_rejected(self):
+        vm, kernel = make_vm_kernel()
+        program, _ = simple_store_program()
+        kernel.create_process(program)
+        t1 = kernel.process.threads[1]
+        with pytest.raises(BadHypercallError):
+            vm.hypercall(t1, 999, ())
+        with pytest.raises(BadHypercallError):
+            vm.hypercall(t1, HC_SET_PROT, (1, 0, 1, 77))
+        with pytest.raises(BadHypercallError):
+            vm.hypercall(t1, HC_SET_PROT, (12345, 0, 1, PROT_NONE))
+
+
+class TestFaultInjection:
+    def test_aikido_fault_delivers_fake_address_and_mailbox(self):
+        vm, kernel = make_vm_kernel()
+        program, data = simple_store_program()
+        kernel.create_process(program)
+        read_page, write_page, mailbox = register_fault_pages(vm, kernel)
+        t1 = kernel.process.threads[1]
+        vpn = data >> PAGE_SHIFT
+        vm.hypercall(t1, HC_SET_PROT, (1, vpn, 1, PROT_NONE))
+
+        delivered = []
+
+        def handler(thread, info):
+            delivered.append((info.fault_address, info.is_write))
+            # Read the true address from the mailbox like AikidoLib does,
+            # then unprotect so execution can proceed.
+            true_addr = kernel.process.vm.read_word(mailbox)
+            assert true_addr == data
+            vm.hypercall(thread, HC_SET_PROT, (1, vpn, 1, PROT_CLEAR))
+            return HandlerResult.RESUME
+
+        kernel.process.signal_handlers[SIGSEGV] = handler
+        kernel.run()
+        assert kernel.process.vm.read_word(data) == 7
+        assert delivered == [(write_page, True)]
+        assert vm.stats.segfaults_delivered == 1
+
+    def test_read_fault_uses_read_page(self):
+        vm, kernel = make_vm_kernel()
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.load(1, disp=data)
+        b.halt()
+        kernel.create_process(b.build())
+        read_page, write_page, mailbox = register_fault_pages(vm, kernel)
+        t1 = kernel.process.threads[1]
+        vpn = data >> PAGE_SHIFT
+        vm.hypercall(t1, HC_SET_PROT, (1, vpn, 1, PROT_NONE))
+        seen = []
+
+        def handler(thread, info):
+            seen.append(info.fault_address)
+            vm.hypercall(thread, HC_SET_PROT, (1, vpn, 1, PROT_CLEAR))
+            return HandlerResult.RESUME
+
+        kernel.process.signal_handlers[SIGSEGV] = handler
+        kernel.run()
+        assert seen == [read_page]
+
+    def test_fault_before_init_is_hypervisor_error(self):
+        from repro.errors import HypervisorError
+        vm, kernel = make_vm_kernel()
+        program, data = simple_store_program()
+        kernel.create_process(program)
+        t1 = kernel.process.threads[1]
+        vpn = data >> PAGE_SHIFT
+        vm.hypercall(t1, HC_SET_PROT, (1, vpn, 1, PROT_NONE))
+        with pytest.raises(HypervisorError, match="initialization"):
+            kernel.run()
+
+    def test_genuine_fault_still_reaches_guest_unmodified(self):
+        vm, kernel = make_vm_kernel()
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(1, 0xDEAD000)
+        b.load(2, base=1, disp=0)
+        b.halt()
+        kernel.create_process(b.build())
+        with pytest.raises(SegmentationFaultError):
+            kernel.run()
+        assert vm.stats.segfaults_delivered == 0
+
+
+class TestGuestKernelEmulation:
+    """The §3.2.6 path: guest kernel touches Aikido-protected pages."""
+
+    def _protected_write_syscall_program(self):
+        b = ProgramBuilder()
+        data = b.segment("data", 64, initial={0: 3, 8: 4})
+        b.label("main")
+        b.li(1, data)
+        b.li(2, 2)
+        b.syscall(syscalls.SYS_WRITE)   # kernel reads the buffer
+        b.store(0, disp=data + 16)      # userspace then touches the page
+        b.halt()
+        return b.build(), data
+
+    def test_kernel_access_emulated_then_user_fault_restores(self):
+        vm, kernel = make_vm_kernel()
+        program, data = self._protected_write_syscall_program()
+        kernel.create_process(program)
+        read_page, write_page, mailbox = register_fault_pages(vm, kernel)
+        t1 = kernel.process.threads[1]
+        vpn = data >> PAGE_SHIFT
+        vm.hypercall(t1, HC_SET_PROT, (1, vpn, 1, PROT_NONE))
+
+        aikido_faults = []
+
+        def handler(thread, info):
+            aikido_faults.append(info.fault_address)
+            vm.hypercall(thread, HC_SET_PROT, (1, vpn, 1, PROT_CLEAR))
+            return HandlerResult.RESUME
+
+        kernel.process.signal_handlers[SIGSEGV] = handler
+        kernel.run()
+        # The kernel's buffer read was emulated, not delivered as a fault.
+        assert vm.stats.emulated_kernel_accesses >= 1
+        # The later *userspace* store first restored the temp unprotection,
+        # then took the Aikido path.
+        assert vm.stats.temp_unprotect_restores == 1
+        assert aikido_faults == [write_page]
+        assert kernel.process.vm.read_word(data + 16) == 7  # checksum 3+4
+
+    def test_temp_unprotected_page_does_not_refault_for_kernel(self):
+        vm, kernel = make_vm_kernel()
+        b = ProgramBuilder()
+        data = b.segment("data", 64, initial={0: 1})
+        b.label("main")
+        b.li(1, data)
+        b.li(2, 1)
+        b.syscall(syscalls.SYS_WRITE)
+        b.syscall(syscalls.SYS_WRITE)   # second kernel read: no new fault
+        b.halt()
+        kernel.create_process(b.build())
+        register_fault_pages(vm, kernel)
+        t1 = kernel.process.threads[1]
+        vpn = data >> PAGE_SHIFT
+        vm.hypercall(t1, HC_SET_PROT, (1, vpn, 1, PROT_NONE))
+        kernel.run()
+        assert vm.stats.emulated_kernel_accesses == 1
+
+
+class TestContextSwitchInterception:
+    def test_ctx_switch_traps_counted(self):
+        vm, kernel = make_vm_kernel(quantum=5)
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("main")
+        b.li(3, 0)
+        b.spawn(5, "child", arg_reg=3)
+        with b.loop(counter=2, count=30):
+            b.add(4, 4, imm=1)
+        b.join(5)
+        b.halt()
+        b.label("child")
+        with b.loop(counter=2, count=30):
+            b.add(4, 4, imm=1)
+        b.halt()
+        kernel.create_process(b.build())
+        kernel.run()
+        assert vm.stats.ctx_switch_traps > 0
+
+    def test_gs_trap_mode(self):
+        vm = AikidoVM(ctx_switch_mode="gs_trap")
+        assert vm.ctx_switch_mode == "gs_trap"
+        with pytest.raises(Exception):
+            AikidoVM(ctx_switch_mode="bogus")

@@ -1,0 +1,98 @@
+"""Tests for lazy shadow paging (hidden faults)."""
+
+import pytest
+
+from repro.guestos.kernel import Kernel
+from repro.hypervisor.aikidovm import AikidoVM
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SIZE
+from repro.workloads import micro
+
+
+def lazy_kernel(program, **kw):
+    vm = AikidoVM(eager_shadow=False)
+    kernel = Kernel(platform=vm, jitter=0.0, **kw)
+    kernel.create_process(program)
+    return vm, kernel
+
+
+class TestLazyShadowPaging:
+    def test_program_results_identical_to_eager(self):
+        program, info = micro.locked_counter(2, 15)
+        vm, kernel = lazy_kernel(program, quantum=5)
+        kernel.run()
+        assert kernel.process.vm.read_word(info["counter"]) == 30
+
+    def test_hidden_faults_materialize_entries(self):
+        program, info = micro.private_work(2, 10)
+        vm, kernel = lazy_kernel(program)
+        kernel.run()
+        assert vm.stats.hidden_faults > 0
+
+    def test_eager_mode_has_no_hidden_faults(self):
+        program, info = micro.private_work(2, 10)
+        vm = AikidoVM(eager_shadow=True)
+        kernel = Kernel(platform=vm, jitter=0.0)
+        kernel.create_process(program)
+        kernel.run()
+        assert vm.stats.hidden_faults == 0
+
+    def test_one_hidden_fault_per_page_per_thread(self):
+        """Lazy shadow entries persist once derived: re-touching a page
+        never hidden-faults again."""
+        b = ProgramBuilder()
+        data = b.segment("data", 2 * PAGE_SIZE)
+        b.label("main")
+        b.li(4, data)
+        with b.loop(counter=2, count=20):
+            b.load(5, base=4, disp=0)
+            b.load(5, base=4, disp=PAGE_SIZE)
+        b.halt()
+        vm, kernel = lazy_kernel(b.build())
+        before = vm.stats.hidden_faults
+        kernel.run()
+        # data pages touched: exactly 2 hidden faults for them (plus
+        # whatever the segment's residency already took). Loop re-touch
+        # adds none.
+        assert vm.stats.hidden_faults - before <= 3
+
+    def test_guest_pt_write_invalidates_lazily(self):
+        from repro.guestos import syscalls
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("main")
+        b.li(1, PAGE_SIZE)
+        b.syscall(syscalls.SYS_MMAP)
+        b.mov(4, 0)
+        b.li(5, 7)
+        b.store(5, base=4, disp=0)   # hidden fault then access
+        b.load(6, base=4, disp=0)
+        b.halt()
+        vm, kernel = lazy_kernel(b.build())
+        kernel.run()
+        assert vm.stats.hidden_faults >= 1
+        assert vm.stats.guest_pt_writes > 0
+
+    def test_lazy_mode_works_under_full_aikido_stack(self):
+        """Hidden faults and Aikido faults coexist: sharing detection is
+        unaffected by the shadow-sync strategy."""
+        from repro.core.config import AikidoConfig
+        from repro.harness.runner import run_aikido_fasttrack
+
+        # Route a config through by building the system manually.
+        from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
+        from repro.core.sharing import SharingDetector
+        from repro.dbr.engine import DBREngine
+
+        program, info = micro.racy_counter(2, 15)
+        vm = AikidoVM(eager_shadow=False)
+        kernel = Kernel(platform=vm, seed=3, quantum=20, jitter=0.0)
+        kernel.create_process(program)
+        engine = DBREngine(kernel)
+        analysis = AikidoFastTrack(kernel)
+        sd = SharingDetector(kernel, vm, analysis)
+        sd.install(engine)
+        kernel.run()
+        assert analysis.races
+        assert vm.stats.hidden_faults > 0
+        assert vm.stats.segfaults_delivered > 0

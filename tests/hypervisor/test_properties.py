@@ -1,0 +1,147 @@
+"""Property tests: shadow tables + TLBs always agree with a reference
+protection model.
+
+The hazard these tests guard: a stale TLB entry surviving a protection
+downgrade would silently grant access AikidoVM meant to revoke, and the
+sharing detector would miss accesses (unsound analysis, not a crash).
+We replay random sequences of protection updates, guest PT changes and
+accesses through the full translate path, checking each outcome against
+a model that recomputes permissions from scratch.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.guestos.kernel import Kernel
+from repro.hypervisor.aikidovm import AikidoVM
+from repro.hypervisor.hypercalls import HC_SET_PROT, PROT_CLEAR
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PROT_NONE,
+    PROT_READ,
+    PROT_RW,
+    PageFault,
+)
+
+N_PAGES = 4
+N_THREADS = 2
+
+# Operations:
+#   ("prot", thread_idx, page_idx, level)  level in NONE/READ/RW/CLEAR
+#   ("access", thread_idx, page_idx, is_write)
+#   ("remap", page_idx)   guest kernel replaces the PTE (same perms)
+op_strategy = st.one_of(
+    st.tuples(st.just("prot"), st.integers(0, N_THREADS - 1),
+              st.integers(0, N_PAGES - 1),
+              st.sampled_from([PROT_NONE, PROT_READ, PROT_RW, PROT_CLEAR])),
+    st.tuples(st.just("access"), st.integers(0, N_THREADS - 1),
+              st.integers(0, N_PAGES - 1), st.booleans()),
+    st.tuples(st.just("remap"), st.integers(0, N_PAGES - 1)),
+)
+
+
+def build_stack():
+    b = ProgramBuilder()
+    data = b.segment("data", N_PAGES * PAGE_SIZE)
+    b.label("main")
+    b.halt()
+    vm = AikidoVM()
+    kernel = Kernel(platform=vm, jitter=0.0, tlb_capacity=2)  # tiny TLB
+    kernel.create_process(b.build())
+    t2 = kernel.process.create_thread(0)
+    vm.on_thread_created(t2)
+    threads = [kernel.process.threads[1], t2]
+    return kernel, vm, threads, data
+
+
+def model_allows(overrides, thread_idx, page_idx, is_write):
+    """Reference: guest PTE is RWU; only the override can deny."""
+    level = overrides.get((thread_idx, page_idx))
+    if level is None or level == PROT_RW:
+        return True
+    if level == PROT_NONE:
+        return False
+    return not is_write  # PROT_READ
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(op_strategy, max_size=30))
+def test_translate_agrees_with_protection_model(ops):
+    kernel, vm, threads, data = build_stack()
+    base_vpn = data >> PAGE_SHIFT
+    overrides = {}
+    for op in ops:
+        if op[0] == "prot":
+            _, t, p, level = op
+            vm.hypercall(threads[t], HC_SET_PROT,
+                         (threads[t].tid, base_vpn + p, 1, level))
+            if level == PROT_CLEAR:
+                overrides.pop((t, p), None)
+            else:
+                overrides[(t, p)] = level
+        elif op[0] == "remap":
+            _, p = op
+            pte = kernel.process.page_table.lookup(base_vpn + p)
+            # Guest kernel rewrites the PTE (e.g. migration): same frame,
+            # same flags — AikidoVM must re-derive every shadow entry.
+            kernel.process.page_table.map(base_vpn + p, pte.pfn, pte.flags)
+        else:
+            _, t, p, is_write = op
+            addr = data + p * PAGE_SIZE + 8
+            expected = model_allows(overrides, t, p, is_write)
+            try:
+                vm.translate(threads[t], addr, is_write=is_write)
+                allowed = True
+            except PageFault:
+                allowed = False
+            assert allowed == expected, (op, overrides)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(op_strategy, max_size=25))
+def test_fault_classification_never_misfires(ops):
+    """Every denied access must be classified as Aikido-initiated (the
+    guest PTE always allows in this setup), and handling it must leave
+    the system consistent."""
+    kernel, vm, threads, data = build_stack()
+    base_vpn = data >> PAGE_SHIFT
+    # Register fault pages so injection works.
+    from repro.machine.layout import AIKIDO_SPECIAL_BASE
+    from repro.hypervisor.hypercalls import HC_INIT
+    from repro.machine.paging import PTE_PRESENT, PTE_USER, PTE_WRITABLE
+    pvm = kernel.process.vm
+    pvm.map_region(AIKIDO_SPECIAL_BASE, PAGE_SIZE, "fr", kind="special",
+                   flags=0, notify=False)
+    pvm.map_region(AIKIDO_SPECIAL_BASE + PAGE_SIZE, PAGE_SIZE, "fw",
+                   kind="special", flags=PTE_PRESENT | PTE_USER,
+                   notify=False)
+    pvm.map_region(AIKIDO_SPECIAL_BASE + 2 * PAGE_SIZE, PAGE_SIZE, "mb",
+                   kind="special",
+                   flags=PTE_PRESENT | PTE_WRITABLE | PTE_USER,
+                   notify=False)
+    vm.hypercall(threads[0], HC_INIT,
+                 (AIKIDO_SPECIAL_BASE, AIKIDO_SPECIAL_BASE + PAGE_SIZE,
+                  AIKIDO_SPECIAL_BASE + 2 * PAGE_SIZE))
+
+    for op in ops:
+        if op[0] == "prot":
+            _, t, p, level = op
+            vm.hypercall(threads[t], HC_SET_PROT,
+                         (threads[t].tid, base_vpn + p, 1, level))
+        elif op[0] == "access":
+            _, t, p, is_write = op
+            addr = data + p * PAGE_SIZE + 8
+            try:
+                vm.translate(threads[t], addr, is_write=is_write)
+            except PageFault as fault:
+                disposition = vm.handle_fault(threads[t], fault)
+                # Guest PTE allows everything here, so every fault must
+                # be Aikido's and must be delivered at a fault page.
+                assert disposition.kind == "deliver"
+                assert disposition.delivered_address in (
+                    vm.fault_read_page, vm.fault_write_page)
+                # The mailbox holds the true address.
+                assert kernel.process.vm.read_word(vm.mailbox_addr) == addr

@@ -1,0 +1,80 @@
+"""Tests for the traditional (per-page-table) hypervisor mode.
+
+Paper Fig. 2 contrasts a traditional hypervisor — one shadow page table
+per guest page table — with AikidoVM's one-per-thread design. This mode
+exists to make that contrast executable: programs run identically, but
+per-thread protection is impossible and context switches need no
+interception.
+"""
+
+import pytest
+
+from repro.errors import BadHypercallError
+from repro.guestos.kernel import Kernel
+from repro.hypervisor.aikidovm import AikidoVM
+from repro.hypervisor.hypercalls import HC_SET_PROT
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SHIFT, PAGE_SIZE, PROT_NONE
+from repro.workloads import micro
+
+
+def traditional_kernel(program, **kw):
+    vm = AikidoVM(per_thread_shadow=False)
+    kernel = Kernel(platform=vm, jitter=0.0, **kw)
+    kernel.create_process(program)
+    return vm, kernel
+
+
+class TestSharedShadowTable:
+    def test_all_threads_share_one_shadow_table(self):
+        program, _ = micro.private_work(3, 5)
+        vm, kernel = traditional_kernel(program)
+        for _ in range(3):
+            vm.on_thread_created(kernel.process.create_thread(0))
+        tables = {id(t) for t in vm.shadow_tables.values()}
+        assert len(tables) == 1
+        assert len(vm.shadow_tables) == 4  # main + 3
+
+    def test_programs_run_identically(self):
+        program, info = micro.locked_counter(2, 15)
+        vm, kernel = traditional_kernel(program, quantum=5)
+        kernel.run()
+        assert kernel.process.vm.read_word(info["counter"]) == 30
+
+    def test_guest_pt_writes_still_tracked(self):
+        from repro.guestos import syscalls
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(1, PAGE_SIZE)
+        b.syscall(syscalls.SYS_MMAP)
+        b.mov(4, 0)
+        b.li(5, 3)
+        b.store(5, base=4, disp=0)
+        b.halt()
+        vm, kernel = traditional_kernel(b.build())
+        kernel.run()
+        assert vm.stats.guest_pt_writes > 0
+
+
+class TestNoPerThreadProtection:
+    def test_protection_hypercall_rejected(self):
+        program, _ = micro.private_work(1, 3)
+        vm, kernel = traditional_kernel(program)
+        thread = kernel.process.threads[1]
+        with pytest.raises(BadHypercallError, match="per-thread"):
+            vm.hypercall(thread, HC_SET_PROT, (1, 0x10000, 1, PROT_NONE))
+
+    def test_context_switches_are_free(self):
+        program, _ = micro.locked_counter(2, 20)
+        vm, kernel = traditional_kernel(program, quantum=5)
+        kernel.run()
+        assert vm.stats.ctx_switch_traps == 0
+
+    def test_per_thread_mode_pays_for_switches(self):
+        program, _ = micro.locked_counter(2, 20)
+        vm = AikidoVM(per_thread_shadow=True)
+        kernel = Kernel(platform=vm, jitter=0.0, quantum=5)
+        kernel.create_process(program)
+        kernel.run()
+        assert vm.stats.ctx_switch_traps > 0

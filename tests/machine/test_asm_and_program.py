@@ -1,0 +1,115 @@
+"""Tests for the assembler DSL and program finalization."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.asm import ProgramBuilder
+from repro.machine.isa import Instruction, MemOperand, Opcode
+from repro.machine.layout import STATIC_BASE, static_segment_bases
+from repro.machine.paging import PAGE_SIZE
+from repro.machine.program import Program
+
+
+def test_finalize_assigns_unique_uids():
+    b = ProgramBuilder()
+    b.label("main")
+    b.li(1, 5)
+    b.add(2, 1, imm=3)
+    b.halt()
+    program = b.build()
+    uids = [i.uid for i in program.iter_instructions()]
+    assert uids == sorted(set(uids))
+    assert all(u >= 0 for u in uids)
+
+
+def test_instruction_locations_roundtrip():
+    b = ProgramBuilder()
+    b.label("main")
+    b.li(1, 0)
+    b.jmp("second")
+    b.label("second")
+    b.halt()
+    program = b.build()
+    for instr in program.iter_instructions():
+        assert program.instruction_at(instr.uid) is instr
+
+
+def test_unknown_label_rejected():
+    b = ProgramBuilder()
+    b.label("main")
+    b.jmp("nowhere")
+    with pytest.raises(WorkloadError, match="unknown label"):
+        b.build()
+
+
+def test_duplicate_label_rejected():
+    b = ProgramBuilder()
+    b.label("main")
+    b.halt()
+    with pytest.raises(WorkloadError, match="duplicate"):
+        b.label("main")
+
+
+def test_fallthrough_off_end_rejected():
+    b = ProgramBuilder()
+    b.label("main")
+    b.li(1, 1)
+    with pytest.raises(WorkloadError, match="falls through"):
+        b.build()
+
+
+def test_emit_after_terminator_opens_new_block():
+    b = ProgramBuilder()
+    b.label("main")
+    b.halt()
+    b.li(1, 1)  # should silently start an anonymous continuation block
+    b.halt()
+    program = b.build()
+    assert len(program.blocks) == 2
+
+
+def test_empty_program_rejected():
+    with pytest.raises(WorkloadError, match="no code"):
+        Program("empty").finalize()
+
+
+def test_segment_addresses_match_loader_layout():
+    b = ProgramBuilder()
+    addr_a = b.segment("a", 100)
+    addr_b = b.segment("b", PAGE_SIZE + 1)
+    addr_c = b.segment("c", 8)
+    b.label("main")
+    b.halt()
+    b.build()
+    expected = static_segment_bases([100, PAGE_SIZE + 1, 8])
+    assert [addr_a, addr_b, addr_c] == expected
+    assert addr_a == STATIC_BASE
+    # Each segment page-aligned and non-overlapping with a guard page.
+    assert addr_b == STATIC_BASE + PAGE_SIZE + PAGE_SIZE
+    assert addr_c > addr_b + PAGE_SIZE
+
+
+def test_mem_operand_direct_flag():
+    assert MemOperand(None, 0x1000).is_direct
+    assert not MemOperand(3, 0).is_direct
+    with pytest.raises(ValueError):
+        MemOperand(99)
+
+
+def test_instruction_copy_shares_uid_not_operand():
+    instr = Instruction(Opcode.LOAD, rd=1, mem=MemOperand(2, 8))
+    instr.uid = 42
+    clone = instr.copy()
+    assert clone.uid == 42
+    assert clone.mem is not instr.mem
+    clone.mem.disp = 0x999
+    assert instr.mem.disp == 8
+
+
+def test_lock_requires_exactly_one_operand():
+    b = ProgramBuilder()
+    b.label("main")
+    with pytest.raises(WorkloadError):
+        b.lock()
+    with pytest.raises(WorkloadError):
+        b.lock(lock_id=1, reg=2)

@@ -1,0 +1,85 @@
+"""Fuzzing the builder/validator boundary.
+
+Random instruction soup either fails program validation with a
+WorkloadError (never an internal exception) or, if it validates, executes
+without any error other than the simulated-error hierarchy.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.guestos.kernel import Kernel
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SIZE
+
+# A constrained random "statement": (kind, small ints...). Addresses are
+# confined to one data segment so most programs actually run.
+statement = st.one_of(
+    st.tuples(st.just("li"), st.integers(0, 15), st.integers(0, 200)),
+    st.tuples(st.just("alu"), st.integers(0, 15), st.integers(0, 15),
+              st.integers(0, 100)),
+    st.tuples(st.just("load"), st.integers(0, 15), st.integers(0, 15)),
+    st.tuples(st.just("store"), st.integers(0, 15), st.integers(0, 15)),
+    st.tuples(st.just("jmp_fwd"), st.just(0)),
+    st.tuples(st.just("lock"), st.integers(0, 3)),
+    st.tuples(st.just("unlock"), st.integers(0, 3)),
+    st.tuples(st.just("syscall"), st.integers(1, 7)),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(statement, max_size=25))
+def test_random_programs_fail_cleanly_or_run(statements):
+    b = ProgramBuilder("fuzz")
+    data = b.segment("data", PAGE_SIZE)
+    b.label("main")
+    b.li(14, data)  # keep a valid base pointer around
+    skip_targets = 0
+    for stmt in statements:
+        kind = stmt[0]
+        if kind == "li":
+            b.li(stmt[1], stmt[2])
+        elif kind == "alu":
+            b.add(stmt[1], stmt[2], imm=stmt[3])
+        elif kind == "load":
+            # Clamp the offset into the segment via the fixed base.
+            b.mod(stmt[1] or 1, stmt[2], imm=PAGE_SIZE // 8)
+            b.shl(stmt[1] or 1, stmt[1] or 1, imm=3)
+            b.add(stmt[1] or 1, stmt[1] or 1, 14)
+            b.load(2, base=stmt[1] or 1, disp=0)
+        elif kind == "store":
+            b.mod(stmt[1] or 1, stmt[2], imm=PAGE_SIZE // 8)
+            b.shl(stmt[1] or 1, stmt[1] or 1, imm=3)
+            b.add(stmt[1] or 1, stmt[1] or 1, 14)
+            b.store(2, base=stmt[1] or 1, disp=0)
+        elif kind == "jmp_fwd":
+            label = b.fresh_label("fwd")
+            b.jmp(label)
+            b.label(label)
+            skip_targets += 1
+        elif kind == "lock":
+            b.lock(lock_id=stmt[1])
+        elif kind == "unlock":
+            b.unlock(lock_id=stmt[1])
+        elif kind == "syscall":
+            # Constrain syscall args so mmap/brk stay small.
+            b.li(1, 64)
+            b.li(2, 1)
+            b.li(3, 1)
+            b.syscall(stmt[1])
+    b.halt()
+    try:
+        program = b.build()
+    except ReproError:
+        return  # clean validation failure is acceptable
+    kernel = Kernel(jitter=0.0)
+    kernel.create_process(program)
+    try:
+        kernel.run(max_instructions=100_000)
+    except ReproError:
+        # Simulated errors (deadlock from unmatched lock, unlock of a
+        # free lock, segfault, ...) are legitimate outcomes. Anything
+        # else (KeyError, AttributeError, ...) would fail the test.
+        pass

@@ -1,0 +1,223 @@
+"""Unit and property tests for CPU instruction semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidInstructionError
+from repro.guestos.kernel import Kernel
+from repro.machine.asm import LCG_MULTIPLIER, ProgramBuilder
+from repro.machine.cpu import BASE_COST
+from repro.machine.isa import Opcode
+
+from tests.conftest import run_native
+
+U64 = st.integers(0, 2**64 - 1)
+MASK = 2**64 - 1
+
+
+def run_alu(setup):
+    """Build a program from ``setup(builder, data_addr)`` and return the
+    kernel after running it natively."""
+    b = ProgramBuilder()
+    data = b.segment("data", 256)
+    b.label("main")
+    setup(b, data)
+    b.halt()
+    return run_native(b.build()), data
+
+
+def result_of(setup):
+    kernel, data = run_alu(lambda b, d: (setup(b), b.store(1, disp=d)))
+    return kernel.process.vm.read_word(data)
+
+
+class TestALUSemantics:
+    def test_li_mov(self):
+        assert result_of(lambda b: (b.li(2, 77), b.mov(1, 2))) == 77
+
+    def test_add_reg_and_imm(self):
+        assert result_of(lambda b: (b.li(1, 5), b.li(2, 6),
+                                    b.add(1, 1, 2))) == 11
+        assert result_of(lambda b: (b.li(1, 5), b.add(1, 1, imm=6))) == 11
+
+    def test_sub_wraps(self):
+        assert result_of(lambda b: (b.li(1, 3), b.sub(1, 1, imm=5))) \
+            == MASK - 1
+
+    def test_mul_wraps(self):
+        assert result_of(lambda b: (b.li(1, 2**63), b.mul(1, 1, imm=2))) == 0
+
+    def test_bitwise(self):
+        assert result_of(lambda b: (b.li(1, 0b1100),
+                                    b.and_(1, 1, imm=0b1010))) == 0b1000
+        assert result_of(lambda b: (b.li(1, 0b1100),
+                                    b.or_(1, 1, imm=0b1010))) == 0b1110
+        assert result_of(lambda b: (b.li(1, 0b1100),
+                                    b.xor(1, 1, imm=0b1010))) == 0b0110
+
+    def test_shifts(self):
+        assert result_of(lambda b: (b.li(1, 3), b.shl(1, 1, imm=4))) == 48
+        assert result_of(lambda b: (b.li(1, 48), b.shr(1, 1, imm=4))) == 3
+
+    def test_shift_amount_masked_to_6_bits(self):
+        assert result_of(lambda b: (b.li(1, 1), b.shl(1, 1, imm=64))) == 1
+
+    def test_mod(self):
+        assert result_of(lambda b: (b.li(1, 17), b.mod(1, 1, imm=5))) == 2
+
+    def test_mod_by_zero_raises(self):
+        b = ProgramBuilder()
+        b.segment("data", 64)
+        b.label("main")
+        b.li(1, 17)
+        b.li(2, 0)
+        b.mod(1, 1, 2)
+        b.halt()
+        with pytest.raises(InvalidInstructionError, match="modulo"):
+            run_native(b.build())
+
+    @given(U64, U64)
+    @settings(max_examples=40, deadline=None)
+    def test_add_matches_python_wrapping(self, a, imm):
+        # Direct CPU-level check, no program build (fast).
+        from repro.machine.cpu import CPU
+        from repro.machine.isa import Instruction
+
+        class FakeThread:
+            regs = [0] * 16
+            program = None
+
+        thread = FakeThread()
+        thread.regs = [0] * 16
+        thread.regs[1] = a
+        cpu = CPU(memory=None, translate=None)
+        cpu.execute(Instruction(Opcode.ADD, rd=2, rs1=1,
+                                imm=imm & 0x7FFFFFFFFFFFFFFF), thread)
+        assert thread.regs[2] == (a + (imm & 0x7FFFFFFFFFFFFFFF)) & MASK
+
+
+class TestBranchSemantics:
+    def _branch(self, op_emit, reg_values):
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        for reg, value in reg_values.items():
+            b.li(reg, value)
+        op_emit(b)
+        b.li(1, 0)       # fallthrough: r1 = 0
+        b.jmp("out")
+        b.label("taken")
+        b.li(1, 1)       # taken: r1 = 1
+        b.label("out")
+        b.store(1, disp=data)
+        b.halt()
+        kernel = run_native(b.build())
+        return kernel.process.vm.read_word(data)
+
+    def test_bz(self):
+        assert self._branch(lambda b: b.bz(2, "taken"), {2: 0}) == 1
+        assert self._branch(lambda b: b.bz(2, "taken"), {2: 5}) == 0
+
+    def test_bnz(self):
+        assert self._branch(lambda b: b.bnz(2, "taken"), {2: 5}) == 1
+        assert self._branch(lambda b: b.bnz(2, "taken"), {2: 0}) == 0
+
+    def test_blt_unsigned(self):
+        assert self._branch(lambda b: b.blt(2, 3, "taken"),
+                            {2: 1, 3: 2}) == 1
+        assert self._branch(lambda b: b.blt(2, 3, "taken"),
+                            {2: 2, 3: 1}) == 0
+        # "negative" values are large unsigned.
+        assert self._branch(lambda b: b.blt(2, 3, "taken"),
+                            {2: MASK, 3: 1}) == 0
+
+    def test_bge(self):
+        assert self._branch(lambda b: b.bge(2, 3, "taken"),
+                            {2: 2, 3: 2}) == 1
+        assert self._branch(lambda b: b.bge(2, 3, "taken"),
+                            {2: 1, 3: 2}) == 0
+
+
+class TestMemoryAndAtomics:
+    def test_atomic_add_returns_old_value(self):
+        b = ProgramBuilder()
+        data = b.segment("data", 64, initial={0: 10})
+        b.label("main")
+        b.li(4, data)
+        b.li(5, 3)
+        b.atomic_add(6, 5, base=4, disp=0)
+        b.store(6, disp=data + 8)
+        b.halt()
+        kernel = run_native(b.build())
+        assert kernel.process.vm.read_word(data) == 13
+        assert kernel.process.vm.read_word(data + 8) == 10
+
+    def test_indirect_addressing_with_displacement(self):
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(4, data)
+        b.li(5, 9)
+        b.store(5, base=4, disp=16)
+        b.load(6, base=4, disp=16)
+        b.store(6, disp=data + 24)
+        b.halt()
+        kernel = run_native(b.build())
+        assert kernel.process.vm.read_word(data + 16) == 9
+        assert kernel.process.vm.read_word(data + 24) == 9
+
+
+class TestBuilderHelpers:
+    @given(st.integers(1, 64), st.integers(0, 2**64 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_lcg_offset_always_in_bounds(self, words, seed):
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(10, seed)
+        b.lcg_offset(11, 10, words)
+        b.store(11, disp=data)
+        b.halt()
+        kernel = run_native(b.build())
+        offset = kernel.process.vm.read_word(data)
+        assert offset % 8 == 0
+        assert 0 <= offset < words * 8
+
+    def test_nested_loops(self):
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(5, 0)
+        with b.loop(counter=2, count=4):
+            with b.loop(counter=3, count=5):
+                b.add(5, 5, imm=1)
+        b.store(5, disp=data)
+        b.halt()
+        kernel = run_native(b.build())
+        assert kernel.process.vm.read_word(data) == 20
+
+    def test_loop_reg_bound(self):
+        b = ProgramBuilder()
+        data = b.segment("data", 64)
+        b.label("main")
+        b.li(6, 7)        # dynamic bound
+        b.li(5, 0)
+        with b.loop_reg(counter=2, bound_reg=6):
+            b.add(5, 5, imm=1)
+        b.store(5, disp=data)
+        b.halt()
+        kernel = run_native(b.build())
+        assert kernel.process.vm.read_word(data) == 7
+
+    def test_lcg_constants_are_knuth_mmix(self):
+        assert LCG_MULTIPLIER == 6364136223846793005
+
+
+class TestCostTable:
+    def test_every_opcode_has_a_base_cost(self):
+        for op in Opcode:
+            assert BASE_COST[op] >= 1
+
+    def test_memory_ops_cost_more_than_alu(self):
+        assert BASE_COST[Opcode.LOAD] > BASE_COST[Opcode.ADD]
+        assert BASE_COST[Opcode.ATOMIC_ADD] > BASE_COST[Opcode.STORE]

@@ -1,0 +1,88 @@
+"""Tests for the disassembler."""
+
+from repro.machine.asm import ProgramBuilder
+from repro.machine.disasm import (
+    disassemble,
+    disassemble_block,
+    format_instruction,
+)
+from repro.machine.isa import Instruction, MemOperand, Opcode
+
+
+def sample_program():
+    b = ProgramBuilder("sample")
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(1, 5)
+    b.li(4, data)
+    b.lock(lock_id=2)
+    b.load(2, base=4, disp=8)
+    b.add(2, 2, imm=1)
+    b.store(2, base=4, disp=8)
+    b.unlock(lock_id=2)
+    b.li(3, 0)
+    b.spawn(5, "child", arg_reg=3)
+    b.join(5)
+    b.halt()
+    b.label("child")
+    b.li(8, 2)
+    b.barrier(1, parties_reg=8)
+    b.halt()
+    return b.build(), data
+
+
+class TestFormatInstruction:
+    def test_alu_forms(self):
+        assert "ADD" in format_instruction(
+            Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))
+        text = format_instruction(Instruction(Opcode.ADD, rd=1, rs1=2,
+                                              imm=7))
+        assert "#7" in text
+
+    def test_memory_forms(self):
+        direct = Instruction(Opcode.LOAD, rd=1, mem=MemOperand(None, 0x100))
+        assert "[0x100]" in format_instruction(direct)
+        indirect = Instruction(Opcode.STORE, rs1=2, mem=MemOperand(4, 8))
+        assert "[r4+0x8]" in format_instruction(indirect)
+        bare = Instruction(Opcode.LOAD, rd=1, mem=MemOperand(4, 0))
+        assert "[r4]" in format_instruction(bare)
+
+    def test_unassigned_uid_shown_as_question_mark(self):
+        text = format_instruction(Instruction(Opcode.NOP))
+        assert text.startswith("   ?")
+
+
+class TestDisassemble:
+    def test_every_instruction_listed(self):
+        program, _ = sample_program()
+        listing = disassemble(program)
+        total = sum(len(block) for block in program.blocks)
+        # one line per instruction plus one per block label
+        assert len(listing.splitlines()) == total + len(program.blocks)
+
+    def test_labels_present(self):
+        program, _ = sample_program()
+        listing = disassemble(program)
+        assert "main:" in listing and "child:" in listing
+
+    def test_highlighting_marks_uids(self):
+        program, _ = sample_program()
+        memory_uids = {i.uid for i in program.iter_instructions()
+                       if i.is_memory_op}
+        listing = disassemble(program, highlight_uids=memory_uids)
+        marked = [line for line in listing.splitlines()
+                  if line.startswith("  * ")]
+        assert len(marked) == len(memory_uids)
+
+    def test_block_iterator(self):
+        program, _ = sample_program()
+        lines = list(disassemble_block(program.blocks[0]))
+        assert lines[0] == "main:"
+        assert len(lines) == len(program.blocks[0]) + 1
+
+    def test_all_opcode_classes_render(self):
+        program, _ = sample_program()
+        listing = disassemble(program)
+        for fragment in ("LI", "LOCK", "UNLOCK", "LOAD", "STORE", "SPAWN",
+                         "JOIN", "BARRIER", "HALT"):
+            assert fragment in listing, fragment

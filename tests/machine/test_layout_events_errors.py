@@ -1,0 +1,95 @@
+"""Tests for layout math, the event records and the error hierarchy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import errors
+from repro.events import (
+    AcquireEvent,
+    BarrierEvent,
+    ForkEvent,
+    JoinEvent,
+    ReleaseEvent,
+    SyncEvent,
+    ThreadExitEvent,
+)
+from repro.machine.layout import (
+    AIKIDO_SPECIAL_BASE,
+    HEAP_BASE,
+    MIRROR_BASE,
+    MMAP_BASE,
+    STATIC_BASE,
+    align_up,
+    static_segment_bases,
+)
+from repro.machine.paging import PAGE_SIZE
+
+
+class TestLayout:
+    def test_arenas_are_ordered_and_disjoint(self):
+        assert STATIC_BASE < HEAP_BASE < MMAP_BASE < MIRROR_BASE \
+            < AIKIDO_SPECIAL_BASE
+
+    def test_align_up(self):
+        assert align_up(0) == 0
+        assert align_up(1) == PAGE_SIZE
+        assert align_up(PAGE_SIZE) == PAGE_SIZE
+        assert align_up(PAGE_SIZE + 1) == 2 * PAGE_SIZE
+
+    @given(st.lists(st.integers(1, 1 << 20), max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_segment_bases_aligned_and_disjoint(self, sizes):
+        bases = static_segment_bases(sizes)
+        assert len(bases) == len(sizes)
+        for base, size in zip(bases, sizes):
+            assert base % PAGE_SIZE == 0
+        # Segments (including guard pages) never overlap and stay in
+        # declaration order below the heap arena.
+        for (b1, s1), (b2, s2) in zip(zip(bases, sizes),
+                                      zip(bases[1:], sizes[1:])):
+            assert b1 + align_up(s1) < b2
+        if bases:
+            assert bases[-1] + align_up(sizes[-1]) <= HEAP_BASE
+
+
+class TestEvents:
+    def test_all_events_are_sync_events(self):
+        for event in (ForkEvent(1, 2), JoinEvent(1, 2),
+                      AcquireEvent(1, 5), ReleaseEvent(1, 5),
+                      BarrierEvent(1, 0, (1, 2)), ThreadExitEvent(1)):
+            assert isinstance(event, SyncEvent)
+
+    def test_events_are_slotted(self):
+        event = AcquireEvent(1, 5)
+        with pytest.raises(AttributeError):
+            event.extra = 1
+
+    def test_field_access(self):
+        barrier = BarrierEvent(3, 7, (1, 2, 4))
+        assert barrier.barrier_id == 3
+        assert barrier.generation == 7
+        assert barrier.tids == (1, 2, 4)
+
+
+class TestErrorHierarchy:
+    def test_all_simulated_errors_share_the_root(self):
+        for cls in (errors.MachineError, errors.GuestOSError,
+                    errors.HypervisorError, errors.ToolError,
+                    errors.WorkloadError, errors.HarnessError):
+            assert issubclass(cls, errors.ReproError)
+
+    def test_specific_parents(self):
+        assert issubclass(errors.SegmentationFaultError,
+                          errors.GuestOSError)
+        assert issubclass(errors.BadHypercallError, errors.HypervisorError)
+        assert issubclass(errors.InvalidInstructionError,
+                          errors.MachineError)
+        assert issubclass(errors.PhysicalMemoryError, errors.MachineError)
+        assert issubclass(errors.DeadlockError, errors.GuestOSError)
+        assert issubclass(errors.NoSuchSyscallError, errors.GuestOSError)
+
+    def test_segfault_carries_context(self):
+        err = errors.SegmentationFaultError("boom", address=0x123,
+                                            thread_id=7)
+        assert err.address == 0x123
+        assert err.thread_id == 7

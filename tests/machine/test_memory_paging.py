@@ -1,0 +1,178 @@
+"""Tests for physical memory, page tables and the TLB."""
+
+import pytest
+
+from repro.errors import PhysicalMemoryError
+from repro.machine.memory import PhysicalMemory
+from repro.machine.paging import (
+    PAGE_SIZE,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+    GuestPageTable,
+    PageFault,
+    PageTable,
+    page_range,
+    prot_to_pte_flags,
+    PROT_NONE,
+    PROT_READ,
+    PROT_RW,
+)
+from repro.machine.tlb import TLB
+
+
+class TestPhysicalMemory:
+    def test_fresh_frame_reads_zero(self):
+        mem = PhysicalMemory()
+        pfn = mem.alloc_frame()
+        assert mem.read_word(pfn * PAGE_SIZE) == 0
+
+    def test_write_read_roundtrip(self):
+        mem = PhysicalMemory()
+        pfn = mem.alloc_frame()
+        mem.write_word(pfn * PAGE_SIZE + 8, 0xDEAD)
+        assert mem.read_word(pfn * PAGE_SIZE + 8) == 0xDEAD
+
+    def test_values_wrap_to_64_bits(self):
+        mem = PhysicalMemory()
+        pfn = mem.alloc_frame()
+        mem.write_word(pfn * PAGE_SIZE, 2**64 + 5)
+        assert mem.read_word(pfn * PAGE_SIZE) == 5
+
+    def test_freed_frame_is_scrubbed_on_reuse(self):
+        mem = PhysicalMemory()
+        pfn = mem.alloc_frame()
+        mem.write_word(pfn * PAGE_SIZE, 123)
+        mem.free_frame(pfn)
+        pfn2 = mem.alloc_frame()
+        assert pfn2 == pfn  # free list reuse
+        assert mem.read_word(pfn2 * PAGE_SIZE) == 0
+
+    def test_double_free_rejected(self):
+        mem = PhysicalMemory()
+        pfn = mem.alloc_frame()
+        mem.free_frame(pfn)
+        with pytest.raises(PhysicalMemoryError):
+            mem.free_frame(pfn)
+
+    def test_unaligned_access_rejected(self):
+        mem = PhysicalMemory()
+        pfn = mem.alloc_frame()
+        with pytest.raises(PhysicalMemoryError):
+            mem.read_word(pfn * PAGE_SIZE + 3)
+
+    def test_unallocated_access_rejected(self):
+        mem = PhysicalMemory()
+        with pytest.raises(PhysicalMemoryError):
+            mem.read_word(0)
+
+    def test_frame_limit(self):
+        mem = PhysicalMemory(frame_limit=2)
+        mem.alloc_frame()
+        mem.alloc_frame()
+        with pytest.raises(PhysicalMemoryError):
+            mem.alloc_frame()
+
+
+class TestPageTable:
+    def test_translate_success(self):
+        pt = PageTable()
+        pt.map(5, 9, PTE_PRESENT | PTE_WRITABLE | PTE_USER)
+        paddr = pt.translate(5 * PAGE_SIZE + 0x10, is_write=True,
+                             user_mode=True)
+        assert paddr == 9 * PAGE_SIZE + 0x10
+
+    def test_not_present_faults(self):
+        pt = PageTable()
+        with pytest.raises(PageFault) as ei:
+            pt.translate(0x1000, is_write=False, user_mode=True)
+        assert ei.value.reason == "not_present"
+
+    def test_write_to_readonly_faults(self):
+        pt = PageTable()
+        pt.map(1, 1, PTE_PRESENT | PTE_USER)
+        with pytest.raises(PageFault) as ei:
+            pt.translate(PAGE_SIZE, is_write=True, user_mode=True)
+        assert ei.value.reason == "protection"
+        # ... but reads are fine
+        pt.translate(PAGE_SIZE, is_write=False, user_mode=True)
+
+    def test_user_access_to_kernel_page_faults(self):
+        pt = PageTable()
+        pt.map(1, 1, PTE_PRESENT | PTE_WRITABLE)  # USER bit clear
+        with pytest.raises(PageFault) as ei:
+            pt.translate(PAGE_SIZE, is_write=False, user_mode=True)
+        assert ei.value.reason == "protection"
+        # kernel mode can still access
+        pt.translate(PAGE_SIZE, is_write=False, user_mode=False)
+
+    def test_version_bumps_on_updates(self):
+        pt = PageTable()
+        v0 = pt.version
+        pt.map(1, 1, PTE_PRESENT)
+        pt.set_flags(1, PTE_PRESENT | PTE_WRITABLE)
+        pt.unmap(1)
+        assert pt.version == v0 + 3
+
+    def test_prot_to_pte_flags(self):
+        assert prot_to_pte_flags(PROT_NONE) == 0
+        assert prot_to_pte_flags(PROT_READ) == PTE_PRESENT | PTE_USER
+        assert prot_to_pte_flags(PROT_RW) == (
+            PTE_PRESENT | PTE_WRITABLE | PTE_USER)
+        assert prot_to_pte_flags(PROT_RW, user=False) == (
+            PTE_PRESENT | PTE_WRITABLE)
+
+    def test_page_range(self):
+        assert page_range(0, 1) == (0, 1)
+        assert page_range(0, PAGE_SIZE) == (0, 1)
+        assert page_range(0, PAGE_SIZE + 1) == (0, 2)
+        assert page_range(PAGE_SIZE - 8, 16) == (0, 2)
+
+
+class TestGuestPageTable:
+    def test_write_hook_sees_map_unmap_and_flags(self):
+        pt = GuestPageTable()
+        seen = []
+        pt.set_write_hook(lambda vpn, old, new: seen.append(
+            (vpn, old.flags if old else None, new.flags if new else None)))
+        pt.map(3, 7, PTE_PRESENT)
+        pt.set_flags(3, PTE_PRESENT | PTE_WRITABLE)
+        pt.unmap(3)
+        assert seen == [
+            (3, None, PTE_PRESENT),
+            (3, PTE_PRESENT, PTE_PRESENT | PTE_WRITABLE),
+            (3, PTE_PRESENT | PTE_WRITABLE, None),
+        ]
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB()
+        assert tlb.lookup(1) is None
+        tlb.fill(1, 5, PTE_PRESENT)
+        assert tlb.lookup(1) == (5, PTE_PRESENT)
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_capacity_eviction_fifo(self):
+        tlb = TLB(capacity=2)
+        tlb.fill(1, 1, 1)
+        tlb.fill(2, 2, 1)
+        tlb.fill(3, 3, 1)
+        assert 1 not in tlb
+        assert 2 in tlb and 3 in tlb
+
+    def test_invalidate_and_flush(self):
+        tlb = TLB()
+        tlb.fill(1, 1, 1)
+        tlb.fill(2, 2, 1)
+        tlb.invalidate(1)
+        assert 1 not in tlb and 2 in tlb
+        tlb.flush()
+        assert len(tlb) == 0
+        assert tlb.flushes == 1
+        assert tlb.single_invalidations == 1
+
+    def test_invalidate_absent_is_noop(self):
+        tlb = TLB()
+        tlb.invalidate(99)
+        assert tlb.single_invalidations == 0

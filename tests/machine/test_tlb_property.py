@@ -1,0 +1,95 @@
+"""Property tests: TLB + code cache against reference models."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dbr.codecache import CodeCache
+from repro.machine.asm import ProgramBuilder
+from repro.machine.tlb import TLB
+
+N_PAGES = 6
+
+tlb_op = st.one_of(
+    st.tuples(st.just("fill"), st.integers(0, N_PAGES - 1),
+              st.integers(0, 100), st.integers(0, 7)),
+    st.tuples(st.just("lookup"), st.integers(0, N_PAGES - 1)),
+    st.tuples(st.just("invalidate"), st.integers(0, N_PAGES - 1)),
+    st.tuples(st.just("flush"),),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(tlb_op, max_size=40), st.integers(1, 4))
+def test_tlb_agrees_with_unbounded_reference(ops, capacity):
+    """Whenever the bounded TLB returns a hit, the value must equal what
+    an unbounded reference mapping holds; misses are always allowed
+    (capacity eviction), stale hits never."""
+    tlb = TLB(capacity=capacity)
+    reference = {}
+    for op in ops:
+        if op[0] == "fill":
+            _, vpn, pfn, flags = op
+            tlb.fill(vpn, pfn, flags)
+            reference[vpn] = (pfn, flags)
+        elif op[0] == "lookup":
+            vpn = op[1]
+            hit = tlb.lookup(vpn)
+            if hit is not None:
+                assert reference.get(vpn) == hit, (ops, vpn)
+        elif op[0] == "invalidate":
+            tlb.invalidate(op[1])
+            reference.pop(op[1], None)
+        else:
+            tlb.flush()
+            reference.clear()
+        assert len(tlb) <= capacity
+
+
+cache_op = st.one_of(
+    st.tuples(st.just("get"), st.integers(0, 3)),
+    st.tuples(st.just("invalidate"), st.integers(0, 3)),
+)
+
+
+def four_block_program():
+    b = ProgramBuilder()
+    b.segment("data", 64)
+    b.label("main")
+    b.li(1, 1)
+    b.jmp("b1")
+    b.label("b1")
+    b.li(2, 2)
+    b.jmp("b2")
+    b.label("b2")
+    b.li(3, 3)
+    b.jmp("b3")
+    b.label("b3")
+    b.halt()
+    return b.build()
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(cache_op, max_size=40))
+def test_codecache_builds_match_reference(ops):
+    """Build count == number of gets that found the slot empty; cached
+    copies always reflect the static program."""
+    program = four_block_program()
+    cache = CodeCache(program)
+    resident = set()
+    expected_builds = 0
+    for op in ops:
+        if op[0] == "get":
+            index = op[1]
+            if index not in resident:
+                expected_builds += 1
+                resident.add(index)
+            cached = cache.get(index)
+            static = program.blocks[index].instructions
+            assert [i.uid for i in cached.instrs] \
+                == [i.uid for i in static]
+        else:
+            cache.invalidate(op[1])
+            resident.discard(op[1])
+    assert cache.builds == expected_builds
+    assert cache.flushes <= expected_builds

@@ -1,0 +1,103 @@
+"""Tests for the Umbra shadow-memory model."""
+
+import pytest
+
+from repro.errors import ToolError
+from repro.machine.cpu import CycleCounter
+from repro.umbra.shadow import ShadowMemory
+
+
+def make_shadow():
+    counter = CycleCounter()
+    shadow = ShadowMemory(counter)
+    return shadow, counter
+
+
+class TestRegions:
+    def test_region_lookup(self):
+        shadow, _ = make_shadow()
+        shadow.add_region(0x1000, 0x2000)
+        region = shadow.region_for(0x1800)
+        assert region is not None
+        assert region.app_start == 0x1000
+        assert shadow.region_for(0x4000) is None
+        assert shadow.region_for(0x0) is None
+
+    def test_regions_kept_sorted_regardless_of_insert_order(self):
+        shadow, _ = make_shadow()
+        shadow.add_region(0x9000, 0x1000)
+        shadow.add_region(0x1000, 0x1000)
+        shadow.add_region(0x5000, 0x1000)
+        assert shadow.region_for(0x1800).app_start == 0x1000
+        assert shadow.region_for(0x5800).app_start == 0x5000
+        assert shadow.region_for(0x9800).app_start == 0x9000
+
+    def test_duplicate_region_rejected(self):
+        shadow, _ = make_shadow()
+        shadow.add_region(0x1000, 0x1000)
+        with pytest.raises(ToolError, match="duplicate"):
+            shadow.add_region(0x1000, 0x100)
+
+    def test_mirror_address_translation(self):
+        shadow, _ = make_shadow()
+        shadow.add_region(0x1000, 0x2000, mirror_base=0x80000)
+        region = shadow.region_for(0x1808)
+        assert region.mirror_address(0x1808) == 0x80808
+
+    def test_mirror_missing_raises(self):
+        shadow, _ = make_shadow()
+        shadow.add_region(0x1000, 0x2000)
+        with pytest.raises(ToolError, match="no mirror"):
+            shadow.region_for(0x1000).mirror_address(0x1000)
+
+    def test_set_mirror_after_the_fact(self):
+        shadow, _ = make_shadow()
+        shadow.add_region(0x1000, 0x2000)
+        shadow.set_mirror(0x1000, 0x70000)
+        assert shadow.region_for(0x1000).mirror_address(0x1010) == 0x70010
+
+    def test_block_id(self):
+        shadow, _ = make_shadow()
+        assert shadow.block_id(0x100) == 0x20
+        assert shadow.block_id(0x107) == 0x20
+        assert shadow.block_id(0x108) == 0x21
+
+
+class TestTranslationCostModel:
+    def test_first_lookup_is_full_cost(self):
+        shadow, counter = make_shadow()
+        shadow.add_region(0x1000, 0x1000)
+        shadow.translate(1, 0x1100)
+        assert shadow.full_lookups == 1
+        assert counter.by_category["umbra"] >= 300
+
+    def test_repeat_same_region_hits_inline_cache(self):
+        shadow, counter = make_shadow()
+        shadow.add_region(0x1000, 0x1000)
+        shadow.translate(1, 0x1100)
+        before = counter.by_category["umbra"]
+        shadow.translate(1, 0x1200)
+        assert shadow.inline_hits == 1
+        assert counter.by_category["umbra"] - before < 20
+
+    def test_region_switch_hits_lean_cache(self):
+        shadow, _ = make_shadow()
+        shadow.add_region(0x1000, 0x1000)
+        shadow.add_region(0x9000, 0x1000)
+        shadow.translate(1, 0x1100)
+        shadow.translate(1, 0x9100)   # full (first time in this region)
+        shadow.translate(1, 0x1100)   # lean (warm, but inline points at 0x9000)
+        assert shadow.full_lookups == 2
+        assert shadow.lean_hits == 1
+
+    def test_caches_are_per_thread(self):
+        shadow, _ = make_shadow()
+        shadow.add_region(0x1000, 0x1000)
+        shadow.translate(1, 0x1100)
+        shadow.translate(2, 0x1100)   # thread 2 pays its own full lookup
+        assert shadow.full_lookups == 2
+
+    def test_unmapped_address_raises(self):
+        shadow, _ = make_shadow()
+        with pytest.raises(ToolError, match="no shadow region"):
+            shadow.translate(1, 0xDEAD000)

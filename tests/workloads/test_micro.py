@@ -1,0 +1,79 @@
+"""Direct tests of the micro workload builders."""
+
+import pytest
+
+from repro.guestos.kernel import Kernel
+from repro.workloads import micro
+
+from tests.conftest import run_native
+
+
+class TestRacyCounter:
+    def test_info_fields(self):
+        program, info = micro.racy_counter(3, 7)
+        assert info["threads"] == 3 and info["iters"] == 7
+        assert program.finalized
+
+    def test_lost_updates_possible(self):
+        """With unsynchronized increments and a small quantum, updates
+        are lost (which is what makes the race observable as data)."""
+        program, info = micro.racy_counter(2, 30)
+        kernel = Kernel(seed=5, quantum=3, jitter=0.4)
+        kernel.create_process(program)
+        kernel.run()
+        value = kernel.process.vm.read_word(info["counter"])
+        assert value <= 60
+
+
+class TestLockedCounter:
+    def test_no_lost_updates(self):
+        program, info = micro.locked_counter(3, 20)
+        kernel = Kernel(seed=5, quantum=3, jitter=0.4)
+        kernel.create_process(program)
+        kernel.run()
+        assert kernel.process.vm.read_word(info["counter"]) == 60
+
+
+class TestPrivateWork:
+    def test_each_slab_incremented_independently(self):
+        program, info = micro.private_work(3, 12)
+        kernel = run_native(program)
+        from repro.machine.paging import PAGE_SIZE
+        for i in range(3):
+            slab = info["slabs"] + PAGE_SIZE * (i + 1)
+            assert kernel.process.vm.read_word(slab) == 12
+
+
+class TestForkJoinPipeline:
+    def test_value_doubled_per_stage(self):
+        program, info = micro.fork_join_pipeline(4)
+        kernel = run_native(program)
+        assert kernel.process.vm.read_word(info["cell"] + 8) == 2 ** 4
+
+
+class TestBarrierPhases:
+    def test_each_slot_counts_phases(self):
+        program, info = micro.barrier_phases(2, 5)
+        kernel = run_native(program, quantum=4)
+        for i in range(2):
+            assert kernel.process.vm.read_word(info["array"] + 8 * i) == 5
+
+
+class TestMersenneTwister:
+    def test_rng_state_changes(self):
+        program, info = micro.mersenne_twister_canneal(2, 10)
+        kernel = run_native(program, quantum=5)
+        assert kernel.process.vm.read_word(info["rng"]) != 0x1234
+
+
+class TestFirstTouchRace:
+    def test_single_access_per_thread(self):
+        """The scenario's precondition: each thread touches the page
+        exactly once (otherwise Aikido would observe later accesses)."""
+        program, info = micro.first_touch_race()
+        from repro.machine.isa import MemOperand, Opcode
+        stores = [i for i in program.iter_instructions()
+                  if i.op is Opcode.STORE]
+        loads = [i for i in program.iter_instructions()
+                 if i.op is Opcode.LOAD]
+        assert len(stores) == 1 and len(loads) == 1

@@ -1,0 +1,62 @@
+"""Consistency of the paper's published numbers across the codebase.
+
+The paper's Table 2 counts live in `harness/report.py` and the derived
+ratios live on each `WorkloadSpec.paper`. A typo in either would silently
+skew every comparison column, so they are cross-checked here (and against
+the numbers printed in the paper itself, re-derived from the table).
+"""
+
+import pytest
+
+from repro.harness.report import PAPER_TABLE1, PAPER_TABLE2
+from repro.workloads.parsec import PARSEC_BENCHMARKS
+
+
+class TestTable2InternalConsistency:
+    @pytest.mark.parametrize("spec", PARSEC_BENCHMARKS,
+                             ids=lambda s: s.name)
+    def test_ratios_match_raw_counts(self, spec):
+        mem, instrumented, shared, faults = PAPER_TABLE2[spec.name]
+        assert spec.paper.shared_fraction \
+            == pytest.approx(shared / mem, rel=0.02, abs=1e-4)
+        assert spec.paper.instrumented_fraction \
+            == pytest.approx(instrumented / mem, rel=0.02, abs=1e-4)
+
+    def test_columns_ordered(self):
+        for name, (mem, instrumented, shared, faults) in \
+                PAPER_TABLE2.items():
+            assert shared <= instrumented <= mem, name
+            assert faults > 0, name
+
+    def test_geomean_reduction_is_the_papers_675(self):
+        import math
+        ratios = [mem / instrumented
+                  for mem, instrumented, _, _ in PAPER_TABLE2.values()]
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        # "a geometric mean reduction of 6.75x" (paper §5.2)
+        assert geomean == pytest.approx(6.75, rel=0.02)
+
+    def test_raytrace_is_the_0_11_percent_annotation(self):
+        mem, _, shared, _ = PAPER_TABLE2["raytrace"]
+        assert shared / mem == pytest.approx(0.0011, rel=0.02)
+
+
+class TestTable1InternalConsistency:
+    def test_fluidanimate_crossover_at_8_threads(self):
+        ft = PAPER_TABLE1[("fluidanimate", "FastTrack", 8)]
+        aik = PAPER_TABLE1[("fluidanimate", "Aikido-FastTrack", 8)]
+        # "a 3% increase in overhead for fluidanimate" (paper §5.2)
+        assert aik / ft == pytest.approx(1.03, abs=0.01)
+
+    def test_vips_2thread_45_percent_claim(self):
+        ft = PAPER_TABLE1[("vips", "FastTrack", 2)]
+        aik = PAPER_TABLE1[("vips", "Aikido-FastTrack", 2)]
+        # "up to 45% faster than the FastTrack algorithm for vips"
+        assert ft / aik == pytest.approx(1.45, abs=0.02)
+
+    def test_aikido_wins_at_2_and_4_threads(self):
+        for name in ("fluidanimate", "vips"):
+            for threads in (2, 4):
+                ft = PAPER_TABLE1[(name, "FastTrack", threads)]
+                aik = PAPER_TABLE1[(name, "Aikido-FastTrack", threads)]
+                assert aik < ft, (name, threads)

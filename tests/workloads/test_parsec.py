@@ -1,0 +1,156 @@
+"""Tests for the ten PARSEC-like benchmark generators."""
+
+import pytest
+
+from repro.harness.runner import (
+    run_aikido_fasttrack,
+    run_fasttrack,
+    run_native,
+)
+from repro.workloads.parsec import (
+    PARSEC_BENCHMARKS,
+    benchmark_names,
+    build_benchmark,
+    get_benchmark,
+)
+
+SMALL = dict(threads=2, scale=0.15)
+
+
+class TestRegistry:
+    def test_ten_benchmarks_in_paper_order(self):
+        assert benchmark_names() == [
+            "freqmine", "blackscholes", "bodytrack", "raytrace",
+            "swaptions", "fluidanimate", "vips", "x264", "canneal",
+            "streamcluster"]
+
+    def test_unknown_benchmark_rejected(self):
+        from repro.errors import WorkloadError
+        with pytest.raises(WorkloadError, match="unknown benchmark"):
+            get_benchmark("nginx")
+
+    def test_every_spec_has_paper_numbers(self):
+        for spec in PARSEC_BENCHMARKS:
+            assert 0 <= spec.paper.shared_fraction <= 1
+            assert 0 <= spec.paper.instrumented_fraction <= 1
+            assert spec.paper.ft_slowdown_8t > 1
+            assert spec.paper.aikido_slowdown_8t > 1
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+class TestEveryBenchmark:
+    def test_builds_and_finalizes(self, name):
+        program = build_benchmark(name, threads=4, scale=0.1)
+        assert program.finalized
+        assert program.static_memory_instruction_count() > 0
+
+    def test_runs_native_to_completion(self, name):
+        result = run_native(build_benchmark(name, **SMALL), seed=2,
+                            quantum=100)
+        assert result.run_stats["instructions"] > 0
+        assert result.memory_refs > 0
+
+    def test_runs_under_aikido(self, name):
+        result = run_aikido_fasttrack(build_benchmark(name, **SMALL),
+                                      seed=2, quantum=100)
+        assert result.cycles > 0
+        assert result.segfaults > 0  # at minimum, first-touch faults
+
+    def test_thread_count_parameter_respected(self, name):
+        p2 = build_benchmark(name, threads=2, scale=0.1)
+        p4 = build_benchmark(name, threads=4, scale=0.1)
+        # More threads -> more spawn instructions in main.
+        from repro.machine.isa import Opcode
+        spawns2 = sum(1 for i in p2.iter_instructions()
+                      if i.op is Opcode.SPAWN)
+        spawns4 = sum(1 for i in p4.iter_instructions()
+                      if i.op is Opcode.SPAWN)
+        assert spawns4 == spawns2 + 2
+
+    def test_scale_parameter_changes_work(self, name):
+        small = run_native(build_benchmark(name, threads=2, scale=0.1),
+                           seed=2, quantum=100)
+        large = run_native(build_benchmark(name, threads=2, scale=0.3),
+                           seed=2, quantum=100)
+        assert large.run_stats["instructions"] \
+            > small.run_stats["instructions"]
+
+
+class TestSharingCharacter:
+    """The Fig. 6 shape: orderings that must hold at 8 threads."""
+
+    @pytest.fixture(scope="class")
+    def fractions(self):
+        # scale=1.0 is the calibrated configuration: ring-buffer
+        # benchmarks need their full run for page sharing to reach
+        # steady state (shorter runs under-count shared accesses).
+        out = {}
+        for spec in PARSEC_BENCHMARKS:
+            result = run_aikido_fasttrack(
+                spec.program(threads=8, scale=1.0), seed=2, quantum=150)
+            out[spec.name] = (result.shared_accesses
+                              / max(1, result.memory_refs))
+        return out
+
+    def test_raytrace_is_far_lowest(self, fractions):
+        assert fractions["raytrace"] < 0.005
+        others = min(v for k, v in fractions.items() if k != "raytrace")
+        assert fractions["raytrace"] < others / 5
+
+    def test_freqmine_is_highest(self, fractions):
+        assert fractions["freqmine"] == max(fractions.values())
+        assert fractions["freqmine"] > 0.4
+
+    def test_low_sharing_group(self, fractions):
+        for name in ("blackscholes", "swaptions", "canneal"):
+            assert fractions[name] < 0.2, name
+
+    def test_high_sharing_group(self, fractions):
+        for name in ("fluidanimate", "streamcluster"):
+            assert fractions[name] > 0.3, name
+
+    def test_each_measured_fraction_tracks_paper(self, fractions):
+        """Within a factor band of the paper's ratio (loose: these are
+        synthetic stand-ins, the *ordering* is the strong claim)."""
+        for spec in PARSEC_BENCHMARKS:
+            measured = fractions[spec.name]
+            paper = spec.paper.shared_fraction
+            if paper > 0.05:
+                assert 0.5 * paper < measured < 1.8 * paper, spec.name
+
+
+class TestThreadScalingOfSharing:
+    def test_fluidanimate_sharing_grows_with_threads(self):
+        fracs = []
+        for threads in (2, 4, 8):
+            result = run_aikido_fasttrack(
+                build_benchmark("fluidanimate", threads=threads, scale=0.5),
+                seed=2, quantum=150)
+            fracs.append(result.shared_accesses
+                         / max(1, result.memory_refs))
+        assert fracs[0] < fracs[1] < fracs[2]
+
+
+class TestRaceCharacter:
+    def test_canneal_reports_its_benign_rng_race(self):
+        result = run_fasttrack(build_benchmark("canneal", threads=2,
+                                               scale=0.3),
+                               seed=2, quantum=100)
+        assert result.races, "canneal's Mersenne-Twister race must appear"
+
+    def test_locked_benchmarks_are_race_free(self):
+        for name in ("freqmine", "fluidanimate", "bodytrack",
+                     "streamcluster", "blackscholes", "swaptions",
+                     "raytrace"):
+            result = run_fasttrack(build_benchmark(name, threads=3,
+                                                   scale=0.2),
+                                   seed=2, quantum=50)
+            assert not result.races, (name, [r.describe()
+                                             for r in result.races[:3]])
+
+    def test_pipeline_benchmarks_have_benign_boundary_races(self):
+        for name in ("vips", "x264"):
+            result = run_fasttrack(build_benchmark(name, threads=3,
+                                                   scale=0.3),
+                                   seed=2, quantum=50)
+            assert result.races, name

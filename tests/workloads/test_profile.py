@@ -1,0 +1,69 @@
+"""Tests for the workload profiler."""
+
+import pytest
+
+from repro.workloads import micro
+from repro.workloads.parsec import build_benchmark
+from repro.workloads.profile import (
+    dynamic_profile,
+    render_profile,
+    static_profile,
+)
+
+
+class TestStaticProfile:
+    def test_counts_match_manual_inspection(self):
+        program, _ = micro.racy_flag()
+        profile = static_profile(program)
+        assert profile.instructions == sum(len(b) for b in program.blocks)
+        assert profile.memory_instructions == 2   # one store + one load
+        assert profile.sync_instructions == 2     # spawn + join
+        assert profile.segment_bytes == 64
+
+    def test_direct_vs_indirect_split(self):
+        from repro.machine.asm import ProgramBuilder
+        b = ProgramBuilder()
+        data = b.segment("d", 64)
+        b.label("main")
+        b.load(1, disp=data)       # direct
+        b.li(4, data)
+        b.load(1, base=4, disp=0)  # indirect
+        b.halt()
+        profile = static_profile(b.build())
+        assert profile.memory_instructions == 2
+        assert profile.direct_memory_instructions == 1
+
+    def test_footprint_pages(self):
+        program = build_benchmark("freqmine", threads=4, scale=0.2)
+        profile = static_profile(program)
+        assert profile.footprint_pages >= 8  # the FP-tree alone
+
+
+class TestDynamicProfile:
+    def test_fractions_bounded_and_consistent(self):
+        profile = dynamic_profile(
+            lambda: build_benchmark("bodytrack", threads=2, scale=0.2),
+            seed=2, quantum=100)
+        assert 0 < profile.memory_fraction < 1
+        assert 0 <= profile.shared_fraction <= 1
+        assert profile.shared_accesses <= profile.memory_refs
+        assert profile.segfaults > 0
+        assert profile.native_cycles > 0
+
+    def test_private_workload_profile(self):
+        profile = dynamic_profile(
+            lambda: micro.private_work(2, 20)[0], seed=2, quantum=50)
+        assert profile.shared_fraction == 0
+        assert profile.lock_acquisitions > 0  # fork/join count as sync
+
+
+class TestRendering:
+    def test_render_contains_key_quantities(self):
+        program, _ = micro.locked_counter(2, 10)
+        static = static_profile(program)
+        dynamic = dynamic_profile(lambda: micro.locked_counter(2, 10)[0],
+                                  seed=2, quantum=50)
+        text = render_profile("locked-counter", static, dynamic)
+        assert "locked-counter" in text
+        assert "mem fraction" in text
+        assert "Aikido faults" in text
