@@ -4,17 +4,20 @@
 Run after any cost-constant or workload tweak:
 
     python scripts/calibrate.py [--threads 8] [--scale 1.0] [--quantum 300]
+
+Runs fan out over a process pool (``--jobs``) and reuse the on-disk
+result cache; note a cost-constant edit changes the cache fingerprint,
+so recalibration never reads stale results.
 """
 
 import argparse
 import math
+import sys
 import time
 
-from repro.harness.runner import (
-    run_aikido_fasttrack,
-    run_fasttrack,
-    run_native,
-)
+from repro.harness.parallel import Job, ParallelRunner
+from repro.harness.resultcache import ResultCache
+from repro.harness.runner import MODES
 from repro.workloads.parsec import PARSEC_BENCHMARKS
 
 
@@ -25,19 +28,25 @@ def main() -> None:
     ap.add_argument("--quantum", type=int, default=300)
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--table1", action="store_true")
+    ap.add_argument("--jobs", type=int, default=0, metavar="N",
+                    help="worker processes (0 = one per CPU, 1 = serial)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="always re-simulate instead of reusing cached runs")
     args = ap.parse_args()
 
     t0 = time.time()
+    runner = ParallelRunner(
+        jobs=args.jobs, cache=None if args.no_cache else ResultCache())
+    batch = [Job(spec.name, mode, threads=args.threads, scale=args.scale,
+                 seed=args.seed, quantum=args.quantum)
+             for spec in PARSEC_BENCHMARKS for mode in MODES]
+    results = runner.run(batch)
+
     print(f"{'bench':14s} {'shared%':>8s} {'paper%':>7s} {'FT':>7s} "
           f"{'Aik':>7s} {'ratio':>6s} {'pFT':>6s} {'pAik':>6s} {'pRatio':>7s}")
     ratios = []
-    for spec in PARSEC_BENCHMARKS:
-        def mk():
-            return spec.program(threads=args.threads, scale=args.scale)
-        kw = dict(seed=args.seed, quantum=args.quantum)
-        nat = run_native(mk(), **kw)
-        ft = run_fasttrack(mk(), **kw)
-        aik = run_aikido_fasttrack(mk(), **kw)
+    for index, spec in enumerate(PARSEC_BENCHMARKS):
+        nat, ft, aik = results[3 * index:3 * index + 3]
         frac = aik.shared_accesses / max(1, aik.memory_refs)
         fts, aks = ft.slowdown_vs(nat), aik.slowdown_vs(nat)
         ratios.append(fts / aks)
@@ -53,17 +62,17 @@ def main() -> None:
 
     if args.table1:
         print("\nTable 1 (fluidanimate / vips at 2, 4, 8 threads):")
-        for name in ("fluidanimate", "vips"):
-            spec = next(s for s in PARSEC_BENCHMARKS if s.name == name)
-            for t in (2, 4, 8):
-                def mk():
-                    return spec.program(threads=t, scale=args.scale)
-                kw = dict(seed=args.seed, quantum=args.quantum)
-                nat = run_native(mk(), **kw)
-                ft = run_fasttrack(mk(), **kw)
-                aik = run_aikido_fasttrack(mk(), **kw)
-                print(f"  {name:13s} T={t}: FT={ft.slowdown_vs(nat):6.1f}"
-                      f"  Aik={aik.slowdown_vs(nat):6.1f}")
+        cells = [(name, t) for name in ("fluidanimate", "vips")
+                 for t in (2, 4, 8)]
+        batch = [Job(name, mode, threads=t, scale=args.scale,
+                     seed=args.seed, quantum=args.quantum)
+                 for name, t in cells for mode in MODES]
+        results = runner.run(batch)
+        for index, (name, t) in enumerate(cells):
+            nat, ft, aik = results[3 * index:3 * index + 3]
+            print(f"  {name:13s} T={t}: FT={ft.slowdown_vs(nat):6.1f}"
+                  f"  Aik={aik.slowdown_vs(nat):6.1f}")
+    print(f"[{runner.stats_line()}]", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -5,17 +5,21 @@ The paper's numbers are single measurements on real hardware; ours are
 deterministic per seed, so the analogue of "rerun the experiment" is a
 seed sweep. Prints per-benchmark speedup mean/min/max over N seeds.
 
-    python scripts/seed_sweep.py [--seeds 5] [--scale 1.0]
+All ``benchmarks x seeds x 3 modes`` runs are submitted as one batch to
+the process-pool runner, and completed runs are reused from the on-disk
+result cache on subsequent invocations.
+
+    python scripts/seed_sweep.py [--seeds 5] [--scale 1.0] [--jobs 8]
 """
 
 import argparse
 import statistics
+import sys
+import time
 
-from repro.harness.runner import (
-    run_aikido_fasttrack,
-    run_fasttrack,
-    run_native,
-)
+from repro.harness.parallel import Job, ParallelRunner
+from repro.harness.resultcache import ResultCache
+from repro.harness.runner import MODES
 from repro.workloads.parsec import PARSEC_BENCHMARKS
 
 
@@ -25,28 +29,37 @@ def main() -> None:
     ap.add_argument("--scale", type=float, default=1.0)
     ap.add_argument("--threads", type=int, default=8)
     ap.add_argument("--quantum", type=int, default=150)
+    ap.add_argument("--jobs", type=int, default=0, metavar="N",
+                    help="worker processes (0 = one per CPU, 1 = serial)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="always re-simulate instead of reusing cached runs")
     args = ap.parse_args()
+
+    started = time.time()
+    runner = ParallelRunner(
+        jobs=args.jobs, cache=None if args.no_cache else ResultCache())
+    cells = [(spec, seed) for spec in PARSEC_BENCHMARKS
+             for seed in range(1, args.seeds + 1)]
+    batch = [Job(spec.name, mode, threads=args.threads, scale=args.scale,
+                 seed=seed, quantum=args.quantum)
+             for spec, seed in cells for mode in MODES]
+    results = runner.run(batch)
 
     print(f"{'benchmark':>14s} {'mean':>6s} {'min':>6s} {'max':>6s} "
           f"{'spread':>7s}")
+    speedups_by_bench = {}
+    for index, (spec, _seed) in enumerate(cells):
+        native, ft, aik = results[3 * index:3 * index + 3]
+        speedups_by_bench.setdefault(spec.name, []).append(
+            ft.slowdown_vs(native) / aik.slowdown_vs(native))
     for spec in PARSEC_BENCHMARKS:
-        speedups = []
-        for seed in range(1, args.seeds + 1):
-            kw = dict(seed=seed, quantum=args.quantum)
-
-            def program():
-                return spec.program(threads=args.threads,
-                                    scale=args.scale)
-
-            native = run_native(program(), **kw)
-            ft = run_fasttrack(program(), **kw)
-            aik = run_aikido_fasttrack(program(), **kw)
-            speedups.append(ft.slowdown_vs(native)
-                            / aik.slowdown_vs(native))
+        speedups = speedups_by_bench[spec.name]
         mean = statistics.fmean(speedups)
         spread = (max(speedups) - min(speedups)) / mean
         print(f"{spec.name:>14s} {mean:6.2f} {min(speedups):6.2f} "
               f"{max(speedups):6.2f} {spread:6.1%}")
+    print(f"[{time.time() - started:.1f}s; {runner.stats_line()}]",
+          file=sys.stderr)
 
 
 if __name__ == "__main__":

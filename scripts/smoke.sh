@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Smoke check: tier-1 tests, then a tiny parallel suite run twice against
+# a fresh cache directory — the second invocation must be served entirely
+# from the cache (zero simulations).
+#
+#     bash scripts/smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+AIKIDO_CACHE_DIR="$(mktemp -d)"
+export AIKIDO_CACHE_DIR
+trap 'rm -rf "$AIKIDO_CACHE_DIR"' EXIT
+
+python -m pytest -x -q
+
+python - <<'EOF'
+from repro.harness.experiments import run_suite
+from repro.harness.parallel import ParallelRunner
+from repro.harness.report import suite_to_dict
+from repro.harness.resultcache import ResultCache
+
+SUITE = dict(threads=2, scale=0.05, quantum=100,
+             benchmarks=["blackscholes", "canneal"])
+
+cold = ParallelRunner(jobs=2, cache=ResultCache())
+first = run_suite(runner=cold, **SUITE)
+assert cold.simulations == 6 and cold.cache_hits == 0, cold.stats_line()
+
+warm = ParallelRunner(jobs=2, cache=ResultCache())
+second = run_suite(runner=warm, **SUITE)
+assert warm.simulations == 0, (
+    f"warm rerun was not served from cache: {warm.stats_line()}")
+assert warm.cache_hits == 6, warm.stats_line()
+assert suite_to_dict(first) == suite_to_dict(second), \
+    "cached metrics differ from live metrics"
+print(f"smoke ok: cold run {cold.stats_line()}; "
+      f"warm run {warm.stats_line()}")
+EOF

@@ -1,7 +1,9 @@
-"""Experiment harness: runners, cost-model utilities, experiment drivers
-for every table and figure of the paper's evaluation, and report
-rendering."""
+"""Experiment harness: runners, the parallel/cached suite executor,
+cost-model utilities, experiment drivers for every table and figure of
+the paper's evaluation, and report rendering."""
 
+from repro.harness.parallel import Job, ParallelRunner
+from repro.harness.resultcache import ResultCache
 from repro.harness.runner import (
     MODES,
     RunResult,
@@ -13,6 +15,9 @@ from repro.harness.runner import (
 
 __all__ = [
     "MODES",
+    "Job",
+    "ParallelRunner",
+    "ResultCache",
     "RunResult",
     "run_aikido_fasttrack",
     "run_fasttrack",

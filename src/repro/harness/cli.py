@@ -10,6 +10,12 @@ Usage (installed as ``aikido-repro`` or ``python -m repro.harness.cli``)::
     aikido-repro profile --benchmark vips   # workload profile
     aikido-repro all              # everything, one suite run
     aikido-repro all --scale 0.5  # faster, smaller run
+    aikido-repro all --jobs 8     # fan runs out over 8 processes
+    aikido-repro all --no-cache   # force fresh simulations
+
+Suite runs fan out over a process pool (``--jobs``, default one worker
+per CPU) and are served from the on-disk result cache when an identical
+run was already simulated (disable with ``--no-cache``).
 """
 
 from __future__ import annotations
@@ -18,7 +24,10 @@ import argparse
 import sys
 import time
 
+from repro.errors import HarnessError, WorkloadError
 from repro.harness import experiments
+from repro.harness.parallel import ParallelRunner
+from repro.harness.resultcache import ResultCache
 from repro.harness.report import (
     render_figure5,
     render_figure6,
@@ -48,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=experiments.DEFAULT_SEED)
     parser.add_argument("--quantum", type=int,
                         default=experiments.DEFAULT_QUANTUM)
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="worker processes for suite runs "
+                             "(0 = one per CPU, 1 = serial; default 0)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always re-simulate instead of reusing the "
+                             "on-disk result cache")
     parser.add_argument("--json", metavar="PATH",
                         help="also dump machine-readable suite results")
     parser.add_argument("--latex", metavar="PATH",
@@ -56,22 +71,35 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0 (0 = auto), got {args.jobs}")
+    try:
+        return _run(args)
+    except (HarnessError, WorkloadError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args) -> int:
     started = time.time()
     pieces = []
+    cache = None if args.no_cache else ResultCache()
+    runner = ParallelRunner(jobs=args.jobs, cache=cache)
     wants_suite = args.artifact in SUITE_ARTIFACTS or args.artifact == "all"
     suite = None
     if wants_suite:
         suite = experiments.run_suite(threads=args.threads,
                                       scale=args.scale, seed=args.seed,
-                                      quantum=args.quantum)
+                                      quantum=args.quantum, runner=runner)
     if args.artifact in ("fig5", "all"):
         pieces.append(render_figure5(suite))
     if args.artifact in ("fig6", "all"):
         pieces.append(render_figure6(suite))
     if args.artifact in ("table1", "all"):
         results = experiments.table1(scale=args.scale, seed=args.seed,
-                                     quantum=args.quantum)
+                                     quantum=args.quantum, runner=runner)
         pieces.append(render_table1(results))
     if args.artifact in ("table2", "all"):
         pieces.append(render_table2(suite))
@@ -119,7 +147,8 @@ def main(argv=None) -> int:
             json.dump(suite_to_dict(suite), handle, indent=2)
         pieces.append(f"(json written to {args.json})")
     print("\n".join(pieces))
-    print(f"[{time.time() - started:.1f}s]", file=sys.stderr)
+    print(f"[{time.time() - started:.1f}s; {runner.stats_line()}]",
+          file=sys.stderr)
     return 0
 
 

@@ -13,9 +13,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import HarnessError
+from repro.harness.parallel import Job, ParallelRunner
+from repro.harness.resultcache import ResultCache
 from repro.harness.runner import (
+    MODES,
     RunResult,
     run_aikido_fasttrack,
     run_fasttrack,
@@ -75,7 +79,7 @@ class SuiteResult:
 
     def geomean_speedup(self) -> float:
         values = [r.speedup for r in self.runs.values()]
-        return math.exp(sum(math.log(v) for v in values) / len(values))
+        return _geomean(values, "geomean speedup")
 
     def geomean_instrumentation_reduction(self) -> float:
         """Table 2's headline: geomean of col1/col2 across benchmarks."""
@@ -83,36 +87,81 @@ class SuiteResult:
         for r in self.runs.values():
             values.append(r.aikido.memory_refs
                           / max(1, r.aikido.instrumented_execs))
-        return math.exp(sum(math.log(v) for v in values) / len(values))
+        return _geomean(values, "geomean instrumentation reduction")
+
+
+def _geomean(values: Sequence[float], what: str) -> float:
+    if not values:
+        raise HarnessError(
+            f"cannot compute {what}: the suite is empty (did a "
+            f"--benchmarks filter match nothing?)")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _mode_jobs(spec: WorkloadSpec, *, threads: int, scale: float,
+               seed: int, quantum: int) -> List[Job]:
+    """The three-mode job triple for one benchmark (MODES order)."""
+    return [Job(spec.name, mode, threads=threads, scale=scale,
+                seed=seed, quantum=quantum) for mode in MODES]
 
 
 def run_benchmark(spec: WorkloadSpec, *, threads: int = DEFAULT_THREADS,
                   scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
-                  quantum: int = DEFAULT_QUANTUM) -> BenchmarkRuns:
-    """Run one benchmark in all three modes."""
-    kwargs = dict(seed=seed, quantum=quantum)
+                  quantum: int = DEFAULT_QUANTUM,
+                  runner: Optional[ParallelRunner] = None) -> BenchmarkRuns:
+    """Run one benchmark in all three modes.
 
-    def program():
-        return spec.program(threads=threads, scale=scale)
+    Without a ``runner`` the three runs execute inline (works for any
+    spec, registered or not). With one, the triple goes through its
+    cache/pool — the spec must then be a registered benchmark, since
+    worker processes rebuild the program by name.
+    """
+    if runner is None:
+        kwargs = dict(seed=seed, quantum=quantum)
 
-    return BenchmarkRuns(
-        spec=spec,
-        native=run_native(program(), **kwargs),
-        fasttrack=run_fasttrack(program(), **kwargs),
-        aikido=run_aikido_fasttrack(program(), **kwargs),
-    )
+        def program():
+            return spec.program(threads=threads, scale=scale)
+
+        return BenchmarkRuns(
+            spec=spec,
+            native=run_native(program(), **kwargs),
+            fasttrack=run_fasttrack(program(), **kwargs),
+            aikido=run_aikido_fasttrack(program(), **kwargs),
+        )
+    native, fasttrack, aikido = runner.run(_mode_jobs(
+        spec, threads=threads, scale=scale, seed=seed, quantum=quantum))
+    return BenchmarkRuns(spec=spec, native=native, fasttrack=fasttrack,
+                         aikido=aikido)
 
 
 def run_suite(*, threads: int = DEFAULT_THREADS, scale: float = DEFAULT_SCALE,
               seed: int = DEFAULT_SEED, quantum: int = DEFAULT_QUANTUM,
-              benchmarks: Optional[List[str]] = None) -> SuiteResult:
-    """Run the full PARSEC suite (or a named subset) in all modes."""
+              benchmarks: Optional[List[str]] = None, jobs: int = 1,
+              cache: Optional[ResultCache] = None,
+              runner: Optional[ParallelRunner] = None) -> SuiteResult:
+    """Run the full PARSEC suite (or a named subset) in all modes.
+
+    All ``3 × len(benchmarks)`` runs are submitted as one batch, so
+    ``jobs=N`` parallelizes across benchmarks and modes alike;
+    ``jobs=1`` with no cache reproduces the historical serial behavior
+    exactly. Pass ``cache`` to reuse archived runs, or a pre-built
+    ``runner`` (which overrides ``jobs``/``cache``) to share counters
+    across calls.
+    """
     suite = SuiteResult(threads=threads, scale=scale, seed=seed)
     specs = (PARSEC_BENCHMARKS if benchmarks is None
              else [get_benchmark(n) for n in benchmarks])
+    if runner is None:
+        runner = ParallelRunner(jobs=jobs, cache=cache)
+    batch: List[Job] = []
     for spec in specs:
-        suite.runs[spec.name] = run_benchmark(
-            spec, threads=threads, scale=scale, seed=seed, quantum=quantum)
+        batch.extend(_mode_jobs(spec, threads=threads, scale=scale,
+                                seed=seed, quantum=quantum))
+    results = runner.run(batch)
+    for index, spec in enumerate(specs):
+        native, fasttrack, aikido = results[3 * index:3 * index + 3]
+        suite.runs[spec.name] = BenchmarkRuns(
+            spec=spec, native=native, fasttrack=fasttrack, aikido=aikido)
     return suite
 
 
@@ -123,8 +172,8 @@ def figure5(suite: SuiteResult) -> List[Tuple[str, float, float]]:
     """Rows of (benchmark, ft_slowdown, aikido_slowdown) + geomean row."""
     rows = [(name, runs.ft_slowdown, runs.aikido_slowdown)
             for name, runs in suite.runs.items()]
-    ft_geo = math.exp(sum(math.log(r[1]) for r in rows) / len(rows))
-    aik_geo = math.exp(sum(math.log(r[2]) for r in rows) / len(rows))
+    ft_geo = _geomean([r[1] for r in rows], "Figure 5 FastTrack geomean")
+    aik_geo = _geomean([r[2] for r in rows], "Figure 5 Aikido geomean")
     rows.append(("geomean", ft_geo, aik_geo))
     return rows
 
@@ -145,17 +194,30 @@ TABLE1_THREADS = (2, 4, 8)
 
 
 def table1(*, scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
-           quantum: int = DEFAULT_QUANTUM
+           quantum: int = DEFAULT_QUANTUM, jobs: int = 1,
+           cache: Optional[ResultCache] = None,
+           runner: Optional[ParallelRunner] = None
            ) -> Dict[str, Dict[int, Tuple[float, float]]]:
-    """benchmark -> {threads: (ft_slowdown, aikido_slowdown)}."""
+    """benchmark -> {threads: (ft_slowdown, aikido_slowdown)}.
+
+    All ``2 benchmarks × 3 thread counts × 3 modes = 18`` runs are
+    submitted as one batch (see :func:`run_suite` for the
+    ``jobs``/``cache``/``runner`` semantics).
+    """
+    if runner is None:
+        runner = ParallelRunner(jobs=jobs, cache=cache)
+    cells = [(name, threads) for name in TABLE1_BENCHMARKS
+             for threads in TABLE1_THREADS]
+    batch: List[Job] = []
+    for name, threads in cells:
+        batch.extend(_mode_jobs(get_benchmark(name), threads=threads,
+                                scale=scale, seed=seed, quantum=quantum))
+    results = runner.run(batch)
     out: Dict[str, Dict[int, Tuple[float, float]]] = {}
-    for name in TABLE1_BENCHMARKS:
-        spec = get_benchmark(name)
-        out[name] = {}
-        for threads in TABLE1_THREADS:
-            runs = run_benchmark(spec, threads=threads, scale=scale,
-                                 seed=seed, quantum=quantum)
-            out[name][threads] = (runs.ft_slowdown, runs.aikido_slowdown)
+    for index, (name, threads) in enumerate(cells):
+        native, fasttrack, aikido = results[3 * index:3 * index + 3]
+        out.setdefault(name, {})[threads] = (
+            fasttrack.slowdown_vs(native), aikido.slowdown_vs(native))
     return out
 
 

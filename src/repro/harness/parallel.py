@@ -1,0 +1,265 @@
+"""Process-pool execution of harness runs, with an on-disk result cache.
+
+Every run of the evaluation (§5) is an independent, deterministic
+simulation: the same job tuple always produces the same metrics. That
+makes the suite embarrassingly parallel and perfectly cacheable, and
+this module exploits both:
+
+* :class:`Job` — one run, described by plain data (a registered
+  benchmark name rather than a live :class:`~repro.machine.program.Program`,
+  so it pickles cheaply and hashes stably);
+* :class:`ParallelRunner` — executes a batch of jobs via
+  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs>1``) or inline
+  (``jobs=1``, byte-for-byte today's serial behavior), consulting a
+  :class:`~repro.harness.resultcache.ResultCache` first when one is
+  attached;
+* :func:`fingerprint` — hash of the package version plus every active
+  cost constant, folded into each cache key so editing the cost model
+  (or running under a :class:`~repro.harness.costmodel.CostModel`
+  override) invalidates prior results automatically.
+
+Because runs are deterministic per seed, parallel and serial execution
+produce identical metrics — ``tests/harness/test_parallel.py`` enforces
+this metric-for-metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro import __version__
+from repro.analyses.fasttrack.reports import RaceReport
+from repro.core.config import AikidoConfig
+from repro.errors import HarnessError
+from repro.harness.costmodel import snapshot
+from repro.harness.resultcache import ResultCache
+from repro.harness.runner import MODES, RunResult, run_mode
+
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation run, described by plain (picklable, hashable) data.
+
+    ``workload`` is a registered benchmark name (see
+    :mod:`repro.workloads.parsec`); the worker process rebuilds the
+    program from the registry, so no simulator state crosses the
+    process boundary.
+    """
+
+    workload: str
+    mode: str
+    threads: int = 8
+    scale: float = 1.0
+    seed: int = 1
+    quantum: int = 150
+    config: Optional[AikidoConfig] = None
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise HarnessError(
+                f"unknown mode {self.mode!r}; expected one of {MODES}")
+
+    def canonical(self) -> Dict:
+        """JSON-able description used for cache keying."""
+        return {
+            "workload": self.workload,
+            "mode": self.mode,
+            "threads": self.threads,
+            "scale": self.scale,
+            "seed": self.seed,
+            "quantum": self.quantum,
+            "config": (dataclasses.asdict(self.config)
+                       if self.config is not None else None),
+        }
+
+
+def fingerprint() -> str:
+    """Hash of everything that can change a run's result besides the job.
+
+    Covers the package version and the full cost-constant snapshot, so
+    cache entries written under a different cost model (including
+    temporary :class:`CostModel` overrides) never satisfy a lookup.
+    """
+    basis = {"version": __version__, "costs": snapshot()}
+    blob = json.dumps(basis, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def job_key(job: Job, fp: Optional[str] = None) -> str:
+    """Stable cache key for one job under the given fingerprint."""
+    basis = {"job": job.canonical(),
+             "fingerprint": fp if fp is not None else fingerprint()}
+    blob = json.dumps(basis, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ---------------------------------------------------------------------
+# RunResult <-> JSON
+# ---------------------------------------------------------------------
+_RACE_FIELDS = ("kind", "block", "address", "prior_epoch",
+                "current_tid", "current_clock", "instr_uid")
+
+
+class CachedRace:
+    """Replayed race report whose structured fields were not archived."""
+
+    def __init__(self, description: str):
+        self._description = description
+
+    def describe(self) -> str:
+        return self._description
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CachedRace {self._description}>"
+
+
+def _race_to_dict(race) -> Dict:
+    if all(hasattr(race, field) for field in _RACE_FIELDS):
+        return {field: getattr(race, field) for field in _RACE_FIELDS}
+    return {"describe": race.describe()}
+
+
+def _race_from_dict(payload: Dict):
+    if "describe" in payload:
+        return CachedRace(payload["describe"])
+    return RaceReport(payload["kind"], payload["block"], payload["address"],
+                      payload["prior_epoch"], payload["current_tid"],
+                      payload["current_clock"],
+                      payload.get("instr_uid", -1))
+
+
+def result_to_dict(result: RunResult) -> Dict:
+    """Serialize a :class:`RunResult` for caching / IPC."""
+    return {
+        "mode": result.mode,
+        "cycles": result.cycles,
+        "run_stats": dict(result.run_stats),
+        "cycle_breakdown": dict(result.cycle_breakdown),
+        "races": [_race_to_dict(r) for r in result.races],
+        "aikido_stats": dict(result.aikido_stats),
+        "hypervisor_stats": dict(result.hypervisor_stats),
+        "detector_profile": dict(result.detector_profile),
+    }
+
+
+def result_from_dict(payload: Dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
+    return RunResult(
+        payload["mode"], payload["cycles"], dict(payload["run_stats"]),
+        dict(payload["cycle_breakdown"]),
+        races=[_race_from_dict(r) for r in payload["races"]],
+        aikido_stats=dict(payload["aikido_stats"]),
+        hypervisor_stats=dict(payload["hypervisor_stats"]),
+        detector_profile=dict(payload["detector_profile"]),
+    )
+
+
+def execute_job(job: Job) -> RunResult:
+    """Run one job in this process (the serial path and the worker body)."""
+    from repro.workloads.parsec import get_benchmark
+
+    spec = get_benchmark(job.workload)
+    program = spec.program(threads=job.threads, scale=job.scale)
+    kwargs = dict(seed=job.seed, quantum=job.quantum)
+    if job.config is not None:
+        kwargs["config"] = job.config
+    return run_mode(program, job.mode, **kwargs)
+
+
+def _pool_worker(job: Job) -> Dict:
+    """Top-level (picklable) worker: run one job, ship metrics back."""
+    return result_to_dict(execute_job(job))
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Map the user-facing ``--jobs`` value to a worker count.
+
+    ``None`` or ``0`` mean "auto" (one worker per CPU); anything below
+    zero is an error.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise HarnessError(f"jobs must be >= 0 (0 = auto), got {jobs}")
+    return jobs
+
+
+class ParallelRunner:
+    """Execute job batches across processes, reusing cached results.
+
+    ``jobs=1`` runs everything inline in submission order — exactly the
+    pre-existing serial behavior. ``jobs>1`` fans the batch out over a
+    :class:`ProcessPoolExecutor`; ``jobs=0`` (or None) sizes the pool to
+    the machine. ``cache`` (a :class:`ResultCache` or None) short-circuits
+    any job whose key is already archived.
+
+    Counters: ``simulations`` (runs actually executed) and ``cache_hits``
+    (runs served from the archive) — the acceptance check "a warm rerun
+    performs zero simulations" is ``runner.simulations == 0``.
+    """
+
+    def __init__(self, jobs: Optional[int] = 1,
+                 cache: Optional[ResultCache] = None):
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.simulations = 0
+        self.cache_hits = 0
+
+    def run(self, jobs: Sequence[Job]) -> List[RunResult]:
+        """Run a batch; results come back in submission order."""
+        jobs = list(jobs)
+        results: List[Optional[RunResult]] = [None] * len(jobs)
+        keys: Dict[int, str] = {}
+        pending: List[int] = []
+
+        if self.cache is not None:
+            fp = fingerprint()
+            for index, job in enumerate(jobs):
+                keys[index] = job_key(job, fp)
+                payload = self.cache.get(keys[index])
+                if payload is not None:
+                    results[index] = result_from_dict(payload)
+                    self.cache_hits += 1
+                else:
+                    pending.append(index)
+        else:
+            pending = list(range(len(jobs)))
+
+        if pending:
+            self.simulations += len(pending)
+            if self.jobs == 1 or len(pending) == 1:
+                for index in pending:
+                    result = execute_job(jobs[index])
+                    results[index] = result
+                    if self.cache is not None:
+                        self.cache.put(keys[index], result_to_dict(result))
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    payloads = pool.map(_pool_worker,
+                                        [jobs[i] for i in pending])
+                    for index, payload in zip(pending, payloads):
+                        results[index] = result_from_dict(payload)
+                        if self.cache is not None:
+                            self.cache.put(keys[index], payload)
+        return results
+
+    def run_one(self, job: Job) -> RunResult:
+        """Convenience wrapper: run a single job through cache + pool."""
+        return self.run([job])[0]
+
+    def stats_line(self) -> str:
+        """One-line traffic summary for CLI/script footers."""
+        return (f"{self.simulations} simulated, "
+                f"{self.cache_hits} served from cache")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ParallelRunner jobs={self.jobs} "
+                f"simulations={self.simulations} "
+                f"cache_hits={self.cache_hits}>")

@@ -17,6 +17,12 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.errors import HarnessError
+
+
+class ArchiveError(HarnessError):
+    """A suite archive is unreadable or not the --json suite format."""
+
 
 @dataclass
 class Delta:
@@ -64,6 +70,37 @@ def compare(baseline: Dict, candidate: Dict,
     return offenders
 
 
+def load_archive(path: str) -> Dict:
+    """Load and validate one ``aikido-repro --json`` suite archive.
+
+    Raises :class:`ArchiveError` (instead of leaking ``OSError``,
+    ``JSONDecodeError`` or ``KeyError``) when the file is unreadable,
+    not JSON, or missing the ``benchmarks`` table the comparison needs.
+    """
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ArchiveError(f"cannot read {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ArchiveError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(data, dict) or "benchmarks" not in data:
+        raise ArchiveError(
+            f"{path} is not a suite archive: missing the 'benchmarks' "
+            f"table (generate one with 'aikido-repro all --json {path}')")
+    benchmarks = data["benchmarks"]
+    if not isinstance(benchmarks, dict):
+        raise ArchiveError(
+            f"{path}: 'benchmarks' must be an object mapping benchmark "
+            f"names to metrics, got {type(benchmarks).__name__}")
+    for name, entry in benchmarks.items():
+        if not isinstance(entry, dict):
+            raise ArchiveError(
+                f"{path}: benchmark entry {name!r} must be an object of "
+                f"metrics, got {type(entry).__name__}")
+    return data
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         description="compare two aikido-repro --json archives")
@@ -72,10 +109,12 @@ def main(argv=None) -> int:
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="relative change that counts as a regression")
     args = ap.parse_args(argv)
-    with open(args.baseline) as handle:
-        baseline = json.load(handle)
-    with open(args.candidate) as handle:
-        candidate = json.load(handle)
+    try:
+        baseline = load_archive(args.baseline)
+        candidate = load_archive(args.candidate)
+    except ArchiveError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     offenders = compare(baseline, candidate, args.tolerance)
     if not offenders:
         print(f"no metric moved more than {args.tolerance:.0%}")

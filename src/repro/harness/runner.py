@@ -17,6 +17,7 @@ DESIGN.md for the substitution rationale.
 
 from __future__ import annotations
 
+import inspect
 from typing import Dict, List, Optional
 
 from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
@@ -162,14 +163,49 @@ def run_aikido_fasttrack(program, *, seed: int = 0, quantum: int = 200,
                      detector_profile=_detector_profile(analysis.detector))
 
 
+_MODE_RUNNERS = {
+    "native": run_native,
+    "fasttrack": run_fasttrack,
+    "aikido-fasttrack": run_aikido_fasttrack,
+}
+
+#: Keyword arguments each mode's runner actually accepts.
+_MODE_KWARGS = {
+    mode: frozenset(
+        p.name for p in inspect.signature(fn).parameters.values()
+        if p.kind == inspect.Parameter.KEYWORD_ONLY)
+    for mode, fn in _MODE_RUNNERS.items()
+}
+
+#: The shared kwarg set: anything at least one mode understands.
+SHARED_KWARGS = frozenset().union(*_MODE_KWARGS.values())
+
+
 def run_mode(program, mode: str, **kwargs) -> RunResult:
-    """Dispatch by mode name."""
-    if mode == "native":
-        kwargs.pop("config", None)
-        return run_native(program, **kwargs)
-    if mode == "fasttrack":
-        kwargs.pop("config", None)
-        return run_fasttrack(program, **kwargs)
-    if mode == "aikido-fasttrack":
-        return run_aikido_fasttrack(program, **kwargs)
-    raise HarnessError(f"unknown mode {mode!r}; expected one of {MODES}")
+    """Dispatch by mode name.
+
+    Accepts the union of all three runners' keyword arguments and strips
+    the ones the selected mode does not take (``config`` for native and
+    fasttrack, ``block_size`` for native), so suite drivers can pass one
+    kwarg set to every mode. For ``aikido-fasttrack``, a bare
+    ``block_size`` is folded into the :class:`AikidoConfig`.
+    """
+    if mode not in _MODE_RUNNERS:
+        raise HarnessError(f"unknown mode {mode!r}; expected one of {MODES}")
+    unknown = set(kwargs) - SHARED_KWARGS
+    if unknown:
+        raise HarnessError(
+            f"unknown keyword argument(s) {sorted(unknown)} for run_mode; "
+            f"accepted: {sorted(SHARED_KWARGS)}")
+    if mode == "aikido-fasttrack" and "block_size" in kwargs:
+        block_size = kwargs.pop("block_size")
+        config = kwargs.get("config")
+        if config is None:
+            kwargs["config"] = AikidoConfig(block_size=block_size)
+        elif config.block_size != block_size:
+            raise HarnessError(
+                f"conflicting block_size={block_size} and "
+                f"config.block_size={config.block_size}")
+    accepted = _MODE_KWARGS[mode]
+    return _MODE_RUNNERS[mode](
+        program, **{k: v for k, v in kwargs.items() if k in accepted})

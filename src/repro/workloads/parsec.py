@@ -95,8 +95,13 @@ def get_benchmark(name: str) -> WorkloadSpec:
     try:
         return _BY_NAME[name]
     except KeyError:
+        import difflib
+
+        close = difflib.get_close_matches(name, benchmark_names(), n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise WorkloadError(
-            f"unknown benchmark {name!r}; known: {benchmark_names()}"
+            f"unknown benchmark {name!r}{hint}; "
+            f"valid names: {', '.join(benchmark_names())}"
         ) from None
 
 

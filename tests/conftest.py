@@ -8,6 +8,13 @@ from repro.guestos.kernel import Kernel
 from repro.machine.asm import ProgramBuilder
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the harness result cache at a per-test directory so tests
+    never read from (or pollute) the user's real cache."""
+    monkeypatch.setenv("AIKIDO_CACHE_DIR", str(tmp_path / "aikido-cache"))
+
+
 @pytest.fixture
 def builder() -> ProgramBuilder:
     return ProgramBuilder("test")

@@ -123,3 +123,50 @@ class TestMakeReport:
                         "## Detected races", "## Provenance"):
             assert section in text, section
         assert "CLEAN_CALL" in text
+
+
+class TestArchiveValidation:
+    """Malformed archives must exit 2 with a message, not traceback."""
+
+    def _good(self, tmp_path):
+        path = tmp_path / "good.json"
+        path.write_text(json.dumps(
+            {"benchmarks": {"vips": {"speedup": 1.5}}}))
+        return str(path)
+
+    def test_malformed_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main([self._good(tmp_path), str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main([self._good(tmp_path),
+                     str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_non_suite_json_exits_2(self, tmp_path, capsys):
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({"hello": "world"}))
+        assert main([str(other), self._good(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "benchmarks" in err and "aikido-repro all --json" in err
+
+    def test_non_dict_benchmarks_exits_2(self, tmp_path, capsys):
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"benchmarks": [1, 2, 3]}))
+        assert main([self._good(tmp_path), str(wrong)]) == 2
+        assert "must be an object" in capsys.readouterr().err
+
+    def test_non_dict_benchmark_entry_exits_2(self, tmp_path, capsys):
+        wrong = tmp_path / "entry.json"
+        wrong.write_text(json.dumps({"benchmarks": {"vips": 7}}))
+        assert main([self._good(tmp_path), str(wrong)]) == 2
+        assert "vips" in capsys.readouterr().err
+
+    def test_load_archive_raises_archive_error(self, tmp_path):
+        from repro.harness.regression import ArchiveError, load_archive
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        with pytest.raises(ArchiveError):
+            load_archive(str(bad))
