@@ -14,6 +14,12 @@ trap 'rm -rf "$AIKIDO_CACHE_DIR"' EXIT
 
 python -m pytest -x -q
 
+# Workload linter gate: every bundled workload must be finding-free at
+# the thread counts the suite uses (the CLI exits non-zero on findings).
+for threads in 2 8; do
+    python -m repro.harness.cli lint --threads "$threads"
+done
+
 python - <<'EOF'
 from repro.harness.experiments import run_suite
 from repro.harness.parallel import ParallelRunner

@@ -36,6 +36,14 @@ class AikidoConfig:
         protect_new_threads: protect every mapped page for newly spawned
             threads (required for correctness; exposed only to let tests
             demonstrate what breaks without it).
+        static_prepass: seed the sharing detector with the static
+            pre-classifier's results (see
+            :mod:`repro.staticanalysis.sharing`): instructions proved
+            shared are instrumented at install time — no discovery
+            fault, no re-JIT, no cache flush — and instructions proved
+            private arm a soundness tripwire. Off by default; analysis
+            results (races, shared accesses) are identical either way,
+            only the discovery overhead changes.
         per_thread_protection: when False, emulate what a system limited
             to *process-wide* page protection (ordinary mprotect, as
             Grace/Dthreads-style designs would have without their
@@ -53,5 +61,6 @@ class AikidoConfig:
     mirror_pages: bool = True
     order_first_accesses: bool = False
     protect_new_threads: bool = True
+    static_prepass: bool = False
     per_thread_protection: bool = True
     trace_threshold: int = 50

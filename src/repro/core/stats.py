@@ -12,10 +12,33 @@ class AikidoStats:
         self.faults_handled = 0
         self.private_transitions = 0
         self.shared_transitions = 0
-        #: Static instructions upgraded to instrumented.
+        #: Static instructions upgraded to instrumented *dynamically*
+        #: (fault-discovered; statically seeded ones count separately).
         self.instructions_instrumented = 0
         #: Code-cache blocks flushed for re-JIT.
         self.rejit_flushes = 0
+        #: Direct instructions patched to their mirror address at block
+        #: build (each rebuild of an instrumented block re-patches).
+        self.direct_patches = 0
+        #: Fig. 4 runtime hooks installed on indirect instructions at
+        #: block build (same multiplicity as direct_patches).
+        self.indirect_hooks = 0
+        #: --static-prepass: instructions seeded as PROVABLY_SHARED.
+        self.prepass_seeded = 0
+        #: --static-prepass: instructions proved PROVABLY_PRIVATE
+        #: (these arm the soundness tripwire).
+        self.prepass_private = 0
+        #: --static-prepass: fraction of static memory instructions the
+        #: pre-classifier decided (0.0 when the prepass is off).
+        self.prepass_coverage = 0.0
+        #: Discovery faults that seeding made unnecessary (the seeded
+        #: instruction observed its page shared via its hook instead of
+        #: faulting into the SD).
+        self.prepass_faults_avoided = 0
+        #: Re-JIT cache flushes that seeding made unnecessary (the
+        #: instruction was already instrumented when discovery would
+        #: have upgraded it).
+        self.prepass_flushes_avoided = 0
         #: Dynamic accesses that went to shared pages through the Fig. 4
         #: path (Table 2 column 3).
         self.shared_accesses = 0

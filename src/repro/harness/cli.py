@@ -8,7 +8,11 @@ Usage (installed as ``aikido-repro`` or ``python -m repro.harness.cli``)::
     aikido-repro table2           # Table 2 instrumentation statistics
     aikido-repro races            # §5.3 detected-races comparison
     aikido-repro profile --benchmark vips   # workload profile
+    aikido-repro lint             # static linter over the workloads
+    aikido-repro prepass          # --static-prepass on/off ablation
+    aikido-repro instr            # instrumentation-machinery counters
     aikido-repro all              # everything, one suite run
+    aikido-repro all --static-prepass  # suite with seeded discovery
     aikido-repro all --scale 0.5  # faster, smaller run
     aikido-repro all --jobs 8     # fan runs out over 8 processes
     aikido-repro all --no-cache   # force fresh simulations
@@ -24,6 +28,7 @@ import argparse
 import sys
 import time
 
+from repro.core.config import AikidoConfig
 from repro.errors import HarnessError, WorkloadError
 from repro.harness import experiments
 from repro.harness.parallel import ParallelRunner
@@ -37,7 +42,8 @@ from repro.harness.report import (
     render_table2,
 )
 
-SUITE_ARTIFACTS = ("fig5", "fig6", "table2", "races", "breakdown")
+SUITE_ARTIFACTS = ("fig5", "fig6", "table2", "races", "breakdown",
+                   "instr")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,9 +52,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the Aikido paper's evaluation artifacts")
     parser.add_argument("artifact",
                         choices=("fig5", "fig6", "table1", "table2",
-                                 "races", "profile", "breakdown", "all"))
+                                 "races", "profile", "breakdown", "instr",
+                                 "prepass", "lint", "all"))
     parser.add_argument("--benchmark", default=None,
-                        help="restrict 'profile' to one benchmark")
+                        help="restrict 'profile'/'lint' to one benchmark")
+    parser.add_argument("--static-prepass", action="store_true",
+                        help="seed the sharing detector from the static "
+                             "pre-classifier in aikido-fasttrack runs")
     parser.add_argument("--threads", type=int,
                         default=experiments.DEFAULT_THREADS)
     parser.add_argument("--scale", type=float,
@@ -82,17 +92,44 @@ def main(argv=None) -> int:
         return 2
 
 
+def _lint_workloads(threads: int, benchmark=None) -> int:
+    """Lint every bundled workload (or one); exit status style return."""
+    from repro.staticanalysis import lint_program
+    from repro.workloads.parsec import benchmark_names, get_benchmark
+
+    names = [benchmark] if benchmark else benchmark_names()
+    total = 0
+    for name in names:
+        program = get_benchmark(name).program(threads=threads)
+        findings = lint_program(program)
+        if findings:
+            total += len(findings)
+            print(f"{name}:")
+            for finding in findings:
+                print(f"  {finding.render()}")
+        else:
+            print(f"{name}: clean")
+    if total:
+        print(f"{total} finding(s)")
+    return 1 if total else 0
+
+
 def _run(args) -> int:
     started = time.time()
+    if args.artifact == "lint":
+        return _lint_workloads(args.threads, args.benchmark)
     pieces = []
     cache = None if args.no_cache else ResultCache()
     runner = ParallelRunner(jobs=args.jobs, cache=cache)
+    config = (AikidoConfig(static_prepass=True) if args.static_prepass
+              else None)
     wants_suite = args.artifact in SUITE_ARTIFACTS or args.artifact == "all"
     suite = None
     if wants_suite:
         suite = experiments.run_suite(threads=args.threads,
                                       scale=args.scale, seed=args.seed,
-                                      quantum=args.quantum, runner=runner)
+                                      quantum=args.quantum, runner=runner,
+                                      config=config)
     if args.artifact in ("fig5", "all"):
         pieces.append(render_figure5(suite))
     if args.artifact in ("fig6", "all"):
@@ -109,6 +146,18 @@ def _run(args) -> int:
         from repro.harness.report import render_breakdown
 
         pieces.append(render_breakdown(suite))
+    if args.artifact in ("instr", "all"):
+        from repro.harness.report import render_instrumentation
+
+        pieces.append(render_instrumentation(suite))
+    if args.artifact == "prepass":
+        from repro.harness.report import render_prepass
+
+        comparisons = experiments.prepass_ablation(
+            threads=args.threads, scale=args.scale, seed=args.seed,
+            quantum=args.quantum, runner=runner,
+            benchmarks=[args.benchmark] if args.benchmark else None)
+        pieces.append(render_prepass(comparisons))
     if args.artifact == "profile":
         from repro.workloads.parsec import benchmark_names, get_benchmark
         from repro.workloads.profile import (

@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.config import AikidoConfig
 from repro.errors import HarnessError
 from repro.harness.parallel import Job, ParallelRunner
 from repro.harness.resultcache import ResultCache
@@ -99,22 +100,32 @@ def _geomean(values: Sequence[float], what: str) -> float:
 
 
 def _mode_jobs(spec: WorkloadSpec, *, threads: int, scale: float,
-               seed: int, quantum: int) -> List[Job]:
-    """The three-mode job triple for one benchmark (MODES order)."""
+               seed: int, quantum: int,
+               config: Optional[AikidoConfig] = None) -> List[Job]:
+    """The three-mode job triple for one benchmark (MODES order).
+
+    ``config`` only applies to the aikido-fasttrack run; attaching it to
+    the native/fasttrack jobs would needlessly split their cache keys
+    across configurations that cannot affect them.
+    """
     return [Job(spec.name, mode, threads=threads, scale=scale,
-                seed=seed, quantum=quantum) for mode in MODES]
+                seed=seed, quantum=quantum,
+                config=config if mode == "aikido-fasttrack" else None)
+            for mode in MODES]
 
 
 def run_benchmark(spec: WorkloadSpec, *, threads: int = DEFAULT_THREADS,
                   scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
                   quantum: int = DEFAULT_QUANTUM,
+                  config: Optional[AikidoConfig] = None,
                   runner: Optional[ParallelRunner] = None) -> BenchmarkRuns:
     """Run one benchmark in all three modes.
 
     Without a ``runner`` the three runs execute inline (works for any
     spec, registered or not). With one, the triple goes through its
     cache/pool — the spec must then be a registered benchmark, since
-    worker processes rebuild the program by name.
+    worker processes rebuild the program by name. ``config`` shapes the
+    aikido-fasttrack run only (see :func:`_mode_jobs`).
     """
     if runner is None:
         kwargs = dict(seed=seed, quantum=quantum)
@@ -126,10 +137,12 @@ def run_benchmark(spec: WorkloadSpec, *, threads: int = DEFAULT_THREADS,
             spec=spec,
             native=run_native(program(), **kwargs),
             fasttrack=run_fasttrack(program(), **kwargs),
-            aikido=run_aikido_fasttrack(program(), **kwargs),
+            aikido=run_aikido_fasttrack(program(), config=config,
+                                        **kwargs),
         )
     native, fasttrack, aikido = runner.run(_mode_jobs(
-        spec, threads=threads, scale=scale, seed=seed, quantum=quantum))
+        spec, threads=threads, scale=scale, seed=seed, quantum=quantum,
+        config=config))
     return BenchmarkRuns(spec=spec, native=native, fasttrack=fasttrack,
                          aikido=aikido)
 
@@ -138,6 +151,7 @@ def run_suite(*, threads: int = DEFAULT_THREADS, scale: float = DEFAULT_SCALE,
               seed: int = DEFAULT_SEED, quantum: int = DEFAULT_QUANTUM,
               benchmarks: Optional[List[str]] = None, jobs: int = 1,
               cache: Optional[ResultCache] = None,
+              config: Optional[AikidoConfig] = None,
               runner: Optional[ParallelRunner] = None) -> SuiteResult:
     """Run the full PARSEC suite (or a named subset) in all modes.
 
@@ -146,7 +160,8 @@ def run_suite(*, threads: int = DEFAULT_THREADS, scale: float = DEFAULT_SCALE,
     ``jobs=1`` with no cache reproduces the historical serial behavior
     exactly. Pass ``cache`` to reuse archived runs, or a pre-built
     ``runner`` (which overrides ``jobs``/``cache``) to share counters
-    across calls.
+    across calls. ``config`` shapes the aikido-fasttrack runs only
+    (e.g. ``AikidoConfig(static_prepass=True)`` for ``--static-prepass``).
     """
     suite = SuiteResult(threads=threads, scale=scale, seed=seed)
     specs = (PARSEC_BENCHMARKS if benchmarks is None
@@ -156,7 +171,7 @@ def run_suite(*, threads: int = DEFAULT_THREADS, scale: float = DEFAULT_SCALE,
     batch: List[Job] = []
     for spec in specs:
         batch.extend(_mode_jobs(spec, threads=threads, scale=scale,
-                                seed=seed, quantum=quantum))
+                                seed=seed, quantum=quantum, config=config))
     results = runner.run(batch)
     for index, spec in enumerate(specs):
         native, fasttrack, aikido = results[3 * index:3 * index + 3]
@@ -239,6 +254,87 @@ def table2(suite: SuiteResult) -> List[Table2Row]:
                       runs.aikido.shared_accesses,
                       runs.aikido.segfaults)
             for name, runs in suite.runs.items()]
+
+
+# ---------------------------------------------------------------------
+# Static-prepass ablation: discovery overhead with and without seeding
+# ---------------------------------------------------------------------
+@dataclass
+class PrepassComparison:
+    """One benchmark's aikido-fasttrack run, dynamic-only vs seeded.
+
+    The prepass is overhead-only by construction: ``races_match`` and
+    ``analysis_match`` must always hold (the soundness cross-check and
+    the runtime tripwire both enforce it); the savings columns are what
+    the seeding buys.
+    """
+
+    benchmark: str
+    dynamic: RunResult
+    prepass: RunResult
+
+    @property
+    def faults_saved(self) -> int:
+        return (self.dynamic.aikido_stats.get("faults_handled", 0)
+                - self.prepass.aikido_stats.get("faults_handled", 0))
+
+    @property
+    def flushes_saved(self) -> int:
+        return (self.dynamic.run_stats.get("codecache_flushes", 0)
+                - self.prepass.run_stats.get("codecache_flushes", 0))
+
+    @property
+    def coverage(self) -> float:
+        return self.prepass.prepass_coverage
+
+    @property
+    def races_match(self) -> bool:
+        return ([r.describe() for r in self.dynamic.races]
+                == [r.describe() for r in self.prepass.races])
+
+    @property
+    def analysis_match(self) -> bool:
+        """Same races and the same shared-access stream length."""
+        return (self.races_match
+                and self.dynamic.shared_accesses
+                == self.prepass.shared_accesses)
+
+
+def prepass_ablation(*, threads: int = DEFAULT_THREADS,
+                     scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
+                     quantum: int = DEFAULT_QUANTUM,
+                     benchmarks: Optional[List[str]] = None, jobs: int = 1,
+                     cache: Optional[ResultCache] = None,
+                     runner: Optional[ParallelRunner] = None
+                     ) -> List[PrepassComparison]:
+    """Run every benchmark twice in aikido-fasttrack mode: with and
+    without ``--static-prepass``, same seed/quantum, one batch."""
+    specs = (PARSEC_BENCHMARKS if benchmarks is None
+             else [get_benchmark(n) for n in benchmarks])
+    if runner is None:
+        runner = ParallelRunner(jobs=jobs, cache=cache)
+    seeded = AikidoConfig(static_prepass=True)
+    batch: List[Job] = []
+    for spec in specs:
+        for config in (None, seeded):
+            batch.append(Job(spec.name, "aikido-fasttrack",
+                             threads=threads, scale=scale, seed=seed,
+                             quantum=quantum, config=config))
+    results = runner.run(batch)
+    out: List[PrepassComparison] = []
+    for index, spec in enumerate(specs):
+        dynamic, prepass = results[2 * index:2 * index + 2]
+        comparison = PrepassComparison(spec.name, dynamic, prepass)
+        if not comparison.analysis_match:
+            raise HarnessError(
+                f"{spec.name}: --static-prepass changed analysis "
+                f"results (races {len(dynamic.races)} vs "
+                f"{len(prepass.races)}, shared accesses "
+                f"{dynamic.shared_accesses} vs "
+                f"{prepass.shared_accesses}) — seeding must be "
+                f"overhead-only")
+        out.append(comparison)
+    return out
 
 
 # ---------------------------------------------------------------------

@@ -155,6 +155,64 @@ def render_breakdown(suite: SuiteResult, top: int = 6) -> str:
     return out.getvalue()
 
 
+def render_instrumentation(suite: SuiteResult) -> str:
+    """Discovery-machinery counters per benchmark (aikido-fasttrack).
+
+    The satellite view of Table 2: how much re-JIT work the fault-driven
+    discovery performed — faults handled, blocks flushed and rebuilt,
+    direct patches and indirect hooks installed across all (re)builds.
+    """
+    out = io.StringIO()
+    out.write("Instrumentation machinery (aikido-fasttrack, "
+              f"{suite.threads} threads)\n")
+    out.write(f"{'benchmark':>14s} {'faults':>7s} {'rejit':>6s} "
+              f"{'cc builds':>10s} {'cc flushes':>11s} {'patches':>8s} "
+              f"{'hooks':>6s} {'traces':>7s}\n")
+    for name, runs in suite.runs.items():
+        aik = runs.aikido
+        out.write(
+            f"{name:>14s} "
+            f"{aik.aikido_stats.get('faults_handled', 0):>7d} "
+            f"{aik.rejit_flushes:>6d} "
+            f"{aik.run_stats.get('codecache_builds', 0):>10d} "
+            f"{aik.run_stats.get('codecache_flushes', 0):>11d} "
+            f"{aik.aikido_stats.get('direct_patches', 0):>8d} "
+            f"{aik.aikido_stats.get('indirect_hooks', 0):>6d} "
+            f"{aik.run_stats.get('traces_built', 0):>7d}\n")
+    return out.getvalue()
+
+
+def render_prepass(comparisons) -> str:
+    """The --static-prepass ablation: discovery overhead saved.
+
+    Every row is one benchmark run twice in aikido-fasttrack mode with
+    identical seed/quantum; the driver has already asserted analysis
+    parity, so only overhead columns can differ.
+    """
+    out = io.StringIO()
+    out.write("Static-prepass ablation (aikido-fasttrack, "
+              "dynamic-only vs seeded)\n")
+    out.write(f"{'benchmark':>14s} {'coverage':>9s} {'seeded':>7s} "
+              f"{'faults':>13s} {'cc flushes':>13s} {'cycles':>15s} "
+              f"{'parity':>7s}\n")
+    for c in comparisons:
+        dyn_f = c.dynamic.aikido_stats.get("faults_handled", 0)
+        pre_f = c.prepass.aikido_stats.get("faults_handled", 0)
+        dyn_x = c.dynamic.run_stats.get("codecache_flushes", 0)
+        pre_x = c.prepass.run_stats.get("codecache_flushes", 0)
+        out.write(
+            f"{c.benchmark:>14s} {c.coverage*100:8.1f}% "
+            f"{c.prepass.aikido_stats.get('prepass_seeded', 0):>7d} "
+            f"{f'{dyn_f}->{pre_f}':>13s} "
+            f"{f'{dyn_x}->{pre_x}':>13s} "
+            f"{f'{c.dynamic.cycles}->{c.prepass.cycles}':>15s} "
+            f"{'ok' if c.analysis_match else 'BROKEN':>7s}\n")
+    total_f = sum(c.faults_saved for c in comparisons)
+    total_x = sum(c.flushes_saved for c in comparisons)
+    out.write(f"total saved: {total_f} faults, {total_x} cache flushes\n")
+    return out.getvalue()
+
+
 def render_races(race_table: dict) -> str:
     out = io.StringIO()
     out.write("Detected races (§5.3): FastTrack vs Aikido-FastTrack\n")
@@ -189,6 +247,26 @@ def suite_to_dict(suite: SuiteResult) -> dict:
             "segfaults": runs.aikido.segfaults,
             "races_fasttrack": len(runs.fasttrack.races),
             "races_aikido": len(runs.aikido.races),
+            "faults_handled":
+                runs.aikido.aikido_stats.get("faults_handled", 0),
+            "rejit_flushes": runs.aikido.rejit_flushes,
+            "direct_patches":
+                runs.aikido.aikido_stats.get("direct_patches", 0),
+            "indirect_hooks":
+                runs.aikido.aikido_stats.get("indirect_hooks", 0),
+            "codecache_builds":
+                runs.aikido.run_stats.get("codecache_builds", 0),
+            "codecache_flushes":
+                runs.aikido.run_stats.get("codecache_flushes", 0),
+            "traces_built":
+                runs.aikido.run_stats.get("traces_built", 0),
+            "prepass": {
+                "seeded":
+                    runs.aikido.aikido_stats.get("prepass_seeded", 0),
+                "coverage": runs.aikido.prepass_coverage,
+                "faults_avoided": runs.aikido.prepass_faults_avoided,
+                "flushes_avoided": runs.aikido.prepass_flushes_avoided,
+            },
             "paper": {
                 "shared_fraction": paper.shared_fraction,
                 "instrumented_fraction": paper.instrumented_fraction,

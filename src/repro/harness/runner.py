@@ -71,6 +71,24 @@ class RunResult:
         """Fake faults delivered by AikidoVM (col 4)."""
         return self.hypervisor_stats.get("segfaults_delivered", 0)
 
+    @property
+    def rejit_flushes(self) -> int:
+        """Code-cache flushes forced by instrumentation upgrades."""
+        return self.aikido_stats.get("rejit_flushes", 0)
+
+    @property
+    def prepass_coverage(self) -> float:
+        """Fraction of static memory instructions the prepass decided."""
+        return self.aikido_stats.get("prepass_coverage", 0.0)
+
+    @property
+    def prepass_faults_avoided(self) -> int:
+        return self.aikido_stats.get("prepass_faults_avoided", 0)
+
+    @property
+    def prepass_flushes_avoided(self) -> int:
+        return self.aikido_stats.get("prepass_flushes_avoided", 0)
+
     def slowdown_vs(self, native: "RunResult") -> float:
         if native.cycles == 0:
             raise HarnessError("native run has zero cycles")
@@ -113,6 +131,21 @@ def _detector_profile(detector) -> Dict[str, int]:
     }
 
 
+def _engine_run_stats(engine) -> Dict[str, int]:
+    """Driver stats plus the engine's code-cache traffic counters.
+
+    Builds/flushes/traces are the denominator the prepass savings are
+    judged against (every avoided re-JIT is one build + one flush less),
+    so DBR-backed modes surface them alongside the execution counts.
+    """
+    stats = engine.stats.as_dict()
+    cache = engine.codecache
+    stats["codecache_builds"] = cache.builds
+    stats["codecache_flushes"] = cache.flushes
+    stats["traces_built"] = cache.traces_built
+    return stats
+
+
 def run_native(program, *, seed: int = 0, quantum: int = 200,
                jitter: float = 0.1,
                max_instructions: int = _DEFAULT_BUDGET) -> RunResult:
@@ -136,7 +169,7 @@ def run_fasttrack(program, *, seed: int = 0, quantum: int = 200,
     engine.attach_tool(tool)
     kernel.run(max_instructions=max_instructions)
     return RunResult("fasttrack", kernel.counter.total,
-                     engine.stats.as_dict(), kernel.counter.snapshot(),
+                     _engine_run_stats(engine), kernel.counter.snapshot(),
                      races=list(tool.races),
                      detector_profile=_detector_profile(tool.detector))
 
@@ -155,7 +188,7 @@ def run_aikido_fasttrack(program, *, seed: int = 0, quantum: int = 200,
     system.run(max_instructions=max_instructions)
     analysis = system.analysis
     return RunResult("aikido-fasttrack", system.cycles,
-                     system.run_stats.as_dict(),
+                     _engine_run_stats(system.engine),
                      system.kernel.counter.snapshot(),
                      races=list(analysis.races),
                      aikido_stats=system.stats.as_dict(),

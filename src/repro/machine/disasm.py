@@ -59,12 +59,9 @@ def format_instruction(instr: Instruction) -> str:
 
 
 def _mem(instr: Instruction) -> str:
-    mem = instr.mem
-    if mem.base is None:
-        return f"[{mem.disp:#x}]"
-    if mem.disp:
-        return f"[r{mem.base}+{mem.disp:#x}]"
-    return f"[r{mem.base}]"
+    # Delegate to MemOperand.__repr__ so the listing and instruction
+    # reprs (race reports, lint findings) render addresses identically.
+    return repr(instr.mem)
 
 
 def disassemble_block(block: BasicBlock) -> Iterator[str]:

@@ -141,10 +141,15 @@ class MemOperand:
         """True when the effective address is a compile-time constant."""
         return self.base is None
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:
+        # Must match the disassembler's rendering byte-for-byte
+        # (tests/machine/test_disasm.py round-trips every bundled
+        # workload through both): zero displacements are omitted.
         if self.base is None:
             return f"[{self.disp:#x}]"
-        return f"[r{self.base}+{self.disp:#x}]"
+        if self.disp:
+            return f"[r{self.base}+{self.disp:#x}]"
+        return f"[r{self.base}]"
 
     def __eq__(self, other: object) -> bool:
         return (isinstance(other, MemOperand)

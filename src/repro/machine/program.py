@@ -118,6 +118,19 @@ class Program:
         self._check_mutable()
         if not self.blocks:
             raise WorkloadError(f"program {self.name!r} has no code")
+        seen_segments: Dict[str, int] = {}
+        for index, segment in enumerate(self.segments):
+            first = seen_segments.setdefault(segment.name, index)
+            if first != index:
+                # Both segments would be laid out (at different bases),
+                # but the loader's per-process ``segment_bases`` dict
+                # keeps only one entry per name — a recipe for workloads
+                # writing one copy and reading the other.
+                raise WorkloadError(
+                    f"{self.name}: duplicate data segment "
+                    f"{segment.name!r} (segment #{first}, "
+                    f"{self.segments[first].size} bytes, and segment "
+                    f"#{index}, {segment.size} bytes)")
         uid = 0
         for block in self.blocks:
             for pos, instr in enumerate(block.instructions):

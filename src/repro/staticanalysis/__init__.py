@@ -1,0 +1,44 @@
+"""Static analysis over finalized mini-ISA programs.
+
+This package is the first layer of the stack that reasons about programs
+*without running them*. It provides:
+
+* :mod:`repro.staticanalysis.cfg` — a basic-block control-flow graph
+  with branch/fallthrough/CALL/SPAWN edges, reachability and dominators;
+* :mod:`repro.staticanalysis.dataflow` — a generic forward worklist
+  framework the concrete analyses are instances of;
+* :mod:`repro.staticanalysis.constprop` — per-register constant/interval
+  propagation, so register-indirect :class:`~repro.machine.isa.MemOperand`
+  effective addresses resolve to bounded address sets where possible;
+* :mod:`repro.staticanalysis.sharing` — an escape-style classifier
+  mapping every static memory instruction to PROVABLY_PRIVATE /
+  PROVABLY_SHARED / UNKNOWN, which the runtime's ``--static-prepass``
+  option feeds into AikidoSD (seed the instrumentation set up front: no
+  discovery fault, no re-JIT, no cache flush);
+* :mod:`repro.staticanalysis.lint` — structural and concurrency checks
+  over workload programs (``aikido-repro lint``).
+"""
+
+from repro.staticanalysis.cfg import CFG, EdgeKind
+from repro.staticanalysis.constprop import AVal, ConstProp
+from repro.staticanalysis.dataflow import ForwardProblem, solve_forward
+from repro.staticanalysis.lint import Finding, lint_program
+from repro.staticanalysis.sharing import (
+    SharingClass,
+    SharingReport,
+    classify_sharing,
+)
+
+__all__ = [
+    "AVal",
+    "CFG",
+    "ConstProp",
+    "EdgeKind",
+    "Finding",
+    "ForwardProblem",
+    "SharingClass",
+    "SharingReport",
+    "classify_sharing",
+    "lint_program",
+    "solve_forward",
+]

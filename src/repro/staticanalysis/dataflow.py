@@ -1,0 +1,116 @@
+"""Generic forward dataflow over a :class:`~repro.staticanalysis.cfg.CFG`.
+
+A concrete analysis subclasses :class:`ForwardProblem` and supplies the
+lattice operations (``initial``/``entry_state``/``join``/``transfer``);
+:func:`solve_forward` runs the classic worklist algorithm to a fixed
+point and returns the state *at entry to* every block.
+
+States are treated as opaque values compared with ``==``; ``transfer``
+must not mutate its input. ``widen`` is consulted after a block has been
+re-queued more than ``widen_after`` times, letting infinite-height
+domains (intervals) force convergence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Generic, Optional, TypeVar
+
+from repro.staticanalysis.cfg import CFG, THREAD_EDGES, EdgeKind
+
+S = TypeVar("S")
+
+
+class ForwardProblem(Generic[S]):
+    """Lattice + transfer functions for one forward analysis."""
+
+    #: Which CFG edges propagate state. Intra-thread analyses keep the
+    #: default; whole-program ones may add SPAWN edges.
+    edge_kinds: FrozenSet[EdgeKind] = THREAD_EDGES
+
+    #: Block revisit count after which :meth:`widen` replaces plain join.
+    widen_after: int = 8
+
+    def initial(self) -> S:
+        """State for blocks not yet reached (bottom)."""
+        raise NotImplementedError
+
+    def entry_state(self) -> S:
+        """State at entry to the analysis' entry block."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound of two states."""
+        raise NotImplementedError
+
+    def transfer(self, block: int, state: S) -> S:
+        """State after executing ``block`` given ``state`` at its entry."""
+        raise NotImplementedError
+
+    def widen(self, old: S, new: S) -> S:
+        """Accelerate convergence; defaults to plain join."""
+        return self.join(old, new)
+
+    def edge_transfer(self, block: int, out: S, succ: int,
+                      kind: EdgeKind) -> S:
+        """Refine the out-state for one specific edge.
+
+        Lets an analysis exploit branch conditions: the BRANCH edge of a
+        ``BLT r1, r2`` carries the fact ``r1 < r2``, the FALL edge the
+        negation. Defaults to no refinement.
+        """
+        return out
+
+
+def solve_forward(cfg: CFG, problem: ForwardProblem[S],
+                  entry: int = 0,
+                  entry_state: Optional[S] = None,
+                  extra_entries: Optional[Dict[int, S]] = None
+                  ) -> Dict[int, S]:
+    """Run ``problem`` to a fixed point; return entry states per block.
+
+    ``entry_state`` overrides ``problem.entry_state()`` so one problem
+    instance can be solved from several entry points (e.g. once per
+    spawn target with that context's register file). ``extra_entries``
+    seeds additional blocks with fixed states before iteration — used to
+    give every CALL target a conservative entry state instead of
+    unsoundly flowing the caller's *post-block* state into it.
+    """
+    in_states: Dict[int, S] = {
+        entry: problem.entry_state() if entry_state is None else entry_state
+    }
+    work = deque([entry])
+    queued = {entry}
+    if extra_entries:
+        for block, state in extra_entries.items():
+            if block == entry:
+                continue
+            in_states[block] = state
+            if block not in queued:
+                queued.add(block)
+                work.append(block)
+    visits: Dict[int, int] = {}
+    while work:
+        block = work.popleft()
+        queued.discard(block)
+        visits[block] = visits.get(block, 0) + 1
+        out = problem.transfer(block, in_states[block])
+        for succ, kind in cfg.succs[block]:
+            if kind not in problem.edge_kinds:
+                continue
+            eout = problem.edge_transfer(block, out, succ, kind)
+            if succ not in in_states:
+                merged = eout
+            else:
+                old = in_states[succ]
+                if visits.get(succ, 0) >= problem.widen_after:
+                    merged = problem.widen(old, eout)
+                else:
+                    merged = problem.join(old, eout)
+                if merged == old:
+                    continue
+            in_states[succ] = merged
+            if succ not in queued:
+                queued.add(succ)
+                work.append(succ)
+    return in_states

@@ -50,6 +50,21 @@ def test_duplicate_label_rejected():
         b.label("main")
 
 
+def test_duplicate_segment_name_rejected():
+    b = ProgramBuilder()
+    b.segment("table", 64)
+    b.segment("table", 128)
+    b.label("main")
+    b.halt()
+    with pytest.raises(WorkloadError) as excinfo:
+        b.build()
+    # The error names both offending segments so the workload author can
+    # tell which is which.
+    message = str(excinfo.value)
+    assert "table" in message
+    assert "64" in message and "128" in message
+
+
 def test_fallthrough_off_end_rejected():
     b = ProgramBuilder()
     b.label("main")

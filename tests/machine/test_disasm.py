@@ -1,5 +1,9 @@
 """Tests for the disassembler."""
 
+import re
+
+import pytest
+
 from repro.machine.asm import ProgramBuilder
 from repro.machine.disasm import (
     disassemble,
@@ -7,6 +11,7 @@ from repro.machine.disasm import (
     format_instruction,
 )
 from repro.machine.isa import Instruction, MemOperand, Opcode
+from repro.workloads.parsec import benchmark_names, get_benchmark
 
 
 def sample_program():
@@ -86,3 +91,48 @@ class TestDisassemble:
         for fragment in ("LI", "LOCK", "UNLOCK", "LOAD", "STORE", "SPAWN",
                          "JOIN", "BARRIER", "HALT"):
             assert fragment in listing, fragment
+
+
+_INSTR_LINE = re.compile(r"^  [ *] *(\d+): ")
+
+
+class TestBundledWorkloadRoundTrip:
+    """Every bundled workload disassembles to a faithful listing."""
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_round_trip(self, name):
+        program = get_benchmark(name).program(threads=4)
+        listing = disassemble(program)
+        lines = listing.splitlines()
+
+        # Structure: one line per block label plus one per instruction.
+        total = sum(len(block) for block in program.blocks)
+        assert len(lines) == total + len(program.blocks)
+        for block in program.blocks:
+            assert f"{block.label}:" in lines
+
+        # Round-trip: each instruction line's uid resolves back to a
+        # static instruction whose formatting reproduces the line.
+        seen = []
+        for line in lines:
+            match = _INSTR_LINE.match(line)
+            if match is None:
+                assert line.endswith(":"), line
+                continue
+            uid = int(match.group(1))
+            seen.append(uid)
+            instr = program.instruction_at(uid)
+            assert line[4:] == format_instruction(instr)
+        assert seen == sorted(seen) and len(seen) == total
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_mem_operands_render_like_repr(self, name):
+        """The listing and Instruction.__repr__ agree on addresses, so
+        race reports and lint findings can be grepped in a listing."""
+        program = get_benchmark(name).program(threads=4)
+        for instr in program.iter_instructions():
+            if instr.mem is None:
+                continue
+            rendered = format_instruction(instr)
+            assert repr(instr.mem) in rendered, (rendered, instr)
+            assert repr(instr.mem) in repr(instr)

@@ -1,0 +1,209 @@
+"""Unit tests for the CFG and constant/interval propagation layers."""
+
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SIZE
+from repro.staticanalysis import AVal, CFG, ConstProp, EdgeKind
+from repro.staticanalysis.cfg import THREAD_EDGES
+from repro.staticanalysis.constprop import (
+    av_add,
+    av_mod,
+    av_shl,
+    av_shr,
+    initial_regs,
+    instruction_address,
+)
+
+_UMAX = (1 << 64) - 1
+
+
+def _branchy_program():
+    b = ProgramBuilder("branchy")
+    b.label("main")
+    b.li(1, 10)
+    b.label("head")
+    b.li(15, 0)
+    b.bz(1, "done")
+    b.sub(1, 1, imm=1)
+    b.call("helper")
+    b.jmp("head")
+    b.label("done")
+    b.li(3, 0)
+    b.spawn(5, "child", arg_reg=3)
+    b.join(5)
+    b.halt()
+    b.label("dead")
+    b.li(9, 9)
+    b.halt()
+    b.label("child")
+    b.halt()
+    b.label("helper")
+    b.ret()
+    return b.build()
+
+
+class TestCFG:
+    def test_edge_kinds(self):
+        program = _branchy_program()
+        cfg = CFG(program)
+        kinds = {kind for succs in cfg.succs for _, kind in succs}
+        assert {EdgeKind.FALL, EdgeKind.BRANCH, EdgeKind.CALL,
+                EdgeKind.SPAWN} <= kinds
+
+    def test_unreachable_blocks(self):
+        program = _branchy_program()
+        cfg = CFG(program)
+        dead = program.label_index("dead")
+        assert dead in cfg.unreachable_blocks()
+        # The spawn target is reachable only through the SPAWN edge.
+        child = program.label_index("child")
+        assert child not in cfg.unreachable_blocks()
+        assert child not in cfg.reachable(0, THREAD_EDGES)
+
+    def test_dominators(self):
+        program = _branchy_program()
+        cfg = CFG(program)
+        dom = cfg.dominators(0)
+        head = program.label_index("head")
+        done = program.label_index("done")
+        assert head in dom[done]
+        assert 0 in dom[done]
+
+    def test_cycles(self):
+        program = _branchy_program()
+        cfg = CFG(program)
+        in_cycle = cfg.blocks_in_cycles()
+        assert program.label_index("head") in in_cycle
+        assert program.label_index("done") not in in_cycle
+
+    def test_spawn_sites_recorded(self):
+        program = _branchy_program()
+        cfg = CFG(program)
+        assert len(cfg.spawn_sites) == 1
+        block, _pos, target = cfg.spawn_sites[0]
+        assert block == program.label_index("done")
+        assert target == program.label_index("child")
+
+
+class TestAVal:
+    def test_const_arithmetic_wraps(self):
+        a = AVal.const(_UMAX)
+        b = AVal.const(2)
+        assert av_add(a, b).as_constant() == 1
+
+    def test_join_consts_forms_set(self):
+        j = AVal.const(3).join(AVal.const(7))
+        assert j.may_contain(3) and j.may_contain(7)
+        assert not j.may_contain(5)
+
+    def test_shr_bounds_top(self):
+        # The key bounding operation: TOP >> k is a finite interval.
+        out = av_shr(AVal.top(), AVal.const(17))
+        assert out.bounds() == (0, _UMAX >> 17)
+
+    def test_mod_bounds(self):
+        out = av_mod(AVal.top(), AVal.const(512))
+        assert out.bounds() == (0, 511)
+
+    def test_shl_of_range(self):
+        out = av_shl(AVal.range(0, 511), AVal.const(3))
+        assert out.bounds() == (0, 511 * 8)
+
+    def test_widen_reaches_fixpoint_quickly(self):
+        v = AVal.const(0)
+        for step in range(100):
+            v = v.widen(av_add(v, AVal.const(1)))
+            if v.is_top or v == v.widen(av_add(v, AVal.const(1))):
+                break
+        assert step < 70  # the threshold ladder is finite
+
+    def test_maybe_tid_taint_propagates_through_join(self):
+        tainted = AVal.const(1, maybe_tid=True)
+        clean = AVal.const(2)
+        assert tainted.join(clean).maybe_tid
+
+
+class TestConstProp:
+    def test_loop_counter_bounded(self):
+        b = ProgramBuilder("loop")
+        data = b.segment("data", PAGE_SIZE)
+        b.label("main")
+        b.li(4, data)
+        with b.loop(2, 10):
+            b.load(5, base=4, disp=0)
+        b.halt()
+        program = b.build()
+        cfg = CFG(program)
+        cp = ConstProp(cfg, initial_regs(AVal.const(0)))
+        states = cp.states_at_instructions(entry=0)
+        load = next(i for i in program.iter_instructions()
+                    if i.op.name == "LOAD")
+        addr = instruction_address(load, states[load.uid])
+        assert addr.as_constant() == data
+
+    def test_indirect_address_resolved_through_lcg_idiom(self):
+        # shr 17 -> mod words -> shl 3 + base: the workloads' random
+        # access pattern must resolve to the segment's page range.
+        b = ProgramBuilder("lcg")
+        data = b.segment("data", PAGE_SIZE)
+        b.label("main")
+        b.li(10, 12345)
+        b.li(4, data)
+        b.lcg_next(10)
+        b.lcg_offset(6, 10, PAGE_SIZE // 8)
+        b.add(6, 6, 4)
+        b.load(5, base=6, disp=0)
+        b.halt()
+        program = b.build()
+        cfg = CFG(program)
+        cp = ConstProp(cfg, initial_regs(AVal.const(0)))
+        states = cp.states_at_instructions(entry=0)
+        load = next(i for i in program.iter_instructions()
+                    if i.op.name == "LOAD")
+        lo, hi = instruction_address(load, states[load.uid]).bounds()
+        assert lo >= data
+        assert hi <= data + PAGE_SIZE - 8
+
+    def test_call_does_not_leak_caller_state(self):
+        # `CALL f` precedes `LI r2, 5`; the callee must not observe
+        # r2 == 5 (the solver would be unsound if post-block state
+        # flowed along CALL edges).
+        b = ProgramBuilder("call")
+        data = b.segment("data", PAGE_SIZE)
+        b.label("main")
+        b.li(4, data)
+        b.call("f")
+        b.li(2, 5)
+        b.halt()
+        b.label("f")
+        b.add(7, 2, imm=0)
+        b.ret()
+        program = b.build()
+        cfg = CFG(program)
+        cp = ConstProp(cfg, initial_regs(AVal.const(0)))
+        states = cp.states_at_instructions(entry=0)
+        add = next(i for i in program.iter_instructions()
+                   if i.op.name == "ADD" and i.rd == 7)
+        assert states[add.uid][2].is_top
+
+    def test_branch_refinement(self):
+        b = ProgramBuilder("refine")
+        b.label("main")
+        b.li(1, 3)
+        b.bz(1, "zero")
+        b.add(2, 1, imm=0)   # r1 != 0 here
+        b.halt()
+        b.label("zero")
+        b.add(3, 1, imm=0)   # r1 == 0 here (infeasible: r1 is 3)
+        b.halt()
+        program = b.build()
+        cfg = CFG(program)
+        cp = ConstProp(cfg, initial_regs(AVal.const(0)))
+        states = cp.states_at_instructions(entry=0)
+        fall = next(i for i in program.iter_instructions()
+                    if i.op.name == "ADD" and i.rd == 2)
+        taken = next(i for i in program.iter_instructions()
+                     if i.op.name == "ADD" and i.rd == 3)
+        # Fallthrough keeps r1 == 3; the taken edge demands r1 == 0,
+        # which contradicts it, so r1 is bottom (edge infeasible).
+        assert states[fall.uid][1].as_constant() == 3
+        assert states[taken.uid][1].is_bot

@@ -1,0 +1,113 @@
+"""Deterministic expectations for the static sharing classifier."""
+
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SIZE
+from repro.staticanalysis import SharingClass, classify_sharing
+
+
+def _memory_instr(program, opname, nth=0):
+    found = [i for i in program.iter_instructions() if i.op.name == opname]
+    return found[nth]
+
+
+def _partitioned_program():
+    """Two workers with distinct constant args: per-thread stores into a
+    partitioned segment plus a shared atomic counter."""
+    b = ProgramBuilder("partitioned")
+    priv = b.segment("priv", PAGE_SIZE * 4)
+    counter = b.segment("counter", PAGE_SIZE)
+    b.label("main")
+    b.li(3, 1)
+    b.spawn(5, "child", arg_reg=3)
+    b.li(3, 2)
+    b.spawn(6, "child", arg_reg=3)
+    b.join(5)
+    b.join(6)
+    b.halt()
+    b.label("child")
+    b.li(4, PAGE_SIZE)
+    b.mul(2, 1, 4)
+    b.add(2, 2, imm=priv)
+    b.store(7, base=2, disp=8)          # per-thread page
+    b.atomic_add(9, 8, base=None, disp=counter)  # everyone's counter
+    b.halt()
+    return b.build()
+
+
+class TestPartitionedWorkload:
+    def test_per_thread_store_is_provably_private(self):
+        program = _partitioned_program()
+        report = classify_sharing(program)
+        store = _memory_instr(program, "STORE")
+        assert report.classes[store.uid] is SharingClass.PROVABLY_PRIVATE
+
+    def test_shared_counter_is_provably_shared(self):
+        program = _partitioned_program()
+        report = classify_sharing(program)
+        counter = _memory_instr(program, "ATOMIC_ADD")
+        assert report.classes[counter.uid] is SharingClass.PROVABLY_SHARED
+
+    def test_report_accounting(self):
+        report = classify_sharing(_partitioned_program())
+        assert not report.incomplete
+        assert report.n_memory_instructions == 2
+        assert report.coverage == 1.0
+        d = report.as_dict()
+        assert d["provably_private"] == 1
+        assert d["provably_shared"] == 1
+        # main + two distinct child contexts
+        assert d["contexts"] == 3
+
+
+class TestSpawnInLoop:
+    def test_multi_instance_context_cannot_be_private(self):
+        # The same (entry, arg) context spawned from a loop body means
+        # two instances of one context: its fixed-page store is shared.
+        b = ProgramBuilder("loopspawn")
+        data = b.segment("data", PAGE_SIZE)
+        b.label("main")
+        b.li(3, 0)
+        with b.loop(2, 2):
+            b.spawn(5, "child", arg_reg=3)
+        b.halt()
+        b.label("child")
+        b.li(4, data)
+        b.store(7, base=4, disp=0)
+        b.halt()
+        report = classify_sharing(b.build())
+        assert report.count(SharingClass.PROVABLY_PRIVATE) == 0
+        assert report.count(SharingClass.PROVABLY_SHARED) == 1
+
+
+class TestBailouts:
+    def test_hypercall_degrades_to_unknown(self):
+        b = ProgramBuilder("hyper")
+        data = b.segment("data", PAGE_SIZE)
+        b.label("main")
+        b.li(4, data)
+        b.store(7, base=4, disp=0)
+        b.hypercall(1)
+        b.halt()
+        report = classify_sharing(b.build())
+        assert report.incomplete
+        assert "hypercall" in report.incomplete_reason
+        assert report.coverage == 0.0
+        assert all(c is SharingClass.UNKNOWN
+                   for c in report.classes.values())
+
+    def test_unbounded_address_is_unknown(self):
+        # A load whose address comes from memory is TOP; the classifier
+        # must leave it alone while still deciding the bounded store.
+        b = ProgramBuilder("unbounded")
+        data = b.segment("data", PAGE_SIZE)
+        b.label("main")
+        b.li(4, data)
+        b.store(7, base=4, disp=0)
+        b.load(6, base=4, disp=8)   # r6 <- mem: unknown value
+        b.load(9, base=6, disp=0)   # address unbounded
+        b.halt()
+        program = b.build()
+        report = classify_sharing(program)
+        unbounded = _memory_instr(program, "LOAD", nth=1)
+        assert report.classes[unbounded.uid] is SharingClass.UNKNOWN
+        assert report.count(SharingClass.PROVABLY_PRIVATE) == 2

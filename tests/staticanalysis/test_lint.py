@@ -1,0 +1,80 @@
+"""Workload linter: every check fires on a seeded-buggy program and
+stays silent on every bundled workload."""
+
+import pytest
+
+from repro.machine.asm import ProgramBuilder
+from repro.machine.layout import MMAP_BASE
+from repro.machine.paging import PAGE_SIZE
+from repro.staticanalysis import lint_program
+from repro.workloads.parsec import benchmark_names, get_benchmark
+
+
+def _buggy_program():
+    b = ProgramBuilder("buggy")
+    data = b.segment("data", PAGE_SIZE)
+    ro = b.segment("ro", PAGE_SIZE, writable=False)
+    b.label("main")
+    b.li(4, data)
+    b.li(2, 7)
+    b.store(2, base=None, disp=MMAP_BASE + 0x123000)   # outside segments
+    b.li(5, ro)
+    b.store(2, base=None, disp=ro + 8)                 # read-only store
+    b.add(6, 13, imm=1)                                # r13 never written
+    b.lock(lock_id=1)
+    b.lock(lock_id=1)                                  # double acquire
+    b.unlock(lock_id=2)                                # unlock unheld
+    b.li(8, 3)
+    b.barrier(9, parties_reg=8)
+    b.li(8, 2)
+    b.barrier(9, parties_reg=8)                        # arity mismatch
+    b.li(7, 5)
+    b.join(7)                                          # join of a constant
+    b.halt()                                           # holding lock 1
+    b.label("orphan")                                  # unreachable
+    b.halt()
+    return b.build()
+
+
+EXPECTED_CHECKS = {
+    "direct-address-out-of-segment",
+    "store-to-readonly-segment",
+    "never-written-register",
+    "double-acquire",
+    "unlock-unheld",
+    "halt-holding-lock",
+    "barrier-arity-mismatch",
+    "join-non-tid",
+    "unreachable-block",
+}
+
+
+class TestBuggyProgram:
+    def test_every_check_fires(self):
+        findings = lint_program(_buggy_program())
+        assert EXPECTED_CHECKS <= {f.check for f in findings}
+
+    def test_errors_sort_first(self):
+        findings = lint_program(_buggy_program())
+        severities = [f.severity for f in findings]
+        assert severities == sorted(
+            severities, key=lambda s: 0 if s == "error" else 1)
+
+    def test_findings_render(self):
+        for finding in lint_program(_buggy_program()):
+            text = finding.render()
+            assert finding.check in text
+            assert finding.severity in text
+
+
+class TestBundledWorkloadsAreClean:
+    """Satellite requirement: `aikido-repro lint` gates the bundled
+    workloads — they must stay finding-free at every thread count the
+    suite uses."""
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    @pytest.mark.parametrize("threads", (2, 8))
+    def test_clean(self, name, threads):
+        program = get_benchmark(name).program(threads=threads)
+        findings = lint_program(program)
+        assert not findings, "\n".join(f.render() for f in findings)
