@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Run the fault-injection survivability sweep and archive it as JSON.
+
+Per benchmark: one chaos-free aikido-fasttrack baseline, then one run per
+chaos seed under the recovery plan (every recoverable schedule-neutral
+injection point active, invariant monitor on) and one under the hostile
+plan (adversarial preemption added). The sweep prints the survivability
+table and writes a JSON artifact that `scripts/make_report.py
+--chaos-json` folds into REPORT.md.
+
+    python scripts/chaos_sweep.py [--out chaos.json] [--scale 0.2]
+
+Exits non-zero if any schedule-neutral cell failed to survive with
+bit-identical race reports — that is the PR's robustness guarantee, so
+a regression here should fail CI.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.harness import experiments
+from repro.harness.parallel import ParallelRunner
+from repro.harness.report import render_chaos
+from repro.harness.resultcache import ResultCache
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--out", default="chaos.json")
+    ap.add_argument("--threads", type=int,
+                    default=experiments.DEFAULT_THREADS)
+    ap.add_argument("--scale", type=float,
+                    default=experiments.DEFAULT_SCALE)
+    ap.add_argument("--seed", type=int, default=experiments.DEFAULT_SEED)
+    ap.add_argument("--quantum", type=int,
+                    default=experiments.DEFAULT_QUANTUM)
+    ap.add_argument("--benchmarks", nargs="*", default=None,
+                    help="subset of benchmark names (default: all ten)")
+    ap.add_argument("--chaos-seeds", nargs="*", type=int,
+                    default=list(experiments.DEFAULT_CHAOS_SEEDS))
+    ap.add_argument("--intensity", type=float, default=0.05)
+    ap.add_argument("--jobs", type=int, default=0, metavar="N",
+                    help="worker processes (0 = one per CPU, 1 = serial)")
+    ap.add_argument("--no-cache", action="store_true")
+    args = ap.parse_args()
+
+    started = time.time()
+    runner = ParallelRunner(
+        jobs=args.jobs, cache=None if args.no_cache else ResultCache())
+    sweep = experiments.chaos_sweep(
+        threads=args.threads, scale=args.scale, seed=args.seed,
+        quantum=args.quantum, benchmarks=args.benchmarks,
+        chaos_seeds=tuple(args.chaos_seeds), intensity=args.intensity,
+        include_hostile=True, runner=runner)
+    print(render_chaos(sweep))
+    with open(args.out, "w") as handle:
+        json.dump(sweep.to_dict(), handle, indent=2)
+    print(f"wrote {args.out} ({time.time() - started:.1f}s; "
+          f"{runner.stats_line()})", file=sys.stderr)
+    if not sweep.all_recovery_cells_clean():
+        print("FAIL: a schedule-neutral chaos cell did not survive with "
+              "identical races", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,3 +43,23 @@ assert suite_to_dict(first) == suite_to_dict(second), \
 print(f"smoke ok: cold run {cold.stats_line()}; "
       f"warm run {warm.stats_line()}")
 EOF
+
+# Chaos smoke: fault injection + invariant monitoring on two bundled
+# workloads must be absorbed with race reports identical to the clean
+# runs (exercised through the CLI so the flags stay wired).
+python -m repro.harness.cli chaos --benchmark canneal \
+    --threads 2 --scale 0.05 --quantum 100 --jobs 2
+python - <<'EOF'
+from repro.harness.experiments import chaos_sweep
+from repro.harness.parallel import ParallelRunner
+
+sweep = chaos_sweep(threads=2, scale=0.05, quantum=100,
+                    benchmarks=["blackscholes", "canneal"],
+                    chaos_seeds=(11,), include_hostile=True,
+                    runner=ParallelRunner(jobs=2))
+assert sweep.delivered > 0, "chaos smoke delivered no injections"
+assert sweep.all_recovery_cells_clean(), \
+    "a recovery-plan chaos run failed or changed race reports"
+print(f"chaos smoke ok: {sweep.delivered} injected, "
+      f"{sweep.recovered} recovered")
+EOF

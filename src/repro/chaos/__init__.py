@@ -1,0 +1,36 @@
+"""Deterministic fault injection and cross-layer invariant monitoring.
+
+Public surface:
+
+* :class:`ChaosPlan` — seeded, serializable description of injection
+  points and intensities (see :data:`INJECTION_POINTS` for the registry);
+* :class:`ChaosInjector` — per-run firing decisions + replay log;
+* :class:`InvariantMonitor` — the five cross-layer consistency checks,
+  raising :class:`~repro.errors.InvariantViolationError`.
+"""
+
+from repro.chaos.injector import ChaosEvent, ChaosInjector
+from repro.chaos.invariants import INVARIANTS, InvariantMonitor
+from repro.chaos.plan import (
+    HOSTILE_POINTS,
+    INJECTION_POINTS,
+    RECOVERY_POINTS,
+    UNSOUND_POINTS,
+    ChaosPlan,
+    InjectionPoint,
+    describe_points,
+)
+
+__all__ = [
+    "ChaosEvent",
+    "ChaosInjector",
+    "ChaosPlan",
+    "InjectionPoint",
+    "InvariantMonitor",
+    "INVARIANTS",
+    "INJECTION_POINTS",
+    "RECOVERY_POINTS",
+    "HOSTILE_POINTS",
+    "UNSOUND_POINTS",
+    "describe_points",
+]

@@ -1,0 +1,137 @@
+"""The chaos injector: deterministic firing decisions + a replay log.
+
+One :class:`ChaosInjector` serves one run. Each injection point draws
+from its own ``random.Random(f"{seed}:{point}")`` stream (string seeding
+is process-stable, unlike hash-based seeding), so enabling or disabling
+one point never shifts the decisions of another — a plan's points are
+independently reproducible.
+
+Every delivered injection is appended to :attr:`log` as a
+:class:`ChaosEvent` carrying the simulated cycle, point name, thread and
+a free-form detail string, which is exactly the information needed to
+replay or diff two chaotic runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.chaos.plan import ChaosPlan
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One delivered injection, logged for replay."""
+
+    cycle: int
+    point: str
+    tid: Optional[int]
+    detail: str
+
+    def to_dict(self) -> Dict:
+        return {"cycle": self.cycle, "point": self.point, "tid": self.tid,
+                "detail": self.detail}
+
+
+class ChaosInjector:
+    """Decides, per opportunity, whether an injection point fires.
+
+    The components it is attached to (kernel, hypervisor, TLBs, DBR
+    engine) call :meth:`fires` at their injection sites; a True return
+    means "inject now" and has already been logged and counted. Sites
+    whose fault was absorbed by a recovery path report it via
+    :meth:`note_recovered`, so the survivability table can show
+    delivered vs recovered per point.
+    """
+
+    def __init__(self, plan: ChaosPlan):
+        self.plan = plan
+        self._rngs: Dict[str, random.Random] = {
+            point: random.Random(f"{plan.seed}:{point}")
+            for point in plan.points}
+        self.delivered: Dict[str, int] = {}
+        self.recovered: Dict[str, int] = {}
+        self.log: List[ChaosEvent] = []
+        #: The run's cycle counter; attached by AikidoSystem so events
+        #: carry simulated timestamps.
+        self.counter = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, kernel, engine=None, hypervisor=None) -> None:
+        """Install this injector on every layer of one stack."""
+        self.counter = kernel.counter
+        kernel.chaos = self
+        if engine is not None:
+            engine.chaos = self
+        if hypervisor is not None:
+            hypervisor.chaos = self
+        for process in kernel.processes.values():
+            for thread in process.threads.values():
+                self.attach_thread(thread)
+
+    def attach_thread(self, thread) -> None:
+        """Hook one thread's TLB (called again for every future spawn)."""
+        thread.tlb.chaos = self
+        thread.tlb.owner_tid = thread.tid
+
+    # ------------------------------------------------------------------
+    # firing decisions
+    # ------------------------------------------------------------------
+    def active(self, point: str) -> bool:
+        return self.plan.rate(point) > 0
+
+    def fires(self, point: str, tid: Optional[int] = None,
+              detail: str = "") -> bool:
+        """Draw this opportunity; log + count when the point fires."""
+        rate = self.plan.rate(point)
+        if rate <= 0:
+            return False
+        cap = self.plan.max_per_point
+        if cap and self.delivered.get(point, 0) >= cap:
+            return False
+        if self._rngs[point].random() >= rate:
+            return False
+        cycle = self.counter.total if self.counter is not None else 0
+        self.log.append(ChaosEvent(cycle, point, tid, detail))
+        self.delivered[point] = self.delivered.get(point, 0) + 1
+        return True
+
+    def rng(self, point: str) -> random.Random:
+        """The point's dedicated stream (for choosing *what* to corrupt)."""
+        return self._rngs[point]
+
+    def note_recovered(self, point: str) -> None:
+        """Record that the stack absorbed one delivered injection."""
+        self.recovered[point] = self.recovered.get(point, 0) + 1
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_delivered(self) -> int:
+        return sum(self.delivered.values())
+
+    @property
+    def total_recovered(self) -> int:
+        return sum(self.recovered.values())
+
+    def as_dict(self) -> Dict:
+        """JSON-safe summary (merged into run stats / sweep artifacts)."""
+        return {
+            "plan": self.plan.to_dict(),
+            "delivered": dict(self.delivered),
+            "recovered": dict(self.recovered),
+            "events": self.replay_log(),
+        }
+
+    def replay_log(self) -> List[Dict]:
+        return [event.to_dict() for event in self.log]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ChaosInjector seed={self.plan.seed} "
+                f"delivered={self.total_delivered} "
+                f"recovered={self.total_recovered}>")

@@ -1,0 +1,210 @@
+"""Deterministic fault-injection plans.
+
+A :class:`ChaosPlan` is plain data: a seed plus a map of injection-point
+names to firing rates. The plan is a dataclass so it folds into
+:class:`~repro.core.config.AikidoConfig` (and therefore into harness
+cache keys) without special handling, and it serializes to JSON for
+replay files and the chaos-sweep artifact.
+
+Injection points are registered in :data:`INJECTION_POINTS` with two
+classification bits that the survivability analysis relies on:
+
+``recoverable``
+    The stack has a designed recovery path for this event (hidden-fault
+    resync, instruction refault, bounded hypercall retry, block rebuild,
+    ...). Non-recoverable points (``stale_tlb``) model *silent* state
+    corruption; they exist to prove the invariant monitor converts them
+    into structured :class:`~repro.errors.InvariantViolationError`\\ s.
+
+``schedule_neutral``
+    Firing the injection cannot change the thread interleaving, because
+    scheduling is instruction-count based and the event only adds
+    hypervisor/kernel work (cycles) or redundant state transitions.
+    Race reports of happens-before detection are schedule-dependent, so
+    only the schedule-neutral recoverable subset (the *recovery plan*)
+    carries the bit-identical-races guarantee; ``preempt`` deliberately
+    perturbs interleavings and is instead validated by the invariants
+    holding under hostile schedules.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from repro.errors import ChaosError
+
+
+@dataclass(frozen=True)
+class InjectionPoint:
+    """Metadata for one supported injection point."""
+
+    name: str
+    layer: str
+    description: str
+    recoverable: bool = True
+    schedule_neutral: bool = True
+
+
+#: Every injection point the stack supports, keyed by name.
+INJECTION_POINTS: Dict[str, InjectionPoint] = {p.name: p for p in (
+    InjectionPoint(
+        "spurious_fault", "guestos/kernel",
+        "re-dispatch a just-repaired page fault a second time (duplicate "
+        "delivery); absorbed by the hidden-fault / redundant-fault paths"),
+    InjectionPoint(
+        "delay_signal", "guestos/kernel",
+        "postpone a deliverable SIGSEGV: the faulting instruction "
+        "re-executes, refaults, and delivery happens on a later attempt"),
+    InjectionPoint(
+        "preempt", "guestos/scheduler",
+        "force a yield and adversarially rotate the scheduler cursor at "
+        "lock/unlock/barrier and fault boundaries",
+        recoverable=True, schedule_neutral=False),
+    InjectionPoint(
+        "tlb_flush", "machine/tlb",
+        "escalate a single-page INVLPG into a spurious full TLB flush "
+        "(a superset of the requested shootdown; perf-only)"),
+    InjectionPoint(
+        "stale_tlb", "machine/tlb",
+        "DROP a TLB invalidation, leaving a stale permissive translation "
+        "— silent corruption the invariant monitor must flag",
+        recoverable=False, schedule_neutral=True),
+    InjectionPoint(
+        "hypercall_fail", "hypervisor/aikidovm",
+        "fail an HC_SET_PROT hypercall transiently before it takes "
+        "effect; AikidoLib retries with a bounded budget"),
+    InjectionPoint(
+        "shadow_desync", "hypervisor/shadow",
+        "drop one shadow PTE at a context switch (with its TLB "
+        "shootdown); the next access takes a hidden fault and resyncs"),
+    InjectionPoint(
+        "codecache_flush", "dbr/engine",
+        "flush the whole code cache at a quantum boundary; blocks "
+        "rebuild and instrumentation hooks reinstall"),
+)}
+
+#: The schedule-neutral recoverable subset: safe to enable while still
+#: demanding bit-identical race reports vs the chaos-free run.
+RECOVERY_POINTS: Tuple[str, ...] = tuple(
+    p.name for p in INJECTION_POINTS.values()
+    if p.recoverable and p.schedule_neutral)
+
+#: Recovery points plus adversarial preemption (hostile interleavings).
+HOSTILE_POINTS: Tuple[str, ...] = tuple(
+    p.name for p in INJECTION_POINTS.values() if p.recoverable)
+
+#: Points that corrupt state silently; require --check-invariants.
+UNSOUND_POINTS: Tuple[str, ...] = tuple(
+    p.name for p in INJECTION_POINTS.values() if not p.recoverable)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded, serializable description of what to inject where.
+
+    ``points`` maps injection-point names to firing rates in ``[0, 1]``
+    (the per-opportunity probability drawn from that point's dedicated
+    RNG stream). ``max_per_point`` caps deliveries per point (0 =
+    unbounded) so hostile plans terminate on pathological workloads.
+    """
+
+    seed: int = 1
+    points: Dict[str, float] = field(default_factory=dict)
+    max_per_point: int = 0
+
+    def __post_init__(self):
+        unknown = set(self.points) - set(INJECTION_POINTS)
+        if unknown:
+            raise ChaosError(
+                f"unknown injection point(s) {sorted(unknown)}; "
+                f"supported: {sorted(INJECTION_POINTS)}")
+        for name, rate in self.points.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ChaosError(
+                    f"injection rate for {name!r} must be in [0, 1], "
+                    f"got {rate}")
+        if self.max_per_point < 0:
+            raise ChaosError(
+                f"max_per_point must be >= 0, got {self.max_per_point}")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, point: str, *, seed: int = 1, intensity: float = 0.05,
+               max_per_point: int = 0) -> "ChaosPlan":
+        """A plan firing exactly one injection point."""
+        return cls(seed=seed, points={point: intensity},
+                   max_per_point=max_per_point)
+
+    @classmethod
+    def recovery(cls, *, seed: int = 1, intensity: float = 0.05,
+                 max_per_point: int = 0) -> "ChaosPlan":
+        """Every schedule-neutral recoverable point at one intensity."""
+        return cls(seed=seed,
+                   points={name: intensity for name in RECOVERY_POINTS},
+                   max_per_point=max_per_point)
+
+    @classmethod
+    def hostile(cls, *, seed: int = 1, intensity: float = 0.05,
+                max_per_point: int = 0) -> "ChaosPlan":
+        """The recovery plan plus adversarial preemption."""
+        return cls(seed=seed,
+                   points={name: intensity for name in HOSTILE_POINTS},
+                   max_per_point=max_per_point)
+
+    # ------------------------------------------------------------------
+    # queries & serialization
+    # ------------------------------------------------------------------
+    def rate(self, point: str) -> float:
+        return self.points.get(point, 0.0)
+
+    def active_points(self) -> Tuple[str, ...]:
+        return tuple(sorted(n for n, r in self.points.items() if r > 0))
+
+    @property
+    def schedule_neutral(self) -> bool:
+        """True when no active point can perturb the interleaving."""
+        return all(INJECTION_POINTS[n].schedule_neutral
+                   for n in self.active_points())
+
+    @property
+    def sound(self) -> bool:
+        """True when every active point has a recovery path."""
+        return all(INJECTION_POINTS[n].recoverable
+                   for n in self.active_points())
+
+    def to_dict(self) -> Dict:
+        return {"seed": self.seed, "points": dict(self.points),
+                "max_per_point": self.max_per_point}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ChaosPlan":
+        return cls(seed=payload["seed"],
+                   points=dict(payload.get("points", {})),
+                   max_per_point=payload.get("max_per_point", 0))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        return cls.from_dict(json.loads(text))
+
+
+def describe_points(names: Iterable[str] = ()) -> str:
+    """Human-readable registry listing (for ``--help`` style output)."""
+    selected = list(names) or sorted(INJECTION_POINTS)
+    lines = []
+    for name in selected:
+        point = INJECTION_POINTS[name]
+        tags = []
+        if not point.recoverable:
+            tags.append("unsound")
+        if not point.schedule_neutral:
+            tags.append("schedule-perturbing")
+        suffix = f" [{', '.join(tags)}]" if tags else ""
+        lines.append(f"{name} ({point.layer}){suffix}: {point.description}")
+    return "\n".join(lines)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.errors import HypervisorError
+from repro.errors import HypervisorError, TransientHypercallError
 from repro.hypervisor.hypercalls import ALL_THREADS, HC_INIT, HC_SET_PROT
 from repro.machine.layout import AIKIDO_SPECIAL_BASE
 from repro.machine.paging import (
@@ -43,6 +43,8 @@ class AikidoLib:
         self.write_fault_page: Optional[int] = None
         self.mailbox: Optional[int] = None
         self._initialized = False
+        #: HC_SET_PROT retries absorbed after transient hypercall failures.
+        self.transient_retries = 0
 
     # ------------------------------------------------------------------
     def initialize(self) -> None:
@@ -91,9 +93,28 @@ class AikidoLib:
 
         ``tid`` may be :data:`~repro.hypervisor.hypercalls.ALL_THREADS`.
         ``thread`` is the thread issuing the hypercall.
+
+        Transient hypercall failures (chaos-injected, modelling e.g. a
+        busy hypervisor slot) are retried a bounded number of times; the
+        failure happens before any protection state changes, so a retry
+        is exactly equivalent to a clean first attempt.
         """
-        self.hypervisor.hypercall(thread, HC_SET_PROT,
-                                  (tid, vpn, count, prot))
+        max_attempts = 8
+        for attempt in range(1, max_attempts + 1):
+            try:
+                self.hypervisor.hypercall(thread, HC_SET_PROT,
+                                          (tid, vpn, count, prot))
+            except TransientHypercallError:
+                if attempt == max_attempts:
+                    raise
+                self.transient_retries += 1
+                continue
+            if attempt > 1:
+                chaos = getattr(self.hypervisor, "chaos", None)
+                if chaos is not None:
+                    for _ in range(attempt - 1):
+                        chaos.note_recovered("hypercall_fail")
+            return
 
     def protect_range(self, thread, tid: int, addr: int, length: int,
                       prot: int) -> None:

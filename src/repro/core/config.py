@@ -7,6 +7,9 @@ ablation benchmarks (see DESIGN.md §7).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.chaos.plan import ChaosPlan
 
 
 @dataclass
@@ -54,6 +57,18 @@ class AikidoConfig:
             enabler — without it nearly everything gets instrumented.
         trace_threshold: block execution count before trace promotion in
             the DBR engine.
+        chaos: a :class:`~repro.chaos.plan.ChaosPlan` of deterministic
+            fault injections to deliver during the run, or None (the
+            default) for a chaos-free run. With chaos disabled every
+            metric is byte-identical to a build without the chaos hooks.
+        check_invariants: run the cross-layer
+            :class:`~repro.chaos.invariants.InvariantMonitor` during and
+            after the run, raising a structured
+            :class:`~repro.errors.InvariantViolationError` on the first
+            inconsistency.
+        invariant_cadence: scheduler quanta between in-run invariant
+            sweeps (0 = only the run-end check). Only meaningful with
+            ``check_invariants``.
     """
 
     block_size: int = 8
@@ -64,3 +79,6 @@ class AikidoConfig:
     static_prepass: bool = False
     per_thread_protection: bool = True
     trace_threshold: int = 50
+    chaos: Optional[ChaosPlan] = None
+    check_invariants: bool = False
+    invariant_cadence: int = 50

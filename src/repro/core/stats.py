@@ -48,6 +48,13 @@ class AikidoStats:
         #: Redundant faults (e.g. a private page's owner re-faulting after
         #: a temporary-unprotection restore).
         self.redundant_faults = 0
+        #: Chaos injections delivered during the run (0 without --chaos).
+        self.chaos_injections = 0
+        #: Delivered injections the stack's recovery paths absorbed.
+        self.chaos_recovered = 0
+        #: Invariant-monitor sweeps performed (0 without
+        #: --check-invariants).
+        self.invariant_checks = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Union
 
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.invariants import InvariantMonitor
 from repro.core.analysis import SharedDataAnalysis
 from repro.core.config import AikidoConfig
 from repro.core.sharing import SharingDetector
@@ -46,11 +48,29 @@ class AikidoSystem:
         self.sd = SharingDetector(self.kernel, self.hypervisor, analysis,
                                   self.config)
         self.sd.install(self.engine)
+        #: Chaos plumbing (both None unless the config enables them).
+        self.chaos: Optional[ChaosInjector] = None
+        self.monitor: Optional[InvariantMonitor] = None
+        if self.config.chaos is not None and self.config.chaos.points:
+            self.chaos = ChaosInjector(self.config.chaos)
+            self.chaos.attach(self.kernel, engine=self.engine,
+                              hypervisor=self.hypervisor)
+        if self.config.check_invariants:
+            self.monitor = InvariantMonitor(self.kernel, self.hypervisor,
+                                            sd=self.sd)
+            self.monitor.install(cadence=self.config.invariant_cadence)
 
     def run(self, max_instructions: int = 200_000_000) -> "AikidoSystem":
         """Execute the workload to completion; returns self for chaining."""
         self.kernel.run(max_instructions=max_instructions)
         self.sd.on_run_end()
+        if self.monitor is not None:
+            # Final sweep: quiescent state must satisfy every invariant.
+            self.monitor.check_all()
+            self.sd.stats.invariant_checks = self.monitor.checks_run
+        if self.chaos is not None:
+            self.sd.stats.chaos_injections = self.chaos.total_delivered
+            self.sd.stats.chaos_recovered = self.chaos.total_recovered
         return self
 
     # ------------------------------------------------------------------

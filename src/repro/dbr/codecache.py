@@ -94,6 +94,22 @@ class CodeCache:
             self.counter.charge("dbr", costs.BLOCK_FLUSH)
         return 1
 
+    def invalidate_all(self) -> int:
+        """Flush the whole cache (chaos hook / full re-JIT).
+
+        Every subsequent block entry rebuilds from program text through
+        the same ``build_callbacks``, so instrumentation state is fully
+        reconstructed. Returns the number of blocks flushed.
+        """
+        count = len(self._blocks)
+        if count == 0:
+            return 0
+        self._blocks.clear()
+        self.flushes += count
+        if self.counter is not None:
+            self.counter.charge("dbr", costs.BLOCK_FLUSH * count)
+        return count
+
     def _build(self, block_index: int) -> CachedBlock:
         source = self.program.block_at(block_index)
         cached = CachedBlock(block_index, source)

@@ -46,6 +46,8 @@ class DBREngine(ExecutionDriver):
         #: Per-instruction residency overhead of the installed stack;
         #: plain DynamoRIO by default, raised by AikidoSD on install.
         self.overhead_per_instr = costs.DBR_BASE_PER_INSTR
+        #: Chaos injector, attached by ChaosInjector.attach (None = off).
+        self.chaos = None
         kernel.set_driver(self, self.process)
 
     # ------------------------------------------------------------------
@@ -78,6 +80,14 @@ class DBREngine(ExecutionDriver):
         counter = self.counter
         stats = self.stats
         codecache = self.codecache
+        chaos = self.chaos
+        if chaos is not None and chaos.fires("codecache_flush",
+                                             tid=thread.tid):
+            # Recoverable by construction: every block rebuilds from the
+            # program text with the same instrumentation on next entry.
+            if codecache.invalidate_all():
+                self._cache_dirty = True
+            chaos.note_recovered("codecache_flush")
         pc = thread.pc
         executed = 0
         cur_bi = -1

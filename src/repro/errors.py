@@ -58,6 +58,38 @@ class BadHypercallError(HypervisorError):
     """A guest issued a malformed or unknown hypercall."""
 
 
+class TransientHypercallError(HypervisorError):
+    """A hypercall failed transiently (chaos-injected); retrying is legal.
+
+    AikidoLib retries these with a bounded attempt budget; only when the
+    budget is exhausted does the error escape to the caller.
+    """
+
+
+class ChaosError(ReproError):
+    """A fault-injection plan is malformed (unknown point, bad rate)."""
+
+
+class InvariantViolationError(ReproError):
+    """A cross-layer invariant of the Aikido stack does not hold.
+
+    Raised by :class:`repro.chaos.invariants.InvariantMonitor` with a
+    structured diagnosis: ``invariant`` names the broken check and
+    ``details`` carries the offending entities (tid, vpn, expected vs
+    observed flags, ...) as JSON-safe primitives.
+    """
+
+    def __init__(self, invariant: str, message: str, **details):
+        super().__init__(f"[{invariant}] {message}")
+        self.invariant = invariant
+        self.details = details
+
+    def diagnosis(self) -> dict:
+        """The structured form (what harness failure records archive)."""
+        return {"invariant": self.invariant, "message": str(self),
+                "details": dict(self.details)}
+
+
 class ToolError(ReproError):
     """Errors raised by DBR tools (analyses)."""
 
@@ -68,3 +100,22 @@ class WorkloadError(ReproError):
 
 class HarnessError(ReproError):
     """Errors raised by the experiment harness."""
+
+
+class JobTimeoutError(HarnessError):
+    """A harness job exceeded its per-job wall-clock budget."""
+
+
+class SuiteFailureError(HarnessError):
+    """One or more jobs of a batch failed; the rest completed.
+
+    ``failures`` is the list of per-job failure records (see
+    :class:`repro.harness.parallel.JobFailure`); ``results`` is the full
+    batch in submission order, mixing results and failure records, so a
+    caller catching this still gets every completed run.
+    """
+
+    def __init__(self, message: str, failures=(), results=None):
+        super().__init__(message)
+        self.failures = list(failures)
+        self.results = results

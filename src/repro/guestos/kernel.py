@@ -80,6 +80,16 @@ class Kernel:
         #: Kernel-observed totals (fault & signal bookkeeping).
         self.signals_delivered = 0
         self.faults_seen = 0
+        #: SIGSEGV deliveries postponed by chaos (instruction refaults).
+        self.signals_delayed = 0
+        #: tid -> pending delay count for the *next* delivered signal.
+        self._delay_counts: Dict[int, int] = {}
+        #: Chaos injector, attached by ChaosInjector.attach (None = off).
+        self.chaos = None
+        #: Host-side callables invoked after every scheduler quantum;
+        #: used by the invariant monitor's cadence. Must not mutate
+        #: guest state (they run outside the simulated machine).
+        self.tick_hooks: List[Callable] = []
 
     # ------------------------------------------------------------------
     # setup
@@ -132,6 +142,8 @@ class Kernel:
                         vpn, PTE_PRESENT | PTE_USER)
         main = process.create_thread(start_block=0)
         self.platform.on_thread_created(main)
+        if self.chaos is not None:
+            self.chaos.attach_thread(main)
         self.scheduler.register(main)
         return process
 
@@ -192,6 +204,9 @@ class Kernel:
             before = driver.stats.instructions
             driver.run(thread, self.scheduler.quantum)
             retired += driver.stats.instructions - before
+            if self.tick_hooks:
+                for hook in self.tick_hooks:
+                    hook()
             prev = thread
             if retired > max_instructions:
                 raise HarnessError(
@@ -209,6 +224,26 @@ class Kernel:
         process must die.
         """
         self.faults_seen += 1
+        self._dispatch_fault(thread, fault)
+        chaos = self.chaos
+        if chaos is None:
+            return
+        if chaos.fires("spurious_fault", tid=thread.tid,
+                       detail=f"vpn={fault.vpn:#x}"):
+            # Duplicate delivery of the same (already repaired) fault —
+            # the hardware re-raising an in-flight exception. The stack
+            # must absorb it: the hypervisor sees a hidden/redundant
+            # fault and the sharing detector's state machine is
+            # idempotent for re-delivered faults.
+            self.faults_seen += 1
+            self._dispatch_fault(thread, fault)
+            chaos.note_recovered("spurious_fault")
+        if chaos.fires("preempt", tid=thread.tid,
+                       detail=f"fault vpn={fault.vpn:#x}"):
+            self._chaos_preempt(chaos)
+
+    def _dispatch_fault(self, thread: Thread, fault: PageFault) -> None:
+        """One platform dispatch + (possibly delayed) signal delivery."""
         disposition = self.platform.handle_fault(thread, fault)
         if disposition.kind == "retry":
             return
@@ -220,16 +255,36 @@ class Kernel:
             raise SegmentationFaultError(
                 f"unhandled fault at {fault.vaddr:#x}",
                 address=fault.vaddr, thread_id=thread.tid)
+        chaos = self.chaos
+        if chaos is not None and chaos.fires(
+                "delay_signal", tid=thread.tid,
+                detail=f"addr={fault.vaddr:#x}"):
+            # Postpone delivery: return without invoking the handler.
+            # Nothing was repaired, so the instruction re-executes,
+            # faults again, and delivery happens on a later attempt —
+            # delayed, never lost.
+            self.signals_delayed += 1
+            self._delay_counts[thread.tid] = \
+                self._delay_counts.get(thread.tid, 0) + 1
+            chaos.note_recovered("delay_signal")
+            return
         self.counter.charge("signal_delivery", costs.SIGNAL_DELIVERY)
         self.signals_delivered += 1
         info = SignalInfo(SIGSEGV, disposition.delivered_address,
-                          fault.is_write, thread.tid)
+                          fault.is_write, thread.tid,
+                          attempt=self._delay_counts.pop(thread.tid, 0) + 1)
         result = handler(thread, info)
         if result is HandlerResult.RESUME:
             return
         raise SegmentationFaultError(
             f"signal handler declined fault at {fault.vaddr:#x}",
             address=fault.vaddr, thread_id=thread.tid)
+
+    def _chaos_preempt(self, chaos) -> None:
+        """Adversarial preemption: yield now, resume somewhere hostile."""
+        self._yield_requested = True
+        self.scheduler.chaos_rotate(chaos.rng("preempt"))
+        chaos.note_recovered("preempt")
 
     # ------------------------------------------------------------------
     # kernel-mode user memory access (the §3.2.6 path)
@@ -269,6 +324,17 @@ class Kernel:
     # ------------------------------------------------------------------
     def service(self, thread: Thread, action) -> bool:
         """Service a trap; returns True when the instruction retired."""
+        retired = self._service_action(thread, action)
+        chaos = self.chaos
+        if chaos is not None \
+                and action.__class__ in (LockAction, UnlockAction,
+                                         BarrierAction) \
+                and chaos.fires("preempt", tid=thread.tid,
+                                detail=action.__class__.__name__):
+            self._chaos_preempt(chaos)
+        return retired
+
+    def _service_action(self, thread: Thread, action) -> bool:
         cls = action.__class__
         if cls is LockAction:
             return self._service_lock(thread, action)
@@ -468,6 +534,8 @@ class Kernel:
                                              action.arg)
         self.counter.charge("sync", costs.SPAWN_THREAD)
         self.platform.on_thread_created(child)
+        if self.chaos is not None:
+            self.chaos.attach_thread(child)
         self.scheduler.register(child)
         thread.regs[action.rd] = child.tid
         self._emit(ForkEvent(thread.tid, child.tid))

@@ -31,6 +31,8 @@ class Scheduler:
         self._rng = random.Random(seed)
         self._ring: List[Thread] = []
         self._cursor = 0
+        #: Adversarial cursor rotations performed by the chaos injector.
+        self.chaos_preemptions = 0
 
     def register(self, thread: Thread) -> None:
         """Add a newly created thread to the ring."""
@@ -67,6 +69,17 @@ class Scheduler:
             if thread.runnable:
                 return thread
         return None
+
+    def chaos_rotate(self, rng: random.Random) -> None:
+        """Adversarially re-aim the cursor (chaos preemption).
+
+        Draws from the *injector's* dedicated stream, never from
+        ``self._rng`` — the scheduler's own jitter sequence must stay
+        identical whether or not chaos is enabled.
+        """
+        self.chaos_preemptions += 1
+        if self._ring:
+            self._cursor = rng.randrange(len(self._ring))
 
     @property
     def registered_count(self) -> int:

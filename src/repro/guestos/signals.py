@@ -31,16 +31,22 @@ class SignalInfo:
     the pre-registered fake address, and the true address must be fetched
     from the AikidoLib mailbox (paper §3.2.5). ``is_write`` mirrors the
     page-fault error code.
+
+    ``attempt`` counts delivery attempts for this signal: 1 for a normal
+    delivery, higher when chaos postponed earlier deliveries (the
+    faulting instruction refaulted until the delivery went through).
     """
 
-    __slots__ = ("signum", "fault_address", "is_write", "thread_id")
+    __slots__ = ("signum", "fault_address", "is_write", "thread_id",
+                 "attempt")
 
     def __init__(self, signum: int, fault_address: int, is_write: bool,
-                 thread_id: int):
+                 thread_id: int, attempt: int = 1):
         self.signum = signum
         self.fault_address = fault_address
         self.is_write = is_write
         self.thread_id = thread_id
+        self.attempt = attempt
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "write" if self.is_write else "read"

@@ -11,6 +11,7 @@ Usage (installed as ``aikido-repro`` or ``python -m repro.harness.cli``)::
     aikido-repro lint             # static linter over the workloads
     aikido-repro prepass          # --static-prepass on/off ablation
     aikido-repro instr            # instrumentation-machinery counters
+    aikido-repro chaos            # fault-injection survivability sweep
     aikido-repro all              # everything, one suite run
     aikido-repro all --static-prepass  # suite with seeded discovery
     aikido-repro all --scale 0.5  # faster, smaller run
@@ -20,6 +21,15 @@ Usage (installed as ``aikido-repro`` or ``python -m repro.harness.cli``)::
 Suite runs fan out over a process pool (``--jobs``, default one worker
 per CPU) and are served from the on-disk result cache when an identical
 run was already simulated (disable with ``--no-cache``).
+
+Robustness knobs: ``--timeout`` bounds each job's wall clock,
+``--retries`` grants transient failures extra attempts, ``--journal`` +
+``--resume`` checkpoint a suite so an interrupted invocation picks up
+with zero re-simulation. Chaos runs: ``--chaos`` activates the recovery
+fault-injection plan in aikido-fasttrack runs (``--chaos-seed``,
+``--chaos-intensity`` shape it) and ``--check-invariants`` turns on the
+cross-layer invariant monitor. Failed jobs never abort a batch — they
+are reported per job and the exit code is 3.
 """
 
 from __future__ import annotations
@@ -28,12 +38,15 @@ import argparse
 import sys
 import time
 
+from repro.chaos.plan import ChaosPlan
 from repro.core.config import AikidoConfig
-from repro.errors import HarnessError, WorkloadError
+from repro.errors import HarnessError, SuiteFailureError, WorkloadError
 from repro.harness import experiments
+from repro.harness.journal import RunJournal
 from repro.harness.parallel import ParallelRunner
 from repro.harness.resultcache import ResultCache
 from repro.harness.report import (
+    render_chaos,
     render_figure5,
     render_figure6,
     render_races,
@@ -53,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("artifact",
                         choices=("fig5", "fig6", "table1", "table2",
                                  "races", "profile", "breakdown", "instr",
-                                 "prepass", "lint", "all"))
+                                 "prepass", "chaos", "lint", "all"))
     parser.add_argument("--benchmark", default=None,
                         help="restrict 'profile'/'lint' to one benchmark")
     parser.add_argument("--static-prepass", action="store_true",
@@ -77,6 +90,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also dump machine-readable suite results")
     parser.add_argument("--latex", metavar="PATH",
                         help="also write booktabs LaTeX tables")
+    parser.add_argument("--chaos", action="store_true",
+                        help="inject the recovery fault plan into "
+                             "aikido-fasttrack runs (and for the 'chaos' "
+                             "artifact, include hostile preemption)")
+    parser.add_argument("--chaos-seed", type=int, default=11,
+                        help="seed of the chaos plan's RNG streams")
+    parser.add_argument("--chaos-intensity", type=float, default=0.05,
+                        help="per-opportunity injection probability")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="run the cross-layer invariant monitor "
+                             "during aikido-fasttrack runs")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock budget")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="extra attempts for transient job failures")
+    parser.add_argument("--journal", metavar="PATH",
+                        help="checkpoint finished jobs to this JSONL file")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay finished jobs from --journal instead "
+                             "of re-simulating them")
     return parser
 
 
@@ -85,8 +119,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0 (0 = auto), got {args.jobs}")
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal PATH")
     try:
         return _run(args)
+    except SuiteFailureError as exc:
+        # Completed runs were kept; report what failed, job by job.
+        print(f"error: {len(exc.failures)} job(s) failed:", file=sys.stderr)
+        for failure in exc.failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
+        return 3
     except (HarnessError, WorkloadError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -120,9 +162,19 @@ def _run(args) -> int:
         return _lint_workloads(args.threads, args.benchmark)
     pieces = []
     cache = None if args.no_cache else ResultCache()
-    runner = ParallelRunner(jobs=args.jobs, cache=cache)
-    config = (AikidoConfig(static_prepass=True) if args.static_prepass
-              else None)
+    journal = (RunJournal(args.journal, resume=args.resume)
+               if args.journal else None)
+    runner = ParallelRunner(jobs=args.jobs, cache=cache,
+                            timeout=args.timeout, retries=args.retries,
+                            journal=journal)
+    chaos_plan = (ChaosPlan.recovery(seed=args.chaos_seed,
+                                     intensity=args.chaos_intensity)
+                  if args.chaos else None)
+    config = None
+    if args.static_prepass or chaos_plan or args.check_invariants:
+        config = AikidoConfig(static_prepass=args.static_prepass,
+                              chaos=chaos_plan,
+                              check_invariants=args.check_invariants)
     wants_suite = args.artifact in SUITE_ARTIFACTS or args.artifact == "all"
     suite = None
     if wants_suite:
@@ -150,6 +202,21 @@ def _run(args) -> int:
         from repro.harness.report import render_instrumentation
 
         pieces.append(render_instrumentation(suite))
+    if args.artifact == "chaos":
+        sweep = experiments.chaos_sweep(
+            threads=args.threads, scale=args.scale, seed=args.seed,
+            quantum=args.quantum, runner=runner,
+            chaos_seeds=(args.chaos_seed,
+                         args.chaos_seed + 12, args.chaos_seed + 36),
+            intensity=args.chaos_intensity, include_hostile=args.chaos,
+            benchmarks=[args.benchmark] if args.benchmark else None)
+        pieces.append(render_chaos(sweep))
+        if args.json:
+            import json
+
+            with open(args.json, "w") as handle:
+                json.dump(sweep.to_dict(), handle, indent=2)
+            pieces.append(f"(json written to {args.json})")
     if args.artifact == "prepass":
         from repro.harness.report import render_prepass
 

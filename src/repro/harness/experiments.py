@@ -15,9 +15,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.chaos.plan import ChaosPlan
 from repro.core.config import AikidoConfig
 from repro.errors import HarnessError
-from repro.harness.parallel import Job, ParallelRunner
+from repro.harness.parallel import BatchEntry, Job, JobFailure, ParallelRunner
 from repro.harness.resultcache import ResultCache
 from repro.harness.runner import (
     MODES,
@@ -335,6 +336,180 @@ def prepass_ablation(*, threads: int = DEFAULT_THREADS,
                 f"overhead-only")
         out.append(comparison)
     return out
+
+
+# ---------------------------------------------------------------------
+# Chaos sweep: survivability under deterministic fault injection
+# ---------------------------------------------------------------------
+@dataclass
+class ChaosCell:
+    """One (benchmark, plan, chaos seed) run next to its clean baseline.
+
+    ``run`` is either a :class:`RunResult` (the stack absorbed every
+    injection) or a :class:`JobFailure` (it failed — *structurally*: an
+    invariant violation or simulated error record, never an unhandled
+    crash, because the hardened runner converts everything).
+    """
+
+    benchmark: str
+    plan: str
+    chaos_seed: int
+    schedule_neutral: bool
+    baseline: RunResult
+    run: BatchEntry
+
+    @property
+    def survived(self) -> bool:
+        return isinstance(self.run, RunResult)
+
+    @property
+    def injected(self) -> int:
+        return self.run.chaos_injections if self.survived else 0
+
+    @property
+    def recovered(self) -> int:
+        return self.run.chaos_recovered if self.survived else 0
+
+    @property
+    def invariant_checks(self) -> int:
+        return self.run.invariant_checks if self.survived else 0
+
+    @property
+    def races_match(self) -> bool:
+        """Chaos run reported bit-identical races to the clean run.
+
+        The guarantee only holds for schedule-neutral plans; hostile
+        (preemption) cells report the comparison for information.
+        """
+        if not self.survived:
+            return False
+        return (sorted(r.describe() for r in self.run.races)
+                == sorted(r.describe() for r in self.baseline.races))
+
+    def to_dict(self) -> Dict:
+        cell = {
+            "benchmark": self.benchmark,
+            "plan": self.plan,
+            "chaos_seed": self.chaos_seed,
+            "schedule_neutral": self.schedule_neutral,
+            "survived": self.survived,
+            "injected": self.injected,
+            "recovered": self.recovered,
+            "invariant_checks": self.invariant_checks,
+            "races_match": self.races_match,
+            "baseline_races": len(self.baseline.races),
+        }
+        if isinstance(self.run, JobFailure):
+            cell["failure"] = {
+                "kind": self.run.kind,
+                "error_type": self.run.error_type,
+                "message": self.run.message,
+                "invariant": self.run.invariant,
+            }
+        else:
+            cell["races"] = len(self.run.races)
+        return cell
+
+
+@dataclass
+class ChaosSweep:
+    """Every cell of one chaos sweep plus its parameters."""
+
+    threads: int
+    scale: float
+    seed: int
+    intensity: float
+    cells: List[ChaosCell] = field(default_factory=list)
+
+    @property
+    def delivered(self) -> int:
+        return sum(c.injected for c in self.cells)
+
+    @property
+    def recovered(self) -> int:
+        return sum(c.recovered for c in self.cells)
+
+    def all_recovery_cells_clean(self) -> bool:
+        """Every schedule-neutral cell survived with identical races."""
+        return all(c.survived and c.races_match
+                   for c in self.cells if c.schedule_neutral)
+
+    def to_dict(self) -> Dict:
+        return {
+            "threads": self.threads,
+            "scale": self.scale,
+            "seed": self.seed,
+            "intensity": self.intensity,
+            "delivered": self.delivered,
+            "recovered": self.recovered,
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+
+DEFAULT_CHAOS_SEEDS = (11, 23, 47)
+
+
+def chaos_sweep(*, threads: int = DEFAULT_THREADS,
+                scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
+                quantum: int = DEFAULT_QUANTUM,
+                benchmarks: Optional[List[str]] = None,
+                chaos_seeds: Sequence[int] = DEFAULT_CHAOS_SEEDS,
+                intensity: float = 0.05, include_hostile: bool = False,
+                jobs: int = 1, cache: Optional[ResultCache] = None,
+                runner: Optional[ParallelRunner] = None) -> ChaosSweep:
+    """Survivability sweep: aikido-fasttrack under fault injection.
+
+    Per benchmark: one chaos-free baseline, then one recovery-plan run
+    (every recoverable schedule-neutral injection point active, with the
+    invariant monitor on) per chaos seed — and, with ``include_hostile``,
+    one adversarial-preemption run per benchmark. The batch runs
+    non-strict: a failed cell becomes a failure record in its row, and
+    the rest of the sweep completes.
+    """
+    specs = (PARSEC_BENCHMARKS if benchmarks is None
+             else [get_benchmark(n) for n in benchmarks])
+    if runner is None:
+        runner = ParallelRunner(jobs=jobs, cache=cache)
+    plans: List[Tuple[str, int, ChaosPlan]] = []
+    for chaos_seed in chaos_seeds:
+        plans.append(("recovery", chaos_seed,
+                      ChaosPlan.recovery(seed=chaos_seed,
+                                         intensity=intensity)))
+    if include_hostile:
+        plans.append(("hostile", chaos_seeds[0],
+                      ChaosPlan.hostile(seed=chaos_seeds[0],
+                                        intensity=intensity)))
+
+    batch: List[Job] = []
+    for spec in specs:
+        batch.append(Job(spec.name, "aikido-fasttrack", threads=threads,
+                         scale=scale, seed=seed, quantum=quantum))
+        for _, _, plan in plans:
+            batch.append(Job(spec.name, "aikido-fasttrack",
+                             threads=threads, scale=scale, seed=seed,
+                             quantum=quantum,
+                             config=AikidoConfig(chaos=plan,
+                                                 check_invariants=True)))
+    results = runner.run(batch, strict=False)
+
+    sweep = ChaosSweep(threads=threads, scale=scale, seed=seed,
+                       intensity=intensity)
+    stride = 1 + len(plans)
+    for index, spec in enumerate(specs):
+        row = results[stride * index:stride * (index + 1)]
+        baseline = row[0]
+        if isinstance(baseline, JobFailure):
+            raise HarnessError(
+                f"{spec.name}: chaos-free baseline failed "
+                f"({baseline.describe()}) — the sweep cannot judge "
+                f"survivability without it")
+        for (plan_name, chaos_seed, plan), entry in zip(plans, row[1:]):
+            sweep.cells.append(ChaosCell(
+                benchmark=spec.name, plan=plan_name,
+                chaos_seed=chaos_seed,
+                schedule_neutral=plan.schedule_neutral,
+                baseline=baseline, run=entry))
+    return sweep
 
 
 # ---------------------------------------------------------------------

@@ -10,6 +10,7 @@ import io
 from typing import List, Optional, Tuple
 
 from repro.harness.experiments import (
+    ChaosSweep,
     SuiteResult,
     Table2Row,
     figure5,
@@ -210,6 +211,48 @@ def render_prepass(comparisons) -> str:
     total_f = sum(c.faults_saved for c in comparisons)
     total_x = sum(c.flushes_saved for c in comparisons)
     out.write(f"total saved: {total_f} faults, {total_x} cache flushes\n")
+    return out.getvalue()
+
+
+def render_chaos(sweep) -> str:
+    """Survivability table for a chaos sweep.
+
+    Accepts a :class:`ChaosSweep` or its :meth:`~ChaosSweep.to_dict`
+    payload (so archived JSON renders identically). Per cell: injections
+    delivered, injections recovered, invariant checks run, and whether
+    the race reports matched the chaos-free baseline bit for bit —
+    guaranteed for recovery plans, informational for hostile ones.
+    """
+    payload = sweep.to_dict() if isinstance(sweep, ChaosSweep) else sweep
+    out = io.StringIO()
+    out.write("Chaos sweep: survivability under fault injection "
+              f"({payload['threads']} threads, "
+              f"intensity {payload['intensity']:g})\n")
+    out.write(f"{'benchmark':>14s} {'plan':>9s} {'seed':>5s} "
+              f"{'injected':>9s} {'recovered':>10s} {'inv.checks':>11s} "
+              f"{'races':>7s} {'outcome':>24s}\n")
+    for cell in payload["cells"]:
+        if cell["survived"]:
+            races = "same" if cell["races_match"] else "differ"
+            if not cell["schedule_neutral"] and not cell["races_match"]:
+                races += "*"
+            outcome = "survived"
+        else:
+            races = "-"
+            failure = cell.get("failure", {})
+            outcome = failure.get("error_type", "failed")
+            if failure.get("invariant"):
+                outcome = f"violation:{failure['invariant']}"
+        out.write(f"{cell['benchmark']:>14s} {cell['plan']:>9s} "
+                  f"{cell['chaos_seed']:>5d} {cell['injected']:>9d} "
+                  f"{cell['recovered']:>10d} "
+                  f"{cell['invariant_checks']:>11d} {races:>7s} "
+                  f"{outcome:>24s}\n")
+    out.write(f"total: {payload['delivered']} injections delivered, "
+              f"{payload['recovered']} recovered\n")
+    if any(not c["schedule_neutral"] for c in payload["cells"]):
+        out.write("(* hostile preemption perturbs the schedule; differing "
+                  "races are expected, invariants must still hold)\n")
     return out.getvalue()
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -49,6 +50,10 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Failed stores (full disk, permissions, ...): the cache goes
+        #: quiet instead of killing the suite that feeds it.
+        self.put_errors = 0
+        self._put_warned = False
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -75,18 +80,40 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload: Dict) -> None:
-        """Store ``payload`` under ``key`` atomically (tmpfile + rename)."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        """Store ``payload`` under ``key`` atomically (tmpfile + rename).
+
+        A cache is an accelerator, not a dependency: any ``OSError``
+        (read-only filesystem, disk full, permission change mid-suite) is
+        swallowed — warned about once per instance, counted in
+        ``put_errors`` — and the run simply stays uncached.
+        """
+        tmp = None
         try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
             os.replace(tmp, self._path(key))
+        except OSError as exc:
+            self.put_errors += 1
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            if not self._put_warned:
+                self._put_warned = True
+                warnings.warn(
+                    f"result cache write failed ({exc}); continuing "
+                    f"uncached (further failures will be silent)",
+                    RuntimeWarning, stacklevel=2)
+            return
         except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
             raise
         self.stores += 1
 

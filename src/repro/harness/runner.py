@@ -41,7 +41,8 @@ class RunResult:
                  races: Optional[List] = None,
                  aikido_stats: Optional[Dict[str, int]] = None,
                  hypervisor_stats: Optional[Dict[str, int]] = None,
-                 detector_profile: Optional[Dict[str, int]] = None):
+                 detector_profile: Optional[Dict[str, int]] = None,
+                 chaos: Optional[Dict] = None):
         self.mode = mode
         self.cycles = cycles
         self.run_stats = run_stats
@@ -50,6 +51,10 @@ class RunResult:
         self.aikido_stats = aikido_stats or {}
         self.hypervisor_stats = hypervisor_stats or {}
         self.detector_profile = detector_profile or {}
+        #: Chaos/invariant payload (None when the run had chaos disabled):
+        #: {"plan", "delivered", "recovered", "events", "invariant_checks",
+        #:  "invariant_violations"}.
+        self.chaos = chaos
 
     @property
     def memory_refs(self) -> int:
@@ -70,6 +75,25 @@ class RunResult:
     def segfaults(self) -> int:
         """Fake faults delivered by AikidoVM (col 4)."""
         return self.hypervisor_stats.get("segfaults_delivered", 0)
+
+    @property
+    def chaos_injections(self) -> int:
+        """Faults the chaos injector actually delivered this run."""
+        if self.chaos is None:
+            return 0
+        return sum(self.chaos.get("delivered", {}).values())
+
+    @property
+    def chaos_recovered(self) -> int:
+        """Delivered injections the stack demonstrably absorbed."""
+        if self.chaos is None:
+            return 0
+        return sum(self.chaos.get("recovered", {}).values())
+
+    @property
+    def invariant_checks(self) -> int:
+        return 0 if self.chaos is None else self.chaos.get(
+            "invariant_checks", 0)
 
     @property
     def rejit_flushes(self) -> int:
@@ -187,13 +211,19 @@ def run_aikido_fasttrack(program, *, seed: int = 0, quantum: int = 200,
         config, seed=seed, quantum=quantum, jitter=jitter)
     system.run(max_instructions=max_instructions)
     analysis = system.analysis
+    chaos_payload = None
+    if system.chaos is not None or system.monitor is not None:
+        chaos_payload = system.chaos.as_dict() if system.chaos else {}
+        if system.monitor is not None:
+            chaos_payload.update(system.monitor.snapshot())
     return RunResult("aikido-fasttrack", system.cycles,
                      _engine_run_stats(system.engine),
                      system.kernel.counter.snapshot(),
                      races=list(analysis.races),
                      aikido_stats=system.stats.as_dict(),
                      hypervisor_stats=system.hypervisor_stats.as_dict(),
-                     detector_profile=_detector_profile(analysis.detector))
+                     detector_profile=_detector_profile(analysis.detector),
+                     chaos=chaos_payload)
 
 
 _MODE_RUNNERS = {

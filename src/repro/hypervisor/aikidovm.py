@@ -20,7 +20,11 @@ from __future__ import annotations
 from typing import Dict, Optional, Set, Tuple
 
 from repro import costs
-from repro.errors import BadHypercallError, HypervisorError
+from repro.errors import (
+    BadHypercallError,
+    HypervisorError,
+    TransientHypercallError,
+)
 from repro.guestos.platform import FaultDisposition, Platform
 from repro.hypervisor.hypercalls import (
     ALL_THREADS,
@@ -61,6 +65,10 @@ class HypervisorStats:
         self.protection_updates = 0
         self.shadow_syncs = 0
         self.tlb_invalidations = 0
+        #: Chaos: transient HC_SET_PROT failures injected.
+        self.hypercall_failures_injected = 0
+        #: Chaos: shadow PTEs deliberately dropped at context switches.
+        self.shadow_desyncs_injected = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -107,6 +115,8 @@ class AikidoVM(Platform):
         self.fault_write_page: Optional[int] = None
         self.mailbox_addr: Optional[int] = None
         self.stats = HypervisorStats()
+        #: Chaos injector, attached by ChaosInjector.attach (None = off).
+        self.chaos = None
 
     # ------------------------------------------------------------------
     # Platform lifecycle
@@ -187,6 +197,36 @@ class AikidoVM(Platform):
             self._charge("vmexit", costs.CONTEXT_SWITCH_TRAP)
         else:
             self._charge("vmexit", costs.VMEXIT)
+        chaos = self.chaos
+        if chaos is not None and chaos.fires("shadow_desync", tid=nxt.tid):
+            self._inject_shadow_desync(nxt, chaos)
+
+    def _inject_shadow_desync(self, thread, chaos) -> None:
+        """Chaos: drop one of the incoming thread's shadow PTEs.
+
+        The matching TLB entry is shot down too, so the next access to the
+        page takes a hidden fault (case 5 in :meth:`handle_fault`) and the
+        entry is re-derived — recoverable by construction. Leaving the TLB
+        entry in place would be ``stale_tlb``'s job, not this one's.
+        """
+        shadow = self.shadow_tables.get(thread.tid)
+        if shadow is None or not shadow.entries:
+            chaos.note_recovered("shadow_desync")  # nothing to desync
+            return
+        vpns = sorted(shadow.entries)
+        vpn = vpns[chaos.rng("shadow_desync").randrange(len(vpns))]
+        if shadow.desync(vpn):
+            self.stats.shadow_desyncs_injected += 1
+            thread.tlb.invalidate(vpn)
+        chaos.note_recovered("shadow_desync")
+
+    def is_temp_kernel_unprotected(self, tid: int, vpn: int) -> bool:
+        """True while (tid, vpn) is temporarily kernel-unprotected (§3.2.6).
+
+        Public accessor for the invariant monitor: during the window the
+        shadow PTE legitimately disagrees with the protection table.
+        """
+        return (tid, vpn) in self._temp_kernel_unprotected
 
     # ------------------------------------------------------------------
     # translation
@@ -286,6 +326,16 @@ class AikidoVM(Platform):
                     "per-thread page protection requires per-thread "
                     "shadow tables (traditional hypervisor mode)")
             tid, vpn_start, count, prot = args[0], args[1], args[2], args[3]
+            chaos = self.chaos
+            if chaos is not None and chaos.fires(
+                    "hypercall_fail", tid=thread.tid,
+                    detail=f"vpn={vpn_start:#x} count={count}"):
+                # Fail *before* any protection state changes, so a retry
+                # of the hypercall is exactly equivalent to a clean call.
+                self.stats.hypercall_failures_injected += 1
+                raise TransientHypercallError(
+                    f"injected transient HC_SET_PROT failure "
+                    f"(vpn={vpn_start:#x} count={count} tid={tid})")
             self._set_protection(thread.process, tid, vpn_start, count,
                                  prot)
             return 0

@@ -51,6 +51,22 @@ class ShadowPageTable(PageTable):
     def __init__(self, tid: int):
         super().__init__(f"shadow-t{tid}")
         self.tid = tid
+        #: Entries dropped by chaos injection (hidden-fault resyncs
+        #: materialize them again on the next access).
+        self.desyncs = 0
+
+    def desync(self, vpn: int) -> bool:
+        """Chaos hook: forget one shadow entry without telling anyone.
+
+        Returns True when an entry was actually dropped. Paired with a
+        TLB shootdown this is recoverable — the next access misses the
+        TLB, misses the shadow table, and takes a hidden fault that
+        re-derives the entry (AikidoVM fault case 5).
+        """
+        if self.unmap(vpn) is None:
+            return False
+        self.desyncs += 1
+        return True
 
     def sync_entry(self, vpn: int, guest_pte: Optional[PTE],
                    prot_override: Optional[int],

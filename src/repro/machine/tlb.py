@@ -12,7 +12,7 @@ accesses without the flushes.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 
 class TLB:
@@ -31,6 +31,13 @@ class TLB:
         self.misses = 0
         self.flushes = 0
         self.single_invalidations = 0
+        #: Invalidations the chaos injector swallowed (stale_tlb) and
+        #: single invalidations it escalated to full flushes (tlb_flush).
+        self.dropped_invalidations = 0
+        self.chaos_flushes = 0
+        #: Chaos wiring (None = no injection on this TLB).
+        self.chaos = None
+        self.owner_tid: Optional[int] = None
 
     def lookup(self, vpn: int) -> Optional[Tuple[int, int]]:
         """Return (pfn, flags) or None on miss."""
@@ -49,6 +56,23 @@ class TLB:
 
     def invalidate(self, vpn: int) -> None:
         """Drop one page's translation (INVLPG)."""
+        chaos = self.chaos
+        if chaos is not None and vpn in self._entries:
+            if chaos.fires("stale_tlb", tid=self.owner_tid,
+                           detail=f"vpn={vpn:#x}"):
+                # The shootdown is lost: the stale (possibly permissive)
+                # translation survives. Deliberately unsound — the
+                # invariant monitor must flag what this leaves behind.
+                self.dropped_invalidations += 1
+                return
+            if chaos.fires("tlb_flush", tid=self.owner_tid,
+                           detail=f"vpn={vpn:#x}"):
+                # Escalate INVLPG to a full flush: a superset of the
+                # requested shootdown, so correctness is preserved.
+                self.chaos_flushes += 1
+                self.flush()
+                chaos.note_recovered("tlb_flush")
+                return
         if self._entries.pop(vpn, None) is not None:
             self.single_invalidations += 1
 
@@ -56,6 +80,10 @@ class TLB:
         """Drop every translation (CR3 reload / full flush)."""
         self._entries.clear()
         self.flushes += 1
+
+    def items(self) -> Iterator[Tuple[int, Tuple[int, int]]]:
+        """Iterate (vpn, (pfn, flags)) — coherence checks walk this."""
+        return iter(self._entries.items())
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,0 +1,140 @@
+"""Deliberately misbehaving workloads for harness robustness tests.
+
+These are *diagnostic* benchmarks: registered by name (so pool workers
+can rebuild them from the registry like any other job) but excluded from
+``PARSEC_BENCHMARKS`` and :func:`~repro.workloads.parsec.benchmark_names`
+— no experiment sweep ever picks one up by accident.
+
+=================  ====================================================
+name               behavior
+=================  ====================================================
+``deadlock``       two workers acquire locks 1/2 in opposite orders,
+                   with a barrier between the acquisitions so the AB-BA
+                   cycle is guaranteed, not schedule-dependent
+``segfault``       a worker loads from an unmapped low address, raising
+                   :class:`~repro.errors.SegmentationFaultError` with
+                   its ``address``/``thread_id`` fields populated
+``spin``           a long pure-compute loop (runtime scales with
+                   ``scale``) — the per-job timeout test target
+``kill-worker``    kills its **pool worker process** (SIGKILL) at
+                   program-build time, exactly once per flag file —
+                   the BrokenProcessPool recovery test target
+=================  ====================================================
+
+``kill-worker`` is driven by two environment variables: it only fires
+when ``AIKIDO_POOL_WORKER`` is set (so inline/fallback execution is
+safe) and ``AIKIDO_CHAOS_KILL_FILE`` names a flag file; the first build
+to create the file (``O_CREAT | O_EXCL``) dies, every later build — in
+any process — proceeds normally. Unset, it is just a tiny spin.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+from repro.machine.asm import ProgramBuilder
+from repro.machine.program import Program
+from repro.workloads.base import PaperRow, WorkloadSpec, alu_pad, scaled
+
+
+def build_deadlock(threads: int = 2, scale: float = 1.0) -> Program:
+    """Guaranteed AB-BA deadlock between two workers."""
+    b = ProgramBuilder("deadlock")
+    b.label("main")
+    b.li(3, 0)
+    b.spawn(5, "locker_a", arg_reg=3)
+    b.spawn(6, "locker_b", arg_reg=3)
+    b.join(5)
+    b.join(6)
+    b.halt()
+
+    # Both workers hold their first lock when they meet at the barrier,
+    # so each then blocks on the lock the other holds: a certain cycle.
+    b.label("locker_a")
+    b.li(2, 2)  # barrier parties
+    b.lock(1)
+    b.barrier(1, parties_reg=2)
+    b.lock(2)
+    b.unlock(2)
+    b.unlock(1)
+    b.halt()
+
+    b.label("locker_b")
+    b.li(2, 2)
+    b.lock(2)
+    b.barrier(1, parties_reg=2)
+    b.lock(1)
+    b.unlock(1)
+    b.unlock(2)
+    b.halt()
+    return b.build()
+
+
+def build_segfault(threads: int = 1, scale: float = 1.0) -> Program:
+    """A worker dereferences an unmapped low address and dies."""
+    b = ProgramBuilder("segfault")
+    b.label("main")
+    b.li(3, 0)
+    b.spawn(5, "crasher", arg_reg=3)
+    b.join(5)
+    b.halt()
+
+    b.label("crasher")
+    alu_pad(b, 8)
+    b.li(4, 0x18)  # far below every mapped segment
+    b.load(6, base=4, disp=0)
+    b.halt()
+    return b.build()
+
+
+def build_spin(threads: int = 1, scale: float = 1.0) -> Program:
+    """Pure compute for a long time (wall-clock grows with ``scale``)."""
+    b = ProgramBuilder("spin")
+    b.label("main")
+    with b.loop(counter=2, count=scaled(400_000, scale)):
+        alu_pad(b, 12)
+    b.halt()
+    return b.build()
+
+
+def build_kill_worker(threads: int = 1, scale: float = 1.0) -> Program:
+    """SIGKILL this pool worker once, then behave like a short spin.
+
+    The flag file (created with ``O_CREAT | O_EXCL``) makes "once" hold
+    across the retry, whichever worker process picks the job up next.
+    """
+    flag = os.environ.get("AIKIDO_CHAOS_KILL_FILE")
+    if flag and os.environ.get("AIKIDO_POOL_WORKER"):
+        try:
+            fd = os.open(flag, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.write(fd, str(os.getpid()).encode())
+            os.close(fd)
+            os.kill(os.getpid(), signal.SIGKILL)
+    b = ProgramBuilder("kill-worker")
+    b.label("main")
+    with b.loop(counter=2, count=scaled(50, scale)):
+        alu_pad(b, 6)
+    b.halt()
+    return b.build()
+
+
+_NO_PAPER = PaperRow(shared_fraction=0.0, instrumented_fraction=0.0)
+
+DIAGNOSTIC_BENCHMARKS = [
+    WorkloadSpec("deadlock", build_deadlock,
+                 "guaranteed AB-BA lock cycle between two workers",
+                 _NO_PAPER, default_threads=2),
+    WorkloadSpec("segfault", build_segfault,
+                 "loads from an unmapped address (unhandled fault)",
+                 _NO_PAPER, default_threads=1),
+    WorkloadSpec("spin", build_spin,
+                 "long pure-compute loop (timeout-test target)",
+                 _NO_PAPER, default_threads=1),
+    WorkloadSpec("kill-worker", build_kill_worker,
+                 "SIGKILLs its pool worker once (recovery-test target)",
+                 _NO_PAPER, default_threads=1),
+]

@@ -86,6 +86,13 @@ PARSEC_BENCHMARKS: List[WorkloadSpec] = [
 
 _BY_NAME: Dict[str, WorkloadSpec] = {s.name: s for s in PARSEC_BENCHMARKS}
 
+# Diagnostic workloads resolve by name (pool workers rebuild jobs from
+# this registry) but never appear in the PARSEC list or benchmark_names,
+# so experiment sweeps cannot pick them up.
+from repro.workloads.faulty import DIAGNOSTIC_BENCHMARKS  # noqa: E402
+
+_BY_NAME.update({s.name: s for s in DIAGNOSTIC_BENCHMARKS})
+
 
 def benchmark_names() -> List[str]:
     return [s.name for s in PARSEC_BENCHMARKS]

@@ -1,0 +1,116 @@
+"""End-to-end fault injection through the full aikido-fasttrack stack.
+
+The contract under test (ISSUE 3 acceptance criteria):
+
+* chaos disabled -> byte-identical metrics to a config-less run;
+* every recoverable schedule-neutral point delivers, recovers, and
+  leaves the race report bit-identical to the chaos-free baseline;
+* ``preempt`` delivers and recovers but may legally change races;
+* ``stale_tlb`` corrupts silently and MUST be converted into a
+  structured :class:`InvariantViolationError` by the monitor;
+* same plan + same seed -> identical cycles and identical event logs.
+"""
+
+import pytest
+
+from repro.chaos.plan import RECOVERY_POINTS, ChaosPlan
+from repro.core.config import AikidoConfig
+from repro.errors import InvariantViolationError
+from repro.harness.runner import run_aikido_fasttrack
+from repro.workloads.parsec import build_benchmark
+
+# Probed so every injection point fires tens of times in ~20ms.
+THREADS, SCALE, QUANTUM, SEED = 2, 0.25, 100, 3
+INTENSITY = 0.25
+
+
+def _program():
+    return build_benchmark("canneal", threads=THREADS, scale=SCALE)
+
+
+def _run(config=None):
+    return run_aikido_fasttrack(_program(), seed=SEED, quantum=QUANTUM,
+                                jitter=0.0, config=config)
+
+
+def _races(result):
+    return sorted(r.describe() for r in result.races)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return _run()
+
+
+def test_chaos_off_is_byte_identical(baseline):
+    explicit = _run(AikidoConfig())
+    assert explicit.cycles == baseline.cycles
+    assert explicit.run_stats == baseline.run_stats
+    assert explicit.aikido_stats == baseline.aikido_stats
+    assert _races(explicit) == _races(baseline)
+    assert explicit.chaos is None and explicit.chaos_injections == 0
+
+
+def test_invariant_monitor_is_cycle_neutral(baseline):
+    monitored = _run(AikidoConfig(check_invariants=True))
+    assert monitored.cycles == baseline.cycles
+    assert _races(monitored) == _races(baseline)
+    assert monitored.invariant_checks > 0
+    assert monitored.chaos["invariant_violations"] == 0
+
+
+@pytest.mark.parametrize("point", RECOVERY_POINTS)
+def test_recovery_point_is_absorbed(point, baseline):
+    plan = ChaosPlan.single(point, seed=11, intensity=INTENSITY)
+    result = _run(AikidoConfig(chaos=plan, check_invariants=True))
+    delivered = result.chaos["delivered"].get(point, 0)
+    assert delivered > 0, f"{point} never fired at intensity {INTENSITY}"
+    assert result.chaos["recovered"].get(point, 0) == delivered
+    # Schedule-neutral points only add cycles; races are bit-identical.
+    assert _races(result) == _races(baseline)
+    assert result.cycles >= baseline.cycles
+    assert result.chaos["invariant_violations"] == 0
+    assert result.chaos_injections == delivered
+    assert result.chaos_recovered == delivered
+
+
+def test_preempt_recovers_under_hostile_schedules():
+    plan = ChaosPlan.single("preempt", seed=11, intensity=INTENSITY)
+    result = _run(AikidoConfig(chaos=plan, check_invariants=True))
+    delivered = result.chaos["delivered"].get("preempt", 0)
+    assert delivered > 0
+    assert result.chaos["recovered"].get("preempt", 0) == delivered
+    # No bit-identical guarantee (interleaving changed), but the run
+    # must complete with every invariant intact.
+    assert result.chaos["invariant_violations"] == 0
+
+
+def test_stale_tlb_is_caught_by_the_monitor():
+    plan = ChaosPlan.single("stale_tlb", seed=11, intensity=INTENSITY)
+    with pytest.raises(InvariantViolationError) as excinfo:
+        _run(AikidoConfig(chaos=plan, check_invariants=True))
+    assert excinfo.value.invariant == "tlb_coherence"
+    assert excinfo.value.details  # structured diagnosis payload
+    assert "tlb" in str(excinfo.value).lower()
+
+
+def test_same_seed_is_reproducible():
+    plan = ChaosPlan.recovery(seed=23, intensity=INTENSITY)
+    config = AikidoConfig(chaos=plan, check_invariants=True)
+    first, second = _run(config), _run(config)
+    assert first.cycles == second.cycles
+    assert first.chaos["delivered"] == second.chaos["delivered"]
+    assert first.chaos["events"] == second.chaos["events"]
+    assert _races(first) == _races(second)
+
+
+def test_chaos_payload_shape():
+    plan = ChaosPlan.recovery(seed=11, intensity=INTENSITY)
+    result = _run(AikidoConfig(chaos=plan, check_invariants=True))
+    payload = result.chaos
+    assert payload["plan"] == plan.to_dict()
+    assert set(payload["delivered"]) <= set(plan.points)
+    for event in payload["events"]:
+        assert event["point"] in plan.points
+        assert event["cycle"] >= 0 and event["tid"] >= 0
+    assert payload["invariant_checks"] == result.invariant_checks

@@ -1,0 +1,69 @@
+"""ChaosPlan: validation, factories, serialization."""
+
+import pytest
+
+from repro.chaos.plan import (
+    HOSTILE_POINTS,
+    INJECTION_POINTS,
+    RECOVERY_POINTS,
+    UNSOUND_POINTS,
+    ChaosPlan,
+    describe_points,
+)
+from repro.errors import ChaosError
+
+
+def test_registry_partitions():
+    assert set(RECOVERY_POINTS) | set(HOSTILE_POINTS) | set(UNSOUND_POINTS) \
+        == set(INJECTION_POINTS)
+    assert "preempt" in HOSTILE_POINTS and "preempt" not in RECOVERY_POINTS
+    assert UNSOUND_POINTS == ("stale_tlb",)
+    for name, point in INJECTION_POINTS.items():
+        assert point.name == name
+        assert point.layer and point.description
+
+
+def test_unknown_point_rejected():
+    with pytest.raises(ChaosError, match="unknown injection point"):
+        ChaosPlan(seed=1, points={"warp_core_breach": 0.1})
+
+
+@pytest.mark.parametrize("rate", [-0.1, 1.5])
+def test_bad_rate_rejected(rate):
+    with pytest.raises(ChaosError, match="rate"):
+        ChaosPlan(seed=1, points={"spurious_fault": rate})
+
+
+def test_negative_cap_rejected():
+    with pytest.raises(ChaosError, match="max_per_point"):
+        ChaosPlan(seed=1, points={"spurious_fault": 0.1}, max_per_point=-1)
+
+
+def test_factories_and_properties():
+    recovery = ChaosPlan.recovery(seed=7, intensity=0.02)
+    assert set(recovery.active_points()) == set(RECOVERY_POINTS)
+    assert recovery.schedule_neutral and recovery.sound
+
+    hostile = ChaosPlan.hostile(seed=7, intensity=0.02)
+    assert "preempt" in hostile.active_points()
+    assert not hostile.schedule_neutral and hostile.sound
+
+    single = ChaosPlan.single("stale_tlb", seed=7, intensity=0.5)
+    assert single.active_points() == ("stale_tlb",)
+    assert not single.sound
+    assert single.rate("stale_tlb") == 0.5
+    assert single.rate("preempt") == 0.0
+
+
+def test_round_trip():
+    plan = ChaosPlan(seed=42,
+                     points={"spurious_fault": 0.1, "preempt": 0.05},
+                     max_per_point=9)
+    assert ChaosPlan.from_dict(plan.to_dict()) == plan
+    assert ChaosPlan.from_json(plan.to_json()) == plan
+
+
+def test_describe_points_mentions_every_point():
+    text = describe_points()
+    for name in INJECTION_POINTS:
+        assert name in text

@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import pytest
 
 from repro.guestos.kernel import Kernel
 from repro.machine.asm import ProgramBuilder
+
+#: Per-test wall-clock ceiling in seconds (0 disables the guard).
+_TEST_TIMEOUT = float(os.environ.get("AIKIDO_TEST_TIMEOUT", "120"))
 
 
 @pytest.fixture(autouse=True)
@@ -13,6 +20,34 @@ def _isolated_result_cache(tmp_path, monkeypatch):
     """Point the harness result cache at a per-test directory so tests
     never read from (or pollute) the user's real cache."""
     monkeypatch.setenv("AIKIDO_CACHE_DIR", str(tmp_path / "aikido-cache"))
+
+
+@pytest.fixture(autouse=True)
+def _runaway_guard(request):
+    """Kill any test that wedges (deadlocked pool, infinite workload).
+
+    SIGALRM-based, so it only arms on the main thread and steps aside for
+    tests that install their own alarm (the per-job timeout tests nest
+    inside it — :func:`repro.harness.parallel._deadline` re-arms the
+    remaining outer budget on exit). Tune or disable with
+    ``AIKIDO_TEST_TIMEOUT`` (seconds; 0 turns the guard off).
+    """
+    if (_TEST_TIMEOUT <= 0
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        pytest.fail(f"test exceeded the {_TEST_TIMEOUT:g}s runaway guard "
+                    f"(AIKIDO_TEST_TIMEOUT)", pytrace=True)
+
+    old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old_handler)
 
 
 @pytest.fixture
