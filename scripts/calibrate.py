@@ -34,7 +34,7 @@ def main() -> None:
                     help="always re-simulate instead of reusing cached runs")
     args = ap.parse_args()
 
-    t0 = time.time()
+    t0 = time.monotonic()
     runner = ParallelRunner(
         jobs=args.jobs, cache=None if args.no_cache else ResultCache())
     batch = [Job(spec.name, mode, threads=args.threads, scale=args.scale,
@@ -58,7 +58,7 @@ def main() -> None:
               f"{paper.aikido_slowdown_8t:6.0f} {pr:7.2f}")
     geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
     print(f"geomean ratio {geo:.2f} (paper 1.76); "
-          f"elapsed {time.time()-t0:.1f}s")
+          f"elapsed {time.monotonic()-t0:.1f}s")
 
     if args.table1:
         print("\nTable 1 (fluidanimate / vips at 2, 4, 8 threads):")

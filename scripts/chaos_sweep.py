@@ -46,7 +46,7 @@ def main() -> int:
     ap.add_argument("--no-cache", action="store_true")
     args = ap.parse_args()
 
-    started = time.time()
+    started = time.monotonic()
     runner = ParallelRunner(
         jobs=args.jobs, cache=None if args.no_cache else ResultCache())
     sweep = experiments.chaos_sweep(
@@ -57,7 +57,7 @@ def main() -> int:
     print(render_chaos(sweep))
     with open(args.out, "w") as handle:
         json.dump(sweep.to_dict(), handle, indent=2)
-    print(f"wrote {args.out} ({time.time() - started:.1f}s; "
+    print(f"wrote {args.out} ({time.monotonic() - started:.1f}s; "
           f"{runner.stats_line()})", file=sys.stderr)
     if not sweep.all_recovery_cells_clean():
         print("FAIL: a schedule-neutral chaos cell did not survive with "

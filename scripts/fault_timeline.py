@@ -8,13 +8,18 @@ group's fixed costs matter and why the paper's Table 2 fault counts vary
 by two orders of magnitude. Prints a decile histogram of fault times.
 
     python scripts/fault_timeline.py [benchmark ...]
+    python scripts/fault_timeline.py --threads 4 --scale 0.5 vips
+
+Exit codes: 0 on success, 2 on bad arguments (argparse convention).
 """
 
-import sys
+import argparse
 
 from repro.analyses.fasttrack.aikido_tool import AikidoFastTrack
 from repro.core.system import AikidoSystem
 from repro.workloads.parsec import benchmark_names, build_benchmark
+
+DEFAULT_BENCHMARKS = ("freqmine", "vips", "fluidanimate")
 
 
 def timeline(name: str, threads: int = 8, scale: float = 1.0):
@@ -25,12 +30,35 @@ def timeline(name: str, threads: int = 8, scale: float = 1.0):
     return system.sd.fault_log, system.cycles
 
 
-def main() -> None:
-    names = sys.argv[1:] or ["freqmine", "vips", "fluidanimate"]
-    for name in names:
-        if name not in benchmark_names():
-            raise SystemExit(f"unknown benchmark {name!r}")
-        log, total_cycles = timeline(name)
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Decile histogram of Aikido sharing-fault times "
+                    "per benchmark",
+        epilog="Bundled benchmarks: " + ", ".join(benchmark_names()))
+    parser.add_argument("benchmarks", nargs="*",
+                        default=list(DEFAULT_BENCHMARKS), metavar="NAME",
+                        help="benchmarks to run (default: "
+                             + " ".join(DEFAULT_BENCHMARKS) + ")")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="worker threads per run (default 8)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier (default 1.0)")
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    known = benchmark_names()
+    for name in args.benchmarks:
+        if name not in known:
+            # parser.error prints usage and exits 2 — a bad argument,
+            # distinguishable from a run that actually failed.
+            parser.error(f"unknown benchmark {name!r} "
+                         f"(choose from: {', '.join(known)})")
+    for name in args.benchmarks:
+        log, total_cycles = timeline(name, threads=args.threads,
+                                     scale=args.scale)
         deciles = [0] * 10
         for cycle, _vpn, _state in log:
             deciles[min(9, 10 * cycle // max(1, total_cycles))] += 1
@@ -38,7 +66,8 @@ def main() -> None:
         late = sum(deciles[2:]) / max(1, len(log))
         print(f"{name:>14s}  faults/decile: {bars}   "
               f"({late:.0%} after the first fifth of the run)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -35,7 +35,7 @@ def main() -> None:
                     help="always re-simulate instead of reusing cached runs")
     args = ap.parse_args()
 
-    started = time.time()
+    started = time.monotonic()
     runner = ParallelRunner(
         jobs=args.jobs, cache=None if args.no_cache else ResultCache())
     cells = [(spec, seed) for spec in PARSEC_BENCHMARKS
@@ -58,7 +58,7 @@ def main() -> None:
         spread = (max(speedups) - min(speedups)) / mean
         print(f"{spec.name:>14s} {mean:6.2f} {min(speedups):6.2f} "
               f"{max(speedups):6.2f} {spread:6.1%}")
-    print(f"[{time.time() - started:.1f}s; {runner.stats_line()}]",
+    print(f"[{time.monotonic() - started:.1f}s; {runner.stats_line()}]",
           file=sys.stderr)
 
 

@@ -44,6 +44,36 @@ print(f"smoke ok: cold run {cold.stats_line()}; "
       f"warm run {warm.stats_line()}")
 EOF
 
+# Scripts smoke: every script must support --help and exit 0 (the
+# argparse convention; a script that chokes on flags regresses here).
+for script in scripts/*.py; do
+    python "$script" --help > /dev/null
+done
+
+# Trace smoke: emit a Chrome trace through the CLI, then reload and
+# re-validate it from disk (schema + per-tid span nesting), and check
+# the cycle attribution it prints sums exactly.
+TRACE_OUT="$AIKIDO_CACHE_DIR/smoke-trace.json"
+python -m repro.harness.cli trace --benchmark blackscholes \
+    --threads 2 --scale 0.05 --quantum 100 --trace-out "$TRACE_OUT"
+python - "$TRACE_OUT" <<'EOF'
+import json
+import sys
+
+from repro.observability.sink import load_chrome
+
+path = sys.argv[1]
+payload = load_chrome(path)       # raises TraceError on any violation
+events = payload["traceEvents"]
+assert events, "trace smoke emitted no events"
+phases = {event["ph"] for event in events}
+assert {"B", "E", "i", "M"} <= phases, f"missing phases: {phases}"
+# The file is plain JSON too (what chrome://tracing actually parses).
+with open(path) as fh:
+    assert json.load(fh)["traceEvents"]
+print(f"trace smoke ok: {len(events)} events validated from {path}")
+EOF
+
 # Chaos smoke: fault injection + invariant monitoring on two bundled
 # workloads must be absorbed with race reports identical to the clean
 # runs (exercised through the CLI so the flags stay wired).

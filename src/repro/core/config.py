@@ -69,6 +69,18 @@ class AikidoConfig:
         invariant_cadence: scheduler quanta between in-run invariant
             sweeps (0 = only the run-end check). Only meaningful with
             ``check_invariants``.
+        trace: record structured trace events (spans/instants/counter
+            samples on the simulated cycle clock) via
+            :class:`~repro.observability.tracer.Tracer`. Off by default;
+            tracing charges no cycles and touches no statistic, so every
+            metric is bit-identical either way.
+        trace_max_events: trace buffer cap (events beyond it are counted
+            as dropped, never silently lost). Only meaningful with
+            ``trace``.
+        metrics_cadence: scheduler quanta between
+            :class:`~repro.observability.metrics.MetricsRecorder`
+            timeline samples (0 = no timeline; the run-end snapshot is
+            always available from the stats and cycle counter).
     """
 
     block_size: int = 8
@@ -82,3 +94,6 @@ class AikidoConfig:
     chaos: Optional[ChaosPlan] = None
     check_invariants: bool = False
     invariant_cadence: int = 50
+    trace: bool = False
+    trace_max_events: int = 250_000
+    metrics_cadence: int = 0

@@ -80,6 +80,8 @@ class SharingDetector(Tool):
         #: ones front-load them).
         self.fault_log: list = []
         self._installed = False
+        #: Observability tracer, attached by AikidoSystem (None = off).
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # installation
@@ -192,6 +194,17 @@ class SharingDetector(Tool):
 
     def _handle_sharing_fault(self, thread, addr: int,
                               is_write: bool) -> None:
+        if self.tracer is None:
+            return self._handle_sharing_fault_inner(thread, addr,
+                                                    is_write)
+        with self.tracer.span("sharing_fault", "aikido_sd",
+                              tid=thread.tid, addr=addr,
+                              write=is_write):
+            return self._handle_sharing_fault_inner(thread, addr,
+                                                    is_write)
+
+    def _handle_sharing_fault_inner(self, thread, addr: int,
+                                    is_write: bool) -> None:
         self.stats.faults_handled += 1
         self.counter.charge("aikido_sd", costs.SD_FAULT_HANDLER)
         vpn = addr >> PAGE_SHIFT
@@ -283,6 +296,8 @@ class SharingDetector(Tool):
                 f"shared page")
         self.instrumented.add(instr.uid)
         self.stats.instructions_instrumented += 1
+        if self.tracer is not None:
+            self.tracer.instant("instrument", "aikido_sd", uid=instr.uid)
         flushed = self.engine.invalidate_instruction(instr.uid)
         self.stats.rejit_flushes += flushed
 
@@ -315,6 +330,7 @@ class SharingDetector(Tool):
         analysis = self.analysis
         stats = self.stats
         counter = self.counter
+        tracer = self.tracer
         mirror_cost = (costs.MIRROR_ACCESS_PENALTY
                        if self.config.mirror_pages else 0)
 
@@ -322,6 +338,9 @@ class SharingDetector(Tool):
             if mirror_cost:
                 counter.charge("aikido_inline", mirror_cost)
             stats.shared_accesses += 1
+            if tracer is not None:
+                tracer.instant("shared_access", "tool", tid=thread.tid,
+                               addr=_addr, write=_instr.is_write)
             analysis.on_shared_access(thread, _instr, _addr,
                                       _instr.is_write)
             return None  # the patched operand already targets the mirror
@@ -384,6 +403,9 @@ class SharingDetector(Tool):
         if self._prepass_pending:
             self._credit_prepass(instr.uid, fault_avoided=True)
         self.stats.shared_accesses += 1
+        if self.tracer is not None:
+            self.tracer.instant("shared_access", "tool", tid=thread.tid,
+                                addr=ea, write=instr.is_write)
         self.analysis.on_shared_access(thread, instr, ea, instr.is_write)
         if not self.config.mirror_pages:
             return None

@@ -15,8 +15,11 @@ from repro.core.analysis import SharedDataAnalysis
 from repro.core.config import AikidoConfig
 from repro.core.sharing import SharingDetector
 from repro.dbr.engine import DBREngine
+from repro.errors import ToolError
 from repro.guestos.kernel import Kernel
 from repro.hypervisor.aikidovm import AikidoVM
+from repro.observability.metrics import MetricsRecorder, metrics_snapshot
+from repro.observability.tracer import Tracer
 
 
 class AikidoSystem:
@@ -47,6 +50,25 @@ class AikidoSystem:
         self.analysis = analysis
         self.sd = SharingDetector(self.kernel, self.hypervisor, analysis,
                                   self.config)
+        #: Observability plumbing (None unless the config enables it).
+        self.tracer: Optional[Tracer] = None
+        self.metrics: Optional[MetricsRecorder] = None
+        if self.config.trace:
+            self.tracer = Tracer(self.kernel.counter,
+                                 max_events=self.config.trace_max_events)
+            # Every layer holds the same tracer; sites stay inert (one
+            # attribute load + None test) on untraced stacks.
+            self.kernel.tracer = self.tracer
+            self.hypervisor.tracer = self.tracer
+            self.engine.tracer = self.tracer
+            self.engine.codecache.tracer = self.tracer
+            self.sd.tracer = self.tracer
+            self.sd.shadow.tracer = self.tracer
+        if self.config.metrics_cadence > 0:
+            self.metrics = MetricsRecorder(
+                self.kernel.counter, self.sd.stats,
+                cadence=self.config.metrics_cadence, tracer=self.tracer)
+            self.metrics.install(self.kernel)
         self.sd.install(self.engine)
         #: Chaos plumbing (both None unless the config enables them).
         self.chaos: Optional[ChaosInjector] = None
@@ -69,8 +91,22 @@ class AikidoSystem:
             self.monitor.check_all()
             self.sd.stats.invariant_checks = self.monitor.checks_run
         if self.chaos is not None:
+            # The injector is the single source of truth for these two
+            # counters: layers report via ChaosInjector.note_recovered,
+            # never by advancing the stats directly. A nonzero value here
+            # would mean some layer double-counted — and the copy below
+            # would silently discard it — so it is an error, not a merge.
+            if (self.sd.stats.chaos_injections
+                    or self.sd.stats.chaos_recovered):
+                raise ToolError(
+                    "chaos counters advanced outside the injector "
+                    f"(injections={self.sd.stats.chaos_injections}, "
+                    f"recovered={self.sd.stats.chaos_recovered}); "
+                    "report recoveries via ChaosInjector.note_recovered")
             self.sd.stats.chaos_injections = self.chaos.total_delivered
             self.sd.stats.chaos_recovered = self.chaos.total_recovered
+        if self.metrics is not None:
+            self.metrics.finalize()
         return self
 
     # ------------------------------------------------------------------
@@ -91,3 +127,11 @@ class AikidoSystem:
     @property
     def hypervisor_stats(self):
         return self.hypervisor.stats
+
+    def metrics_snapshot(self) -> dict:
+        """Run-end metrics payload (full stats + exact cycle attribution)."""
+        return metrics_snapshot(self.sd.stats, self.kernel.counter)
+
+    def timeline(self) -> list:
+        """The metrics timeline ([] unless ``metrics_cadence`` > 0)."""
+        return self.metrics.timeline() if self.metrics is not None else []

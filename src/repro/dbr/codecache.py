@@ -59,6 +59,8 @@ class CodeCache:
         self.builds = 0
         self.flushes = 0
         self.traces_built = 0
+        #: Observability tracer, attached by AikidoSystem (None = off).
+        self.tracer = None
 
     def get(self, block_index: int) -> CachedBlock:
         """Fetch a cached block, building (and instrumenting) on miss."""
@@ -92,6 +94,9 @@ class CodeCache:
         self.flushes += 1
         if self.counter is not None:
             self.counter.charge("dbr", costs.BLOCK_FLUSH)
+        if self.tracer is not None:
+            self.tracer.instant("cache_flush", "dbr",
+                                block=block_index, blocks=1)
         return 1
 
     def invalidate_all(self) -> int:
@@ -108,13 +113,22 @@ class CodeCache:
         self.flushes += count
         if self.counter is not None:
             self.counter.charge("dbr", costs.BLOCK_FLUSH * count)
+        if self.tracer is not None:
+            self.tracer.instant("cache_flush", "dbr", blocks=count)
         return count
 
     def _build(self, block_index: int) -> CachedBlock:
         source = self.program.block_at(block_index)
         cached = CachedBlock(block_index, source)
-        for callback in self.build_callbacks:
-            callback(cached)
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.span("block_build", "dbr", block=block_index,
+                             instrs=len(cached.instrs)):
+                for callback in self.build_callbacks:
+                    callback(cached)
+        else:
+            for callback in self.build_callbacks:
+                callback(cached)
         self._blocks[block_index] = cached
         self.builds += 1
         if self.counter is not None:

@@ -48,6 +48,8 @@ class DBREngine(ExecutionDriver):
         self.overhead_per_instr = costs.DBR_BASE_PER_INSTR
         #: Chaos injector, attached by ChaosInjector.attach (None = off).
         self.chaos = None
+        #: Observability tracer, attached by AikidoSystem (None = off).
+        self.tracer = None
         kernel.set_driver(self, self.process)
 
     # ------------------------------------------------------------------
@@ -69,6 +71,8 @@ class DBREngine(ExecutionDriver):
         flushed = self.codecache.invalidate_blocks_of_instruction(uid)
         if flushed:
             self._cache_dirty = True
+        if self.tracer is not None:
+            self.tracer.instant("rejit", "dbr", uid=uid, flushed=flushed)
         return flushed
 
     # ------------------------------------------------------------------

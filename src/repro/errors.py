@@ -94,6 +94,16 @@ class ToolError(ReproError):
     """Errors raised by DBR tools (analyses)."""
 
 
+class TraceError(ReproError):
+    """Errors raised by the observability layer.
+
+    Covers malformed trace artifacts (a Chrome trace that does not
+    validate), unbalanced span begin/end pairs, and attribution
+    inconsistencies (a bucket decomposition that does not sum to the
+    run's total cycles).
+    """
+
+
 class WorkloadError(ReproError):
     """Errors raised while constructing synthetic workloads."""
 

@@ -90,6 +90,8 @@ class Kernel:
         #: used by the invariant monitor's cadence. Must not mutate
         #: guest state (they run outside the simulated machine).
         self.tick_hooks: List[Callable] = []
+        #: Observability tracer, attached by AikidoSystem (None = off).
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # setup
@@ -195,6 +197,10 @@ class Kernel:
                                 for t in live))
             if prev is not None and thread is not prev:
                 self.counter.charge("context_switch", costs.CONTEXT_SWITCH)
+                if self.tracer is not None:
+                    self.tracer.instant("context_switch", "kernel",
+                                        tid=thread.tid,
+                                        from_tid=prev.tid)
                 if prev.process is not thread.process:
                     # Cross-process switch: the kernel reloads CR3, which
                     # a hypervisor traps (§3.2.2).
@@ -244,6 +250,14 @@ class Kernel:
 
     def _dispatch_fault(self, thread: Thread, fault: PageFault) -> None:
         """One platform dispatch + (possibly delayed) signal delivery."""
+        if self.tracer is None:
+            return self._dispatch_fault_inner(thread, fault)
+        with self.tracer.span("fault_dispatch", "kernel", tid=thread.tid,
+                              vaddr=fault.vaddr, write=fault.is_write):
+            return self._dispatch_fault_inner(thread, fault)
+
+    def _dispatch_fault_inner(self, thread: Thread,
+                              fault: PageFault) -> None:
         disposition = self.platform.handle_fault(thread, fault)
         if disposition.kind == "retry":
             return
@@ -269,6 +283,10 @@ class Kernel:
             chaos.note_recovered("delay_signal")
             return
         self.counter.charge("signal_delivery", costs.SIGNAL_DELIVERY)
+        if self.tracer is not None:
+            self.tracer.instant("signal_delivery", "kernel",
+                                tid=thread.tid, signal="SIGSEGV",
+                                addr=disposition.delivered_address)
         self.signals_delivered += 1
         info = SignalInfo(SIGSEGV, disposition.delivered_address,
                           fault.is_write, thread.tid,
@@ -569,6 +587,9 @@ class Kernel:
     # -- syscalls ---------------------------------------------------------
     def _service_syscall(self, thread: Thread, action) -> bool:
         self.counter.charge("syscall", costs.SYSCALL)
+        if self.tracer is not None:
+            self.tracer.instant("syscall", "kernel", tid=thread.tid,
+                                number=action.number)
         number = action.number
         regs = thread.regs
         if number == syscalls.SYS_EXIT:

@@ -12,6 +12,7 @@ Usage (installed as ``aikido-repro`` or ``python -m repro.harness.cli``)::
     aikido-repro prepass          # --static-prepass on/off ablation
     aikido-repro instr            # instrumentation-machinery counters
     aikido-repro chaos            # fault-injection survivability sweep
+    aikido-repro trace --benchmark vips     # Chrome trace + attribution
     aikido-repro all              # everything, one suite run
     aikido-repro all --static-prepass  # suite with seeded discovery
     aikido-repro all --scale 0.5  # faster, smaller run
@@ -66,9 +67,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("artifact",
                         choices=("fig5", "fig6", "table1", "table2",
                                  "races", "profile", "breakdown", "instr",
-                                 "prepass", "chaos", "lint", "all"))
+                                 "prepass", "chaos", "trace", "lint",
+                                 "all"))
     parser.add_argument("--benchmark", default=None,
-                        help="restrict 'profile'/'lint' to one benchmark")
+                        help="restrict 'profile'/'lint'/'trace' to one "
+                             "benchmark")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        default="aikido-trace.json",
+                        help="Chrome trace_event output of the 'trace' "
+                             "artifact (open in chrome://tracing or "
+                             "Perfetto)")
+    parser.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                        help="also write the trace as one JSON object "
+                             "per line")
     parser.add_argument("--static-prepass", action="store_true",
                         help="seed the sharing detector from the static "
                              "pre-classifier in aikido-fasttrack runs")
@@ -156,8 +167,51 @@ def _lint_workloads(threads: int, benchmark=None) -> int:
     return 1 if total else 0
 
 
+def _trace_artifact(args) -> list:
+    """Run one traced benchmark; emit + validate the Chrome trace."""
+    from repro.harness.runner import build_aikido_system, system_result
+    from repro.observability import BUCKETS, TraceSink, load_chrome
+    from repro.workloads.parsec import get_benchmark
+
+    name = args.benchmark or "freqmine"
+    spec = get_benchmark(name)
+    program = spec.program(threads=args.threads, scale=args.scale)
+    chaos_plan = (ChaosPlan.recovery(seed=args.chaos_seed,
+                                     intensity=args.chaos_intensity)
+                  if args.chaos else None)
+    config = AikidoConfig(static_prepass=args.static_prepass,
+                          chaos=chaos_plan,
+                          check_invariants=args.check_invariants,
+                          trace=True, metrics_cadence=25)
+    system = build_aikido_system(program, seed=args.seed,
+                                 quantum=args.quantum, config=config)
+    system.run()
+    result = system_result(system)
+    sink = TraceSink(system.tracer)
+    chrome_path = sink.write_chrome(args.trace_out,
+                                    label=f"aikido-repro {name}")
+    load_chrome(chrome_path)  # round-trip validation before reporting
+    pieces = [f"trace: {name} ({args.threads} threads) — "
+              f"{len(system.tracer.events)} events, "
+              f"{system.tracer.dropped} dropped, "
+              f"{len(result.timeline)} timeline samples\n"
+              f"chrome trace written to {chrome_path} (validated; open "
+              "in chrome://tracing or Perfetto)"]
+    if args.trace_jsonl:
+        jsonl_path = sink.write_jsonl(args.trace_jsonl)
+        pieces.append(f"jsonl trace written to {jsonl_path}")
+    attribution = result.cycle_attribution
+    total = max(1, attribution["total"])
+    lines = [f"cycle attribution ({attribution['total']:,} total):"]
+    lines.extend(f"  {bucket:>16s}: {attribution[bucket]:>12,d} "
+                 f"({100 * attribution[bucket] / total:5.1f}%)"
+                 for bucket in BUCKETS)
+    pieces.append("\n".join(lines))
+    return pieces
+
+
 def _run(args) -> int:
-    started = time.time()
+    started = time.monotonic()
     if args.artifact == "lint":
         return _lint_workloads(args.threads, args.benchmark)
     pieces = []
@@ -202,6 +256,12 @@ def _run(args) -> int:
         from repro.harness.report import render_instrumentation
 
         pieces.append(render_instrumentation(suite))
+    if args.artifact == "all":
+        from repro.harness.report import render_attribution
+
+        pieces.append(render_attribution(suite))
+    if args.artifact == "trace":
+        pieces.extend(_trace_artifact(args))
     if args.artifact == "chaos":
         sweep = experiments.chaos_sweep(
             threads=args.threads, scale=args.scale, seed=args.seed,
@@ -263,7 +323,7 @@ def _run(args) -> int:
             json.dump(suite_to_dict(suite), handle, indent=2)
         pieces.append(f"(json written to {args.json})")
     print("\n".join(pieces))
-    print(f"[{time.time() - started:.1f}s; {runner.stats_line()}]",
+    print(f"[{time.monotonic() - started:.1f}s; {runner.stats_line()}]",
           file=sys.stderr)
     return 0
 

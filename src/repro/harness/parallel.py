@@ -171,6 +171,7 @@ def result_to_dict(result: RunResult) -> Dict:
         "hypervisor_stats": dict(result.hypervisor_stats),
         "detector_profile": dict(result.detector_profile),
         "chaos": result.chaos,
+        "timeline": [dict(sample) for sample in result.timeline],
     }
 
 
@@ -184,6 +185,7 @@ def result_from_dict(payload: Dict) -> RunResult:
         hypervisor_stats=dict(payload["hypervisor_stats"]),
         detector_profile=dict(payload["detector_profile"]),
         chaos=payload.get("chaos"),  # absent in pre-chaos archives
+        timeline=payload.get("timeline"),  # absent in pre-1.2 archives
     )
 
 

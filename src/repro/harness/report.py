@@ -156,6 +156,32 @@ def render_breakdown(suite: SuiteResult, top: int = 6) -> str:
     return out.getvalue()
 
 
+def render_attribution(suite: SuiteResult) -> str:
+    """Where the cycles go: the bucket decomposition per benchmark.
+
+    One aikido-fasttrack row per benchmark, showing each attribution
+    bucket's share of the run's total simulated cycles. The buckets
+    partition the cycle counter's categories, so the shares sum to 100%
+    exactly (modulo display rounding) — the per-row total is asserted by
+    :attr:`~repro.harness.runner.RunResult.cycle_attribution` itself.
+    """
+    from repro.observability.attribution import BUCKETS
+
+    out = io.StringIO()
+    out.write("Where the cycles go (aikido-fasttrack, "
+              f"{suite.threads} threads; share of total simulated "
+              "cycles)\n")
+    header = "".join(f"{bucket:>17s}" for bucket in BUCKETS)
+    out.write(f"{'benchmark':>14s}{header} {'total cycles':>14s}\n")
+    for name, runs in suite.runs.items():
+        attribution = runs.aikido.cycle_attribution
+        total = max(1, attribution["total"])
+        cells = "".join(f"{100 * attribution[b] / total:16.1f}%"
+                        for b in BUCKETS)
+        out.write(f"{name:>14s}{cells} {attribution['total']:>14,d}\n")
+    return out.getvalue()
+
+
 def render_instrumentation(suite: SuiteResult) -> str:
     """Discovery-machinery counters per benchmark (aikido-fasttrack).
 
@@ -310,6 +336,11 @@ def suite_to_dict(suite: SuiteResult) -> dict:
                 "faults_avoided": runs.aikido.prepass_faults_avoided,
                 "flushes_avoided": runs.aikido.prepass_flushes_avoided,
             },
+            # The complete counter set, under its canonical field names
+            # (the schema-consistency test pins this against AikidoStats).
+            "aikido_stats": dict(runs.aikido.aikido_stats),
+            "cycle_attribution": runs.aikido.cycle_attribution,
+            "timeline": [dict(s) for s in runs.aikido.timeline],
             "paper": {
                 "shared_fraction": paper.shared_fraction,
                 "instrumented_fraction": paper.instrumented_fraction,

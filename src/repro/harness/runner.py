@@ -27,6 +27,7 @@ from repro.core.system import AikidoSystem
 from repro.dbr.engine import DBREngine
 from repro.errors import HarnessError
 from repro.guestos.kernel import Kernel
+from repro.observability.attribution import attribute_cycles
 
 MODES = ("native", "fasttrack", "aikido-fasttrack")
 
@@ -42,7 +43,8 @@ class RunResult:
                  aikido_stats: Optional[Dict[str, int]] = None,
                  hypervisor_stats: Optional[Dict[str, int]] = None,
                  detector_profile: Optional[Dict[str, int]] = None,
-                 chaos: Optional[Dict] = None):
+                 chaos: Optional[Dict] = None,
+                 timeline: Optional[List[Dict]] = None):
         self.mode = mode
         self.cycles = cycles
         self.run_stats = run_stats
@@ -55,6 +57,20 @@ class RunResult:
         #: {"plan", "delivered", "recovered", "events", "invariant_checks",
         #:  "invariant_violations"}.
         self.chaos = chaos
+        #: Metrics timeline samples ([] unless the run's config set
+        #: ``metrics_cadence`` > 0).
+        self.timeline = timeline if timeline is not None else []
+
+    @property
+    def cycle_attribution(self) -> Dict[str, int]:
+        """The run's cycles decomposed into app / discovery-fault /
+        re-JIT / tool-hook / kernel-emulation buckets.
+
+        Computed from the per-category breakdown, which the counter
+        guarantees sums to ``cycles`` — passing the total re-asserts the
+        exact-sum invariant on every access.
+        """
+        return attribute_cycles(self.cycle_breakdown, total=self.cycles)
 
     @property
     def memory_refs(self) -> int:
@@ -198,18 +214,25 @@ def run_fasttrack(program, *, seed: int = 0, quantum: int = 200,
                      detector_profile=_detector_profile(tool.detector))
 
 
-def run_aikido_fasttrack(program, *, seed: int = 0, quantum: int = 200,
-                         jitter: float = 0.1,
-                         config: Optional[AikidoConfig] = None,
-                         max_instructions: int = _DEFAULT_BUDGET
-                         ) -> RunResult:
-    """The paper's system: FastTrack on shared-page accesses only."""
+def build_aikido_system(program, *, seed: int = 0, quantum: int = 200,
+                        jitter: float = 0.1,
+                        config: Optional[AikidoConfig] = None
+                        ) -> AikidoSystem:
+    """Assemble (but do not run) the aikido-fasttrack stack.
+
+    The system exposes the live tracer/metrics recorder, which the trace
+    CLI artifact needs after the run — :func:`run_aikido_fasttrack` only
+    hands back the distilled :class:`RunResult`.
+    """
     config = config if config is not None else AikidoConfig()
-    system = AikidoSystem(
+    return AikidoSystem(
         program,
         lambda kernel: AikidoFastTrack(kernel, block_size=config.block_size),
         config, seed=seed, quantum=quantum, jitter=jitter)
-    system.run(max_instructions=max_instructions)
+
+
+def system_result(system: AikidoSystem) -> RunResult:
+    """Distill a finished :class:`AikidoSystem` run into a RunResult."""
     analysis = system.analysis
     chaos_payload = None
     if system.chaos is not None or system.monitor is not None:
@@ -223,7 +246,20 @@ def run_aikido_fasttrack(program, *, seed: int = 0, quantum: int = 200,
                      aikido_stats=system.stats.as_dict(),
                      hypervisor_stats=system.hypervisor_stats.as_dict(),
                      detector_profile=_detector_profile(analysis.detector),
-                     chaos=chaos_payload)
+                     chaos=chaos_payload,
+                     timeline=system.timeline())
+
+
+def run_aikido_fasttrack(program, *, seed: int = 0, quantum: int = 200,
+                         jitter: float = 0.1,
+                         config: Optional[AikidoConfig] = None,
+                         max_instructions: int = _DEFAULT_BUDGET
+                         ) -> RunResult:
+    """The paper's system: FastTrack on shared-page accesses only."""
+    system = build_aikido_system(program, seed=seed, quantum=quantum,
+                                 jitter=jitter, config=config)
+    system.run(max_instructions=max_instructions)
+    return system_result(system)
 
 
 _MODE_RUNNERS = {

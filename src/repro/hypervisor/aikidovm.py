@@ -117,6 +117,8 @@ class AikidoVM(Platform):
         self.stats = HypervisorStats()
         #: Chaos injector, attached by ChaosInjector.attach (None = off).
         self.chaos = None
+        #: Observability tracer, attached by AikidoSystem (None = off).
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Platform lifecycle
@@ -292,6 +294,11 @@ class AikidoVM(Platform):
             fake = write_page if fault.is_write else read_page
             self.stats.segfaults_delivered += 1
             self._charge("fault_injection", costs.FAULT_INJECTION)
+            if self.tracer is not None:
+                self.tracer.instant("fake_fault", "hypervisor", tid=tid,
+                                    true_addr=fault.vaddr,
+                                    fake_page=fake,
+                                    write=fault.is_write)
             return FaultDisposition.deliver(fake)
 
         if not guest_allows:
@@ -304,6 +311,9 @@ class AikidoVM(Platform):
         self.stats.hidden_faults += 1
         self.stats.shadow_syncs += 1
         self._charge("hypervisor", costs.SHADOW_PTE_SYNC)
+        if self.tracer is not None:
+            self.tracer.instant("hidden_fault", "hypervisor", tid=tid,
+                                vpn=vpn)
         self._resync(tid, vpn)
         return FaultDisposition.retry()
 
@@ -313,6 +323,9 @@ class AikidoVM(Platform):
     def hypercall(self, thread, number: int, args) -> int:
         self.stats.hypercalls += 1
         self._charge("hypercall", costs.HYPERCALL)
+        if self.tracer is not None:
+            self.tracer.instant("hypercall", "hypervisor",
+                                tid=thread.tid, number=number)
         if number == HC_INIT:
             self._registrations[thread.process.pid] = (args[0], args[1],
                                                        args[2])
@@ -345,6 +358,18 @@ class AikidoVM(Platform):
                         count: int, prot: int) -> None:
         if prot not in (PROT_NONE, PROT_READ, PROT_RW, PROT_CLEAR):
             raise BadHypercallError(f"bad protection {prot}")
+        if self.tracer is not None:
+            with self.tracer.span("set_protection", "hypervisor",
+                                  tid=0 if tid == ALL_THREADS else tid,
+                                  vpn_start=vpn_start, count=count,
+                                  prot=prot):
+                self._set_protection_inner(process, tid, vpn_start,
+                                           count, prot)
+            return
+        self._set_protection_inner(process, tid, vpn_start, count, prot)
+
+    def _set_protection_inner(self, process, tid: int, vpn_start: int,
+                              count: int, prot: int) -> None:
         if tid == ALL_THREADS:
             # "All threads" means all threads of the *calling* process —
             # protection requests never leak into other address spaces.

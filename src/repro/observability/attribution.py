@@ -1,0 +1,103 @@
+"""Cycle attribution: decompose a run's simulated cycles into buckets.
+
+The simulated performance model already charges every cycle to a named
+category on the :class:`~repro.machine.cpu.CycleCounter` (``instr`` for
+plain execution plus one category per subsystem). Attribution is then a
+*partition* of those categories into the five buckets the paper's
+overhead argument is framed around:
+
+``app``
+    Plain instruction execution — what a native, uninstrumented run
+    would pay.
+``discovery_fault``
+    The Aikido sharing-discovery machinery: vmexits, fake-fault
+    delivery and forwarding, shadow-table hypercalls, TLB maintenance.
+``rejit``
+    DBR work — block builds, re-instrumentation, code-cache flushes.
+``tool_hook``
+    Analysis-tool payloads: Umbra shadow lookups, inline shared-checks,
+    FastTrack/DJIT/Eraser/... hook bodies.
+``kernel_emulation``
+    Guest-kernel services a native run would also pay: context
+    switches, syscalls, synchronization.
+
+Because the buckets partition the counter's categories (with ``other``
+catching any category added later and not yet mapped), the per-bucket
+sums reproduce ``counter.total`` **exactly** — no sampling error, no
+double counting. :func:`attribute_cycles` asserts that identity and
+raises :class:`~repro.errors.TraceError` if it ever breaks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import TraceError
+
+#: Report ordering for the buckets (``other`` last, usually 0).
+BUCKETS = ("app", "discovery_fault", "rejit", "tool_hook",
+           "kernel_emulation", "other")
+
+#: CycleCounter category -> attribution bucket. Categories missing from
+#: this map fall into "other" (kept visible, never silently dropped).
+CATEGORY_BUCKETS: Dict[str, str] = {
+    # plain execution
+    "instr": "app",
+    # sharing discovery: hypervisor round trips + fault plumbing
+    "vmexit": "discovery_fault",
+    "hypervisor": "discovery_fault",
+    "hypercall": "discovery_fault",
+    "fault_injection": "discovery_fault",
+    "tlb": "discovery_fault",
+    "aikido_sd": "discovery_fault",
+    "kernel_fault": "discovery_fault",
+    "signal_delivery": "discovery_fault",
+    # dynamic binary rewriting
+    "dbr": "rejit",
+    # analysis payloads
+    "umbra": "tool_hook",
+    "aikido_inline": "tool_hook",
+    "fasttrack": "tool_hook",
+    "djit": "tool_hook",
+    "eraser": "tool_hook",
+    "sampler": "tool_hook",
+    "avio": "tool_hook",
+    # guest-kernel services paid natively too
+    "context_switch": "kernel_emulation",
+    "syscall": "kernel_emulation",
+    "sync": "kernel_emulation",
+}
+
+
+def attribute_cycles(snapshot: Mapping[str, int],
+                     total: int = None) -> Dict[str, int]:
+    """Fold a ``CycleCounter.snapshot()`` into the attribution buckets.
+
+    Returns ``{bucket: cycles}`` over all of :data:`BUCKETS` (zeros
+    included) plus ``"total"``. When ``total`` is given (the counter's
+    ``total`` property), the exact-sum invariant is enforced.
+    """
+    buckets = {bucket: 0 for bucket in BUCKETS}
+    for category, cycles in snapshot.items():
+        buckets[CATEGORY_BUCKETS.get(category, "other")] += cycles
+    summed = sum(buckets.values())
+    if total is not None and summed != total:
+        raise TraceError(
+            f"cycle attribution lost cycles: buckets sum to {summed} "
+            f"but the counter reports {total}")
+    buckets["total"] = summed
+    return buckets
+
+
+def attribution_fractions(buckets: Mapping[str, int]) -> Dict[str, float]:
+    """Per-bucket fractions of total (0.0s when the run had no cycles)."""
+    total = buckets.get("total", 0)
+    if total <= 0:
+        return {bucket: 0.0 for bucket in BUCKETS}
+    return {bucket: buckets[bucket] / total for bucket in BUCKETS}
+
+
+def overhead_cycles(buckets: Mapping[str, int]) -> int:
+    """Cycles beyond what an uninstrumented run pays (non-app, non-kernel)."""
+    return (buckets.get("discovery_fault", 0) + buckets.get("rejit", 0)
+            + buckets.get("tool_hook", 0) + buckets.get("other", 0))

@@ -1,0 +1,137 @@
+"""Trace serialization: JSONL and Chrome ``trace_event`` output.
+
+A :class:`TraceSink` turns a recorded :class:`~repro.observability.tracer.Tracer`
+buffer into artifacts: one JSON object per line (easy to grep / stream)
+or the Chrome ``trace_event`` JSON-object format with a ``traceEvents``
+array, which loads directly in ``chrome://tracing`` and Perfetto.
+
+:func:`validate_chrome` is the round-trip check used by tests and the
+smoke script: it re-parses an emitted payload and enforces the schema
+plus the per-tid B/E LIFO nesting discipline, raising
+:class:`~repro.errors.TraceError` on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import TraceError
+
+_REQUIRED_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
+_KNOWN_PHASES = ("B", "E", "i", "C", "M")
+
+
+class TraceSink:
+    """Writes one tracer's event buffer to disk in both formats."""
+
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # payloads
+    # ------------------------------------------------------------------
+    def chrome_payload(self, label: str = "aikido-repro") -> Dict:
+        """The Chrome ``trace_event`` JSON-object form of the buffer.
+
+        ``displayTimeUnit`` is nanoseconds purely for viewer cosmetics —
+        the ``ts`` values are simulated cycles, not wall time.
+        """
+        events = [
+            {"name": "process_name", "cat": "__metadata", "ph": "M",
+             "ts": 0, "pid": 1, "tid": 0,
+             "args": {"name": label}},
+        ]
+        events.extend(e.to_chrome() for e in self.tracer.events)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "clock": "simulated-cycles",
+                "dropped_events": self.tracer.dropped,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # writers
+    # ------------------------------------------------------------------
+    def write_chrome(self, path: Union[str, Path],
+                     label: str = "aikido-repro") -> Path:
+        """Write the Chrome trace; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.chrome_payload(label), indent=1)
+                        + "\n")
+        return path
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write one JSON object per event; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            for event in self.tracer.events:
+                fh.write(json.dumps(event.to_dict(), sort_keys=True))
+                fh.write("\n")
+        return path
+
+
+# ----------------------------------------------------------------------
+# loading / validation
+# ----------------------------------------------------------------------
+def load_chrome(path: Union[str, Path]) -> Dict:
+    """Parse a Chrome trace file, raising TraceError on malformed JSON."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TraceError(f"cannot load Chrome trace {path}: {exc}")
+    return validate_chrome(payload)
+
+
+def validate_chrome(payload: Dict) -> Dict:
+    """Validate a Chrome ``trace_event`` payload; returns it unchanged.
+
+    Checks the object form, the per-event schema, monotonically sane
+    timestamps, and — the property Perfetto actually needs — that every
+    ``E`` closes the innermost open ``B`` of its tid (LIFO nesting) and
+    no span is left open at end of stream.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise TraceError("Chrome trace must be an object with a "
+                         "'traceEvents' array")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise TraceError("'traceEvents' must be an array")
+    open_spans: Dict[int, List[str]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise TraceError(f"event #{i} is not an object")
+        for key in _REQUIRED_KEYS:
+            if key not in event:
+                raise TraceError(f"event #{i} ({event.get('name')!r}) "
+                                 f"is missing required key {key!r}")
+        ph = event["ph"]
+        if ph not in _KNOWN_PHASES:
+            raise TraceError(f"event #{i} has unknown phase {ph!r}")
+        if not isinstance(event["ts"], int) or event["ts"] < 0:
+            raise TraceError(f"event #{i} has a non-integer or negative "
+                             f"ts {event['ts']!r}")
+        if ph == "B":
+            open_spans.setdefault(event["tid"], []).append(event["name"])
+        elif ph == "E":
+            stack = open_spans.get(event["tid"])
+            if not stack:
+                raise TraceError(
+                    f"event #{i}: 'E' for {event['name']!r} on tid "
+                    f"{event['tid']} with no open span")
+            if stack[-1] != event["name"]:
+                raise TraceError(
+                    f"event #{i}: 'E' for {event['name']!r} does not "
+                    f"close the innermost span {stack[-1]!r} on tid "
+                    f"{event['tid']}")
+            stack.pop()
+    for tid, stack in open_spans.items():
+        if stack:
+            raise TraceError(f"tid {tid} has unclosed spans at end of "
+                             f"trace: {stack}")
+    return payload

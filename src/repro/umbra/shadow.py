@@ -72,6 +72,10 @@ class ShadowMemory:
         self.inline_hits = 0
         self.lean_hits = 0
         self.full_lookups = 0
+        #: Observability tracer, attached by AikidoSystem (None = off).
+        #: Only cold (full-context) lookups emit events — the inline and
+        #: lean paths run per shared access and stay untraced.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # region management
@@ -128,6 +132,9 @@ class ShadowMemory:
             self.full_lookups += 1
             if self.counter is not None:
                 self.counter.charge("umbra", costs.UMBRA_TRANSLATE_FULL)
+            if self.tracer is not None:
+                self.tracer.instant("umbra_full_lookup", "umbra", tid=tid,
+                                    app_start=region.app_start)
         self._inline_cache[tid] = region
         return region
 

@@ -1,0 +1,71 @@
+"""Chaos counters are injector-owned (ISSUE 4 satellite bugfix).
+
+``AikidoSystem.run`` used to wholesale-overwrite
+``stats.chaos_recovered`` with the injector's total, silently discarding
+anything a layer had (incorrectly) added. The fix makes the injector the
+single source of truth: the stats fields are copied from it exactly
+once, and any out-of-band advance is a hard :class:`ToolError` instead
+of a silent merge. These tests pin both halves of that contract.
+"""
+
+import pytest
+
+from repro.chaos.plan import ChaosPlan
+from repro.core.config import AikidoConfig
+from repro.errors import ToolError
+from repro.harness.runner import build_aikido_system, run_aikido_fasttrack
+from repro.workloads.parsec import build_benchmark
+
+THREADS, SCALE, SEED, QUANTUM = 2, 0.25, 3, 100
+
+
+def _program():
+    return build_benchmark("canneal", threads=THREADS, scale=SCALE)
+
+
+def _config():
+    return AikidoConfig(
+        chaos=ChaosPlan.single("spurious_fault", seed=11,
+                               intensity=0.25))
+
+
+def test_stats_agree_with_the_injector():
+    """One number, three surfaces: the injector totals, the AikidoStats
+    fields, and the RunResult properties must all agree."""
+    config = _config()
+    system = build_aikido_system(_program(), seed=SEED, quantum=QUANTUM,
+                                 jitter=0.0, config=config)
+    system.run()
+    injector = system.chaos
+    assert injector.total_delivered > 0
+    assert system.stats.chaos_injections == injector.total_delivered
+    assert system.stats.chaos_recovered == injector.total_recovered
+    from repro.harness.runner import system_result
+    result = system_result(system)
+    assert result.chaos_injections == injector.total_delivered
+    assert result.chaos_recovered == injector.total_recovered
+    assert result.aikido_stats["chaos_injections"] == \
+        result.chaos_injections
+    assert result.aikido_stats["chaos_recovered"] == \
+        result.chaos_recovered
+
+
+@pytest.mark.parametrize("field", ["chaos_injections", "chaos_recovered"])
+def test_out_of_band_advance_is_an_error(field):
+    """A layer bumping the stats counters directly (instead of calling
+    ``ChaosInjector.note_recovered``) must trip the tripwire, not be
+    silently overwritten."""
+    system = build_aikido_system(_program(), seed=SEED, quantum=QUANTUM,
+                                 jitter=0.0, config=_config())
+    setattr(system.stats, field, 1)
+    with pytest.raises(ToolError, match="outside the injector"):
+        system.run()
+
+
+def test_chaos_free_run_keeps_counters_zero():
+    result = run_aikido_fasttrack(_program(), seed=SEED, quantum=QUANTUM,
+                                  jitter=0.0)
+    assert result.chaos is None
+    assert result.chaos_injections == 0
+    assert result.aikido_stats["chaos_injections"] == 0
+    assert result.aikido_stats["chaos_recovered"] == 0

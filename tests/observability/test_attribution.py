@@ -1,0 +1,69 @@
+"""Cycle attribution: exact-sum invariant, on every bundled workload."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.observability.attribution import (
+    BUCKETS,
+    CATEGORY_BUCKETS,
+    attribute_cycles,
+    attribution_fractions,
+    overhead_cycles,
+)
+from repro.harness.runner import run_aikido_fasttrack
+from repro.workloads.parsec import benchmark_names, build_benchmark
+
+# Small enough that all ten benchmarks run in seconds, large enough
+# that every benchmark still takes faults and charges every subsystem.
+THREADS, SCALE = 2, 0.05
+
+
+def test_every_mapped_bucket_exists():
+    assert set(CATEGORY_BUCKETS.values()) <= set(BUCKETS)
+
+
+def test_attribution_partitions_a_synthetic_snapshot():
+    snapshot = {"instr": 100, "vmexit": 10, "dbr": 5, "fasttrack": 7,
+                "context_switch": 3, "never_heard_of_it": 2}
+    buckets = attribute_cycles(snapshot, total=127)
+    assert buckets["app"] == 100
+    assert buckets["discovery_fault"] == 10
+    assert buckets["rejit"] == 5
+    assert buckets["tool_hook"] == 7
+    assert buckets["kernel_emulation"] == 3
+    # Unmapped categories surface in "other" instead of vanishing.
+    assert buckets["other"] == 2
+    assert buckets["total"] == 127
+
+
+def test_mismatched_total_raises():
+    with pytest.raises(TraceError, match="lost cycles"):
+        attribute_cycles({"instr": 10}, total=11)
+
+
+def test_fractions_and_overhead():
+    buckets = attribute_cycles({"instr": 60, "vmexit": 25, "dbr": 10,
+                                "sync": 5}, total=100)
+    fractions = attribution_fractions(buckets)
+    assert fractions["app"] == pytest.approx(0.60)
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    assert overhead_cycles(buckets) == 35
+    assert attribution_fractions({"total": 0}) == \
+        {bucket: 0.0 for bucket in BUCKETS}
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_attribution_sums_exactly_on_every_workload(name):
+    """ISSUE 4 acceptance: per-bucket attribution sums to the run's
+    total simulated cycles on every bundled workload. The RunResult
+    property passes ``total=`` through, so a lost cycle raises rather
+    than skewing a report."""
+    program = build_benchmark(name, threads=THREADS, scale=SCALE)
+    result = run_aikido_fasttrack(program, seed=1, quantum=150, jitter=0.0)
+    buckets = result.cycle_attribution   # asserts the exact sum itself
+    assert buckets["total"] == result.cycles
+    assert sum(buckets[b] for b in BUCKETS) == result.cycles
+    # A real aikido run exercises app, discovery and tool buckets.
+    assert buckets["app"] > 0
+    assert buckets["discovery_fault"] > 0
+    assert buckets["tool_hook"] > 0

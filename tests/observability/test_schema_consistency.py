@@ -1,0 +1,45 @@
+"""Counter-schema consistency (ISSUE 4 satellite).
+
+One canonical name per counter: every :class:`AikidoStats` field must
+appear — under exactly that name — in ``as_dict()``, in the suite JSON's
+per-benchmark ``aikido_stats`` payload, and in the run-end metrics
+snapshot. A renamed or forgotten field fails here before it silently
+disappears from archives and reports.
+"""
+
+from repro.core.stats import AikidoStats
+from repro.harness import experiments
+from repro.harness.report import suite_to_dict
+from repro.machine.cpu import CycleCounter
+from repro.observability.metrics import TIMELINE_FIELDS, metrics_snapshot
+
+#: The canonical schema: the attribute names AikidoStats defines.
+STAT_FIELDS = frozenset(vars(AikidoStats()))
+
+
+def test_as_dict_matches_the_fields():
+    stats = AikidoStats()
+    assert set(stats.as_dict()) == STAT_FIELDS
+    # as_dict is a copy, not a view.
+    stats.as_dict()["faults_handled"] = 99
+    assert stats.faults_handled == 0
+
+
+def test_timeline_fields_are_real_stats():
+    assert set(TIMELINE_FIELDS) <= STAT_FIELDS
+
+
+def test_metrics_snapshot_carries_every_field():
+    snap = metrics_snapshot(AikidoStats(), CycleCounter())
+    assert set(snap["aikido_stats"]) == STAT_FIELDS
+
+
+def test_suite_json_carries_every_field():
+    suite = experiments.run_suite(threads=2, scale=0.05, seed=1,
+                                  benchmarks=["freqmine"])
+    payload = suite_to_dict(suite)
+    bench = payload["benchmarks"]["freqmine"]
+    assert set(bench["aikido_stats"]) == STAT_FIELDS
+    # The attribution + timeline ride along in the same payload.
+    assert bench["cycle_attribution"]["total"] > 0
+    assert isinstance(bench["timeline"], list)

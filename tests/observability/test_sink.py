@@ -1,0 +1,95 @@
+"""TraceSink serialization and Chrome-trace validation, both directions."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.machine.cpu import CycleCounter
+from repro.observability.sink import TraceSink, load_chrome, validate_chrome
+from repro.observability.tracer import Tracer
+
+
+def _recorded_tracer():
+    counter = CycleCounter()
+    tracer = Tracer(counter)
+    with tracer.span("fault_dispatch", "kernel", tid=1, vaddr=4096):
+        counter.charge("vmexit", 10)
+        tracer.instant("hypercall", "hypervisor", tid=1, number=2)
+        with tracer.span("set_protection", "hypervisor", tid=1):
+            counter.charge("hypervisor", 40)
+    tracer.counter_sample("sd_counters", {"faults_handled": 1})
+    return tracer
+
+
+def test_chrome_payload_roundtrip(tmp_path):
+    tracer = _recorded_tracer()
+    sink = TraceSink(tracer)
+    path = sink.write_chrome(tmp_path / "trace.json", label="unit")
+    payload = load_chrome(path)          # parses AND validates
+    events = payload["traceEvents"]
+    # Metadata record first, then every recorded event.
+    assert events[0]["ph"] == "M"
+    assert events[0]["args"]["name"] == "unit"
+    assert len(events) == len(tracer.events) + 1
+    assert payload["otherData"]["clock"] == "simulated-cycles"
+    assert payload["otherData"]["dropped_events"] == 0
+
+
+def test_jsonl_lines_parse(tmp_path):
+    tracer = _recorded_tracer()
+    path = TraceSink(tracer).write_jsonl(tmp_path / "trace.jsonl")
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(tracer.events)
+    records = [json.loads(line) for line in lines]
+    assert [r["ph"] for r in records] == [e.ph for e in tracer.events]
+    assert all({"name", "cat", "ph", "ts", "tid", "args"} <= set(r)
+               for r in records)
+
+
+def _valid_payload():
+    return TraceSink(_recorded_tracer()).chrome_payload()
+
+
+def test_validate_accepts_emitted_payload():
+    payload = _valid_payload()
+    assert validate_chrome(payload) is payload
+
+
+@pytest.mark.parametrize("mutate, match", [
+    (lambda p: p.pop("traceEvents"), "traceEvents"),
+    (lambda p: p["traceEvents"][1].pop("ts"), "missing required key"),
+    (lambda p: p["traceEvents"][1].__setitem__("ph", "X"),
+     "unknown phase"),
+    (lambda p: p["traceEvents"][1].__setitem__("ts", -5), "negative"),
+    (lambda p: p["traceEvents"][1].__setitem__("ts", 1.5), "non-integer"),
+])
+def test_validate_rejects_malformed(mutate, match):
+    payload = _valid_payload()
+    mutate(payload)
+    with pytest.raises(TraceError, match=match):
+        validate_chrome(payload)
+
+
+def test_validate_rejects_broken_nesting():
+    payload = _valid_payload()
+    events = payload["traceEvents"]
+    # Drop the final E -> its B is left open at end of stream.
+    unclosed = dict(payload, traceEvents=events[:-2] + events[-1:])
+    with pytest.raises(TraceError, match="unclosed"):
+        validate_chrome(unclosed)
+    # An E with no matching B is just as illegal.
+    orphan = {"name": "ghost", "cat": "kernel", "ph": "E", "ts": 0,
+              "pid": 1, "tid": 9}
+    with pytest.raises(TraceError, match="no open span"):
+        validate_chrome(dict(payload,
+                             traceEvents=list(events) + [orphan]))
+
+
+def test_load_chrome_rejects_bad_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(TraceError, match="cannot load"):
+        load_chrome(path)
+    with pytest.raises(TraceError):
+        load_chrome(tmp_path / "missing.json")

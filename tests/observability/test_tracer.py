@@ -1,0 +1,74 @@
+"""Tracer unit tests: span discipline, the buffer cap, event shapes."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.machine.cpu import CycleCounter
+from repro.observability.tracer import Tracer
+
+
+def _tracer(**kwargs):
+    counter = CycleCounter()
+    return counter, Tracer(counter, **kwargs)
+
+
+def test_span_nesting_is_lifo():
+    counter, tracer = _tracer()
+    with tracer.span("outer", "kernel", tid=1):
+        counter.charge("sync", 5)
+        with tracer.span("inner", "aikido_sd", tid=1):
+            counter.charge("sync", 7)
+        assert tracer.open_spans == 1
+    assert tracer.open_spans == 0
+    phases = [(e.ph, e.name) for e in tracer.events]
+    assert phases == [("B", "outer"), ("B", "inner"),
+                      ("E", "inner"), ("E", "outer")]
+    # Timestamps are the simulated clock, so they never run backwards.
+    stamps = [e.ts for e in tracer.events]
+    assert stamps == sorted(stamps)
+
+
+def test_end_mismatch_raises():
+    _, tracer = _tracer()
+    tracer.begin("outer", "kernel", tid=3)
+    with pytest.raises(TraceError):
+        tracer.end("wrong-name", "kernel", tid=3)
+
+
+def test_instants_and_counter_samples():
+    counter, tracer = _tracer()
+    tracer.instant("hypercall", "hypervisor", tid=2, number=7)
+    counter.charge("hypercall", 30)
+    tracer.counter_sample("sd_counters", {"faults_handled": 4}, tid=0)
+    inst, sample = tracer.events
+    assert (inst.ph, inst.args["number"]) == ("i", 7)
+    assert (sample.ph, sample.ts) == ("C", 30)
+    assert sample.args == {"faults_handled": 4}
+
+
+def test_buffer_cap_drops_without_orphan_ends():
+    _, tracer = _tracer(max_events=2)
+    with tracer.span("kept", "kernel", tid=1):
+        tracer.instant("a", "kernel", tid=1)   # buffer now full
+        with tracer.span("dropped", "kernel", tid=1):
+            pass                                # B dropped -> E skipped
+    # The recorded span still closes (its E is forced past the cap).
+    assert tracer.open_spans == 0
+    assert tracer.dropped >= 1
+    names = [(e.ph, e.name) for e in tracer.events]
+    assert ("B", "dropped") not in names
+    assert ("E", "dropped") not in names
+    assert names[0] == ("B", "kept")
+    assert ("E", "kept") in names
+
+
+def test_chrome_event_shape():
+    counter, tracer = _tracer()
+    counter.charge("vmexit", 12)
+    tracer.instant("fake_fault", "hypervisor", tid=4, vpn=9)
+    chrome = tracer.events[0].to_chrome()
+    assert chrome["ph"] == "i"
+    assert chrome["ts"] == 12
+    assert chrome["pid"] == 1
+    assert chrome["tid"] == 4
+    assert chrome["args"]["vpn"] == 9

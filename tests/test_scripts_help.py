@@ -1,0 +1,42 @@
+"""Every script must support --help and exit 0 (ISSUE 4 satellite).
+
+``fault_timeline.py`` used to treat ``--help`` as a benchmark name and
+die nonzero; this pins the argparse convention for the whole directory
+so no script regresses to sys.argv parsing.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPTS = sorted((REPO / "scripts").glob("*.py"))
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    extra = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + extra if extra else "")
+    return env
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_help_exits_zero(script):
+    proc = subprocess.run([sys.executable, str(script), "--help"],
+                          capture_output=True, text=True, env=_env(),
+                          timeout=60)
+    assert proc.returncode == 0, proc.stderr
+    assert "usage" in proc.stdout.lower()
+
+
+def test_fault_timeline_bad_benchmark_exits_two():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "fault_timeline.py"),
+         "no-such-benchmark"],
+        capture_output=True, text=True, env=_env(), timeout=60)
+    assert proc.returncode == 2                # argparse: bad arguments
+    assert "unknown benchmark" in proc.stderr
