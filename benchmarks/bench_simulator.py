@@ -2,18 +2,26 @@
 
 Unlike the paper-artifact benchmarks (whose interesting output is
 simulated cycles), these measure how fast the Python substrate runs —
-interpreter throughput, the full fault round trip, hypercall dispatch,
-code-cache rebuilds — the numbers a developer extending the simulator
-watches.
+execution-tier throughput, the full fault round trip, hypercall
+dispatch, code-cache rebuilds — the numbers a developer extending the
+simulator watches.
 
     pytest benchmarks/bench_simulator.py --benchmark-only
+
+These pytest-benchmark rounds complement the standalone wall-clock
+suite (``aikido-repro bench`` -> ``BENCH_simulator.json``, gated by
+``scripts/bench_gate.py``): the suite owns the committed trajectory;
+this file gives statistically solid per-round numbers when iterating on
+one spot.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.dbr.engine import DBREngine
 from repro.guestos.kernel import Kernel
+from repro.harness.bench import bench_suite, validate_bench
 from repro.harness.runner import run_aikido_fasttrack, run_native
 from repro.hypervisor.aikidovm import AikidoVM
 from repro.hypervisor.hypercalls import HC_SET_PROT, PROT_CLEAR
@@ -54,6 +62,47 @@ class TestInterpreterThroughput:
                 seed=1, quantum=150).run_stats["instructions"]
 
         benchmark(run)
+
+
+class TestExecutionTiers:
+    """Interpreter vs block-compiled tier on the bare DBR engine."""
+
+    @staticmethod
+    def _bare_run(compile_blocks, name="raytrace"):
+        kernel = Kernel(seed=3, quantum=200, jitter=0.1)
+        kernel.create_process(build_benchmark(name, threads=4, scale=0.5))
+        engine = DBREngine(kernel, compile_blocks=compile_blocks)
+        kernel.run()
+        return engine.stats.instructions
+
+    @pytest.mark.parametrize("compile_blocks", [False, True],
+                             ids=["interp", "compiled"])
+    def test_dbr_tier(self, benchmark, compile_blocks):
+        instructions = benchmark(self._bare_run, compile_blocks)
+        benchmark.extra_info["instructions_per_round"] = instructions
+
+    @pytest.mark.parametrize("compile_blocks", [False, True],
+                             ids=["interp", "compiled"])
+    def test_aikido_tier(self, benchmark, compile_blocks):
+        from repro.core.config import AikidoConfig
+
+        def run():
+            return run_aikido_fasttrack(
+                build_benchmark("canneal", threads=4, scale=0.3),
+                seed=3, quantum=200,
+                config=AikidoConfig(
+                    compile_blocks=compile_blocks)).run_stats[
+                        "instructions"]
+
+        benchmark(run)
+
+    def test_quick_suite_document_is_valid(self):
+        """The bench suite's --quick document satisfies its own schema
+        (the same check scripts/smoke.sh runs through the CLI)."""
+        doc = bench_suite(quick=True, benchmarks=["blackscholes"],
+                          threads=2, seed=3)
+        validate_bench(doc)
+        assert doc["summary"]["workload_count"] == 1
 
 
 class TestFaultRoundTrip:

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Wall-clock regression gate for the block-compiled execution tier.
+
+Re-runs the bench suite and compares compiled-tier throughput against
+the committed ``BENCH_simulator.json`` trajectory: the geomean over
+workloads of ``current / baseline`` instrs/sec must not fall more than
+``--threshold`` (default 15%) below 1.0.
+
+Exit codes: 0 = within budget, 2 = regression (or broken documents).
+
+    python scripts/bench_gate.py                  # re-measure and gate
+    python scripts/bench_gate.py --current X.json # gate a saved document
+    python scripts/bench_gate.py --quick          # fast, noisy variant
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import HarnessError  # noqa: E402
+from repro.harness.bench import (  # noqa: E402
+    bench_suite,
+    compare_bench,
+    load_bench,
+)
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / \
+    "BENCH_simulator.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="committed bench document to gate against")
+    parser.add_argument("--current", default=None,
+                        help="gate this saved document instead of "
+                             "re-running the bench suite")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="tolerated fractional slowdown (default 0.15)")
+    parser.add_argument("--quick", action="store_true",
+                        help="fast re-measure (small scale, one repeat); "
+                             "noisy — for smoke only")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_bench(args.baseline)
+        if args.current is not None:
+            current = load_bench(args.current)
+        else:
+            params = baseline["params"]
+            current = bench_suite(
+                threads=params["threads"], scale=params["scale"],
+                seed=params["seed"], quantum=params["quantum"],
+                jitter=params["jitter"], repeats=args.repeats,
+                quick=args.quick,
+                progress=lambda m: print(m, file=sys.stderr))
+        verdict = compare_bench(baseline, current,
+                                threshold=args.threshold)
+    except HarnessError as exc:
+        print(f"bench gate error: {exc}", file=sys.stderr)
+        return 2
+
+    for name, ratio in sorted(verdict["ratios"].items()):
+        print(f"  {name:<20s} {ratio:6.2f}x vs baseline")
+    geomean = verdict["geomean_ratio"]
+    floor = 1.0 - verdict["threshold"]
+    if not verdict["ok"]:
+        print(f"bench gate FAIL: geomean throughput ratio {geomean:.3f} "
+              f"below the {floor:.2f} floor", file=sys.stderr)
+        return 2
+    print(f"bench gate ok: geomean throughput ratio {geomean:.3f} "
+          f"(floor {floor:.2f})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

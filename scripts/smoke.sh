@@ -93,3 +93,43 @@ assert sweep.all_recovery_cells_clean(), \
 print(f"chaos smoke ok: {sweep.delivered} injected, "
       f"{sweep.recovered} recovered")
 EOF
+
+# Bench smoke: the wall-clock tier bench must produce a schema-valid
+# document through the CLI, and the regression gate must accept a
+# document compared against itself (its trivial fixed point).
+BENCH_OUT="$AIKIDO_CACHE_DIR/smoke-bench.json"
+python -m repro.harness.cli bench --quick --benchmark blackscholes \
+    --threads 2 --bench-out "$BENCH_OUT"
+python - "$BENCH_OUT" <<'EOF'
+import sys
+
+from repro.harness.bench import load_bench
+
+doc = load_bench(sys.argv[1])     # raises HarnessError on any violation
+assert doc["params"]["quick"], "bench smoke was not a --quick run"
+assert doc["workloads"], "bench smoke produced no workload rows"
+print(f"bench smoke ok: {doc['summary']['workload_count']} workload(s), "
+      f"geomean {doc['summary']['geomean_speedup']:.2f}x")
+EOF
+python scripts/bench_gate.py --baseline "$BENCH_OUT" \
+    --current "$BENCH_OUT" > /dev/null
+
+# Tier-parity smoke: the block-compiled tier (the default) and the
+# interpreter reference must report bit-identical simulated results.
+python - <<'EOF'
+from repro.core.config import AikidoConfig
+from repro.harness.runner import run_mode
+from repro.workloads.parsec import build_benchmark
+
+program = build_benchmark("canneal", threads=2, scale=0.05)
+results = {
+    cb: run_mode(program, "aikido-fasttrack", seed=2, quantum=100,
+                 config=AikidoConfig(compile_blocks=cb))
+    for cb in (True, False)}
+for field in ("cycles", "run_stats", "cycle_breakdown", "aikido_stats",
+              "hypervisor_stats", "detector_profile", "cycle_attribution"):
+    on, off = (getattr(results[cb], field) for cb in (True, False))
+    assert on == off, f"tier parity smoke: {field} differs ({on} != {off})"
+print("tier parity smoke ok: compiled == interpreter on every "
+      "simulated statistic")
+EOF

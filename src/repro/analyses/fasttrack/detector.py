@@ -70,21 +70,31 @@ class FastTrackDetector:
 
     def on_read(self, tid: int, addr: int, instr_uid: int = -1) -> None:
         self.reads += 1
-        self._charge(costs.CLEAN_CALL)
         thread = self.meta.thread(tid)
         block = addr // self.meta.block_size
-        var = self._var(block)
-        self._charge_ping(var, tid)
-        # Same-epoch fast paths (epoch mode and read-shared mode).
-        if var.read_vc is None:
-            if var.read_epoch == thread.epoch:
+        # Same-epoch early exit (epoch mode and read-shared mode): the
+        # hot repeat-read needs one metadata peek and no writes, so the
+        # path's charges are folded into a single counter update — same
+        # category, same sum, and no observation point in between, so
+        # every cycle snapshot is bit-identical to the long-hand path.
+        var = self.meta.vars.get(block)
+        if var is not None:
+            read_vc = var.read_vc
+            if (read_vc.get(tid) == thread.vc.get(tid)
+                    if read_vc is not None
+                    else var.read_epoch == thread.epoch):
                 self.same_epoch_hits += 1
-                self._charge(costs.FT_SAME_EPOCH)
+                charge = costs.CLEAN_CALL + costs.FT_SAME_EPOCH
+                last = var.write_epoch or var.read_epoch
+                if last and last & 0xFF != tid:
+                    self.metadata_pings += 1
+                    charge += costs.FT_METADATA_PING
+                self._charge(charge)
                 return
-        elif var.read_vc.get(tid) == thread.vc.get(tid):
-            self.same_epoch_hits += 1
-            self._charge(costs.FT_SAME_EPOCH)
-            return
+        self._charge(costs.CLEAN_CALL)
+        if var is None:
+            var = self._var(block)
+        self._charge_ping(var, tid)
         # Write-read race check.
         if not epoch_leq_vc(var.write_epoch, thread.vc):
             self._report("write-read", block, addr, var.write_epoch,
@@ -109,15 +119,20 @@ class FastTrackDetector:
 
     def on_write(self, tid: int, addr: int, instr_uid: int = -1) -> None:
         self.writes += 1
-        self._charge(costs.CLEAN_CALL)
         thread = self.meta.thread(tid)
         block = addr // self.meta.block_size
-        var = self._var(block)
-        self._charge_ping(var, tid)
-        if var.write_epoch == thread.epoch:
+        # Same-epoch early exit: a repeat write means the last accessor
+        # was this thread at this epoch, so the metadata ping can never
+        # fire — one combined charge covers the whole path.
+        var = self.meta.vars.get(block)
+        if var is not None and var.write_epoch == thread.epoch:
             self.same_epoch_hits += 1
-            self._charge(costs.FT_SAME_EPOCH)
+            self._charge(costs.CLEAN_CALL + costs.FT_SAME_EPOCH)
             return
+        self._charge(costs.CLEAN_CALL)
+        if var is None:
+            var = self._var(block)
+        self._charge_ping(var, tid)
         if not epoch_leq_vc(var.write_epoch, thread.vc):
             self._report("write-write", block, addr, var.write_epoch,
                          thread, instr_uid)
@@ -204,9 +219,9 @@ class FastTrackDetector:
             self._charge(costs.FT_METADATA_PING)
 
     def _var(self, block: int):
-        existed = block in self.meta.vars
-        var = self.meta.var(block)
-        if not existed:
+        var = self.meta.vars.get(block)
+        if var is None:
+            var = self.meta.var(block)
             self._charge(costs.FT_METADATA_INIT)
         return var
 

@@ -260,6 +260,62 @@ class InvariantMonitor:
                         f"{expected:#05b} (stale invalidation?)",
                         tid=tid, vpn=vpn, tlb_flags=flags,
                         expected_flags=expected, extra_bits=extra)
+            self._check_tlb_fast_maps(thread)
+
+    def _check_tlb_fast_maps(self, thread) -> None:
+        """The translation micro-caches mirror the TLB's entry table.
+
+        ``fast_ro``/``fast_rw`` (see :class:`repro.machine.tlb.TLB`) must
+        hold exactly the entries whose cached flags permit a user-mode
+        read/write, mapped to the entry's frame base — a mismatch means
+        an invalidation updated one structure but not the other, which
+        would let the compiled tier translate through a mapping the
+        interpreter tier would fault on. Under ``stale_tlb`` chaos the
+        fast maps stay in lockstep with the (stale) entry table, so this
+        check still holds; the permissive staleness itself is what
+        :meth:`check_tlb_coherence` reports against the page tables.
+        """
+        tid = thread.tid
+        tlb = thread.tlb
+        user_r = PTE_PRESENT | PTE_USER
+        user_w = user_r | PTE_WRITABLE
+        for name, want in (("fast_ro", user_r), ("fast_rw", user_w)):
+            fast = getattr(tlb, name)
+            for vpn, base in fast.items():
+                entry = tlb._entries.get(vpn)
+                if entry is None:
+                    raise InvariantViolationError(
+                        "tlb_coherence",
+                        f"t{tid} {name} caches vpn {vpn:#x} with no "
+                        f"backing TLB entry",
+                        tid=tid, vpn=vpn, fast_map=name)
+                pfn, flags = entry
+                if base != pfn << PAGE_SHIFT:
+                    raise InvariantViolationError(
+                        "tlb_coherence",
+                        f"t{tid} {name} vpn {vpn:#x} holds base "
+                        f"{base:#x}, TLB entry derives "
+                        f"{pfn << PAGE_SHIFT:#x}",
+                        tid=tid, vpn=vpn, fast_map=name)
+                if flags & want != want:
+                    raise InvariantViolationError(
+                        "tlb_coherence",
+                        f"t{tid} {name} caches vpn {vpn:#x} whose TLB "
+                        f"flags {flags:#05b} deny the fast-path access",
+                        tid=tid, vpn=vpn, fast_map=name, flags=flags)
+        for vpn, (pfn, flags) in tlb.items():
+            if flags & user_r == user_r and vpn not in tlb.fast_ro:
+                raise InvariantViolationError(
+                    "tlb_coherence",
+                    f"t{tid} TLB vpn {vpn:#x} permits user reads but is "
+                    f"missing from fast_ro",
+                    tid=tid, vpn=vpn, flags=flags)
+            if flags & user_w == user_w and vpn not in tlb.fast_rw:
+                raise InvariantViolationError(
+                    "tlb_coherence",
+                    f"t{tid} TLB vpn {vpn:#x} permits user writes but is "
+                    f"missing from fast_rw",
+                    tid=tid, vpn=vpn, flags=flags)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, int]:

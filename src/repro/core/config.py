@@ -81,6 +81,12 @@ class AikidoConfig:
             :class:`~repro.observability.metrics.MetricsRecorder`
             timeline samples (0 = no timeline; the run-end snapshot is
             always available from the stats and cycle counter).
+        compile_blocks: run the DBR engine's block-compiled execution
+            tier (see :mod:`repro.dbr.blockcompiler`). On by default;
+            the interpreter tier is the reference and every simulated
+            statistic is bit-identical between the two — this switch
+            only changes host wall-clock speed (and is the escape hatch
+            if it ever doesn't).
     """
 
     block_size: int = 8
@@ -97,3 +103,4 @@ class AikidoConfig:
     trace: bool = False
     trace_max_events: int = 250_000
     metrics_cadence: int = 0
+    compile_blocks: bool = True

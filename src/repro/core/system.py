@@ -43,7 +43,8 @@ class AikidoSystem:
                              quantum=quantum, jitter=jitter)
         self.process = self.kernel.create_process(program)
         self.engine = DBREngine(self.kernel,
-                                trace_threshold=self.config.trace_threshold)
+                                trace_threshold=self.config.trace_threshold,
+                                compile_blocks=self.config.compile_blocks)
         if callable(analysis) and not isinstance(analysis,
                                                  SharedDataAnalysis):
             analysis = analysis(self.kernel)

@@ -1,0 +1,542 @@
+"""Block compiler: specialize cached blocks into Python closures.
+
+The interpreter tier (``DBREngine._run_interp``) pays a dict-dispatched
+``CPU.execute`` call, a ``BASE_COST`` lookup, a ``MEMORY_OPCODES`` set
+test and a ``consume_yield`` call for *every* retired instruction. The
+compiled tier pays those costs once, at compile time: when the engine
+first enters a cached block it classifies every position into one of
+three step kinds —
+
+``SEG``
+    a maximal run of pure-ALU, unhooked instructions (LI/MOV/ADD/SUB/
+    MUL/AND/OR/XOR/SHL/SHR/NOP) fused into a tuple of micro-closures
+    that only touch the register file. The run's cycle charges are
+    pre-summed so the whole segment retires with one
+    ``instr_cycles +=`` and one ``stats.instructions +=``. Segments can
+    neither fault nor enter the kernel, so there is no observation
+    point inside one: deferring the pc update and the charge to the
+    segment end is bit-identical to the interpreter. MOD is *excluded*
+    (it can raise ``InvalidInstructionError`` before charging, which
+    would corrupt the pre-summed charge at exception time).
+
+``MEM``
+    an unhooked LOAD/STORE/ATOMIC_ADD bound into a closure with the
+    operands pre-decoded. It probes the owning thread's TLB micro-cache
+    (``fast_ro``/``fast_rw``) first and falls back to the platform's
+    ``translate`` — counting TLB hits/misses exactly as the interpreter
+    path would — and routes page faults through ``kernel.repair_fault``
+    with the not-retired/refetch contract intact.
+
+``CTL``
+    an unhooked control transfer (JMP/BZ/BNZ/BLT/BGE/CALL/RET) or MOD,
+    specialized into a ``fn(thread) -> bool`` closure (True = control
+    transferred, the engine must re-fetch). Branch/call targets are
+    resolved through ``program.label_index`` once, at compile time, and
+    the CALL return site is a prebuilt constant tuple. MOD rides here
+    because its divide-by-zero check must raise *before* charging,
+    which bars it from a pre-summed segment. Like segments, these steps
+    never enter the kernel, so the per-instruction yield check is
+    provably dead and skipped.
+
+``GEN``
+    everything else (kernel actions, HALT, and *every* hooked
+    position): the engine runs the interpreter body verbatim for that
+    one instruction, reading ``hooks[ii]`` and ``instr.mem`` live so
+    runtime hook swaps (AikidoSD's seeded direct-patching) need no
+    recompile. Only the cycle charge is precomputed.
+
+A :class:`CompiledBlock` stores the engine's ``overhead_per_instr`` it
+was baked with; the engine recompiles when the installed stack changes
+the residency overhead (AikidoSD raises it on install). The closure
+dies with its :class:`~repro.dbr.codecache.CachedBlock` on any flush,
+so every re-JIT path (sharing faults, ``invalidate_all``, chaos
+flushes, protection-change rewrites) structurally invalidates it.
+
+Correctness bar: bit-identical simulated stats — cycles, fault counts,
+race reports, chaos replay logs, trace attribution — versus the
+interpreter tier (see ``tests/dbr/test_compiled_parity.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import InvalidInstructionError
+from repro.machine.cpu import BASE_COST
+from repro.machine.isa import MEMORY_OPCODES, Opcode
+from repro.machine.paging import PAGE_SHIFT, PAGE_SIZE, PageFault
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_PAGE_MASK = PAGE_SIZE - 1
+
+#: Step kind tags (first element of every step tuple).
+SEG = 0
+MEM = 1
+GEN = 2
+CTL = 3
+
+#: Opcodes eligible for segment fusion: register-file-only semantics,
+#: cannot fault, cannot trap, cannot raise before charging.
+SEG_OPCODES = frozenset((
+    Opcode.NOP, Opcode.LI, Opcode.MOV, Opcode.ADD, Opcode.SUB,
+    Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL,
+    Opcode.SHR,
+))
+
+#: Opcodes specialized as CTL steps when unhooked.
+CTL_OPCODES = frozenset((
+    Opcode.JMP, Opcode.BZ, Opcode.BNZ, Opcode.BLT, Opcode.BGE,
+    Opcode.CALL, Opcode.RET, Opcode.MOD,
+))
+
+
+class CompiledBlock:
+    """The compiled form of one cached block.
+
+    ``steps[ii]`` is the step covering instruction index ``ii`` (segment
+    runs get a suffix step per interior position, so re-entry mid-block
+    after a quantum boundary lands on a valid step). ``overhead`` is the
+    per-instruction residency overhead the charges were summed with —
+    the engine treats a mismatch as stale and recompiles.
+    """
+
+    __slots__ = ("steps", "overhead", "length")
+
+    def __init__(self, steps: List[tuple], overhead: int):
+        self.steps = steps
+        self.overhead = overhead
+        self.length = len(steps)
+
+
+def _alu_closure(instr) -> Callable:
+    """Bind one pure-ALU instruction into a ``fn(regs)`` micro-closure.
+
+    Each branch replicates the matching ``CPU.execute`` arm exactly
+    (same masking, same shift clamping) with operands pre-decoded.
+    """
+    op = instr.op
+    rd = instr.rd
+    rs1 = instr.rs1
+    rs2 = instr.rs2
+    imm = instr.imm
+
+    if op is Opcode.LI:
+        value = imm & _MASK64
+
+        def fn(regs, _v=value, _rd=rd):
+            regs[_rd] = _v
+        return fn
+    if op is Opcode.MOV:
+        def fn(regs, _rd=rd, _rs=rs1):
+            regs[_rd] = regs[_rs]
+        return fn
+    if op is Opcode.NOP:
+        def fn(regs):
+            pass
+        return fn
+
+    if rs2 is not None:
+        if op is Opcode.ADD:
+            def fn(regs, _rd=rd, _a=rs1, _b=rs2):
+                regs[_rd] = (regs[_a] + regs[_b]) & _MASK64
+        elif op is Opcode.SUB:
+            def fn(regs, _rd=rd, _a=rs1, _b=rs2):
+                regs[_rd] = (regs[_a] - regs[_b]) & _MASK64
+        elif op is Opcode.MUL:
+            def fn(regs, _rd=rd, _a=rs1, _b=rs2):
+                regs[_rd] = (regs[_a] * regs[_b]) & _MASK64
+        elif op is Opcode.AND:
+            def fn(regs, _rd=rd, _a=rs1, _b=rs2):
+                regs[_rd] = regs[_a] & regs[_b]
+        elif op is Opcode.OR:
+            def fn(regs, _rd=rd, _a=rs1, _b=rs2):
+                regs[_rd] = regs[_a] | regs[_b]
+        elif op is Opcode.XOR:
+            def fn(regs, _rd=rd, _a=rs1, _b=rs2):
+                regs[_rd] = (regs[_a] ^ regs[_b]) & _MASK64
+        elif op is Opcode.SHL:
+            def fn(regs, _rd=rd, _a=rs1, _b=rs2):
+                regs[_rd] = (regs[_a] << (regs[_b] & 63)) & _MASK64
+        elif op is Opcode.SHR:
+            def fn(regs, _rd=rd, _a=rs1, _b=rs2):
+                regs[_rd] = regs[_a] >> (regs[_b] & 63)
+        else:  # pragma: no cover - SEG_OPCODES guards this
+            raise AssertionError(f"not a segment opcode: {op}")
+        return fn
+
+    if op is Opcode.ADD:
+        def fn(regs, _rd=rd, _a=rs1, _i=imm):
+            regs[_rd] = (regs[_a] + _i) & _MASK64
+    elif op is Opcode.SUB:
+        def fn(regs, _rd=rd, _a=rs1, _i=imm):
+            regs[_rd] = (regs[_a] - _i) & _MASK64
+    elif op is Opcode.MUL:
+        def fn(regs, _rd=rd, _a=rs1, _i=imm):
+            regs[_rd] = (regs[_a] * _i) & _MASK64
+    elif op is Opcode.AND:
+        def fn(regs, _rd=rd, _a=rs1, _i=imm):
+            regs[_rd] = regs[_a] & _i
+    elif op is Opcode.OR:
+        def fn(regs, _rd=rd, _a=rs1, _i=imm):
+            regs[_rd] = regs[_a] | _i
+    elif op is Opcode.XOR:
+        def fn(regs, _rd=rd, _a=rs1, _i=imm):
+            regs[_rd] = (regs[_a] ^ _i) & _MASK64
+    elif op is Opcode.SHL:
+        shift = imm & 63
+
+        def fn(regs, _rd=rd, _a=rs1, _s=shift):
+            regs[_rd] = (regs[_a] << _s) & _MASK64
+    elif op is Opcode.SHR:
+        shift = imm & 63
+
+        def fn(regs, _rd=rd, _a=rs1, _s=shift):
+            regs[_rd] = regs[_a] >> _s
+    else:  # pragma: no cover - SEG_OPCODES guards this
+        raise AssertionError(f"not a segment opcode: {op}")
+    return fn
+
+
+def _seg_statement(instr) -> Optional[str]:
+    """Render one pure-ALU instruction as a Python statement on ``regs``.
+
+    Mirrors the matching ``CPU.execute`` arm exactly; operands are baked
+    as literals. Returns None for NOP (no statement).
+    """
+    op = instr.op
+    if op is Opcode.NOP:
+        return None
+    rd = instr.rd
+    if op is Opcode.LI:
+        return f"regs[{rd}] = {instr.imm & _MASK64}"
+    rs1 = instr.rs1
+    if op is Opcode.MOV:
+        return f"regs[{rd}] = regs[{rs1}]"
+    rs2 = instr.rs2
+    rhs = f"regs[{rs2}]" if rs2 is not None else repr(instr.imm)
+    if op is Opcode.ADD:
+        return f"regs[{rd}] = (regs[{rs1}] + {rhs}) & {_MASK64}"
+    if op is Opcode.SUB:
+        return f"regs[{rd}] = (regs[{rs1}] - {rhs}) & {_MASK64}"
+    if op is Opcode.MUL:
+        return f"regs[{rd}] = (regs[{rs1}] * {rhs}) & {_MASK64}"
+    if op is Opcode.AND:
+        return f"regs[{rd}] = regs[{rs1}] & {rhs}"
+    if op is Opcode.OR:
+        return f"regs[{rd}] = regs[{rs1}] | {rhs}"
+    if op is Opcode.XOR:
+        return f"regs[{rd}] = (regs[{rs1}] ^ {rhs}) & {_MASK64}"
+    if op is Opcode.SHL:
+        shift = f"(regs[{rs2}] & 63)" if rs2 is not None else str(
+            instr.imm & 63)
+        return f"regs[{rd}] = (regs[{rs1}] << {shift}) & {_MASK64}"
+    if op is Opcode.SHR:
+        shift = f"(regs[{rs2}] & 63)" if rs2 is not None else str(
+            instr.imm & 63)
+        return f"regs[{rd}] = regs[{rs1}] >> {shift}"
+    raise AssertionError(f"not a segment opcode: {op}")  # pragma: no cover
+
+
+def _seg_run_fn(instrs) -> Optional[Callable]:
+    """exec()-generate one straight-line function for a whole segment.
+
+    Turns N micro-closure calls into a single call; returns None when
+    the segment has no statements (all NOP) or a single statement would
+    not beat the micro-closure.
+    """
+    statements = [s for s in (_seg_statement(i) for i in instrs)
+                  if s is not None]
+    if len(instrs) < 2:
+        return None
+    if not statements:
+        statements = ["pass"]
+    source = "def _seg(regs):\n    " + "\n    ".join(statements)
+    namespace: dict = {}
+    exec(compile(source, "<blockcompiler:seg>", "exec"), {}, namespace)
+    return namespace["_seg"]
+
+
+def _ctl_closure(instr, engine, charge: int, block_index: int,
+                 next_ii: int) -> Callable:
+    """Bind one control transfer (or MOD) into ``fn(thread) -> bool``.
+
+    True means control transferred (the engine re-fetches, like the
+    interpreter's ``cur_bi = -1`` after ``_apply_result``); False means
+    fallthrough with pc already advanced. Charge ordering matches the
+    interpreter arm for arm: transfers charge before applying the
+    result (so a RET-on-empty-stack raises *after* charging, exactly
+    like ``_apply_result``), while MOD's zero check raises *before* any
+    charge, exactly like ``CPU.execute``.
+    """
+    op = instr.op
+    counter = engine.counter
+    stats = engine.stats
+    program = engine.codecache.program
+
+    if op is Opcode.MOD:
+        rd = instr.rd
+        rs1 = instr.rs1
+        rs2 = instr.rs2
+        imm = instr.imm
+
+        def fn(thread):
+            regs = thread.regs
+            rhs = regs[rs2] if rs2 is not None else imm
+            if rhs == 0:
+                raise InvalidInstructionError("modulo by zero")
+            regs[rd] = regs[rs1] % rhs
+            counter.instr_cycles += charge
+            stats.instructions += 1
+            thread.pc[1] = next_ii
+            return False
+        return fn
+
+    if op is Opcode.RET:
+        def fn(thread):
+            counter.instr_cycles += charge
+            stats.instructions += 1
+            stack = thread.call_stack
+            if not stack:
+                raise InvalidInstructionError(
+                    f"RET with empty call stack in thread {thread.tid}")
+            pc = thread.pc
+            pc[0], pc[1] = stack.pop()
+            return True
+        return fn
+
+    target = program.label_index(instr.label)
+
+    if op is Opcode.JMP:
+        def fn(thread):
+            counter.instr_cycles += charge
+            stats.instructions += 1
+            pc = thread.pc
+            pc[0] = target
+            pc[1] = 0
+            return True
+        return fn
+
+    if op is Opcode.CALL:
+        return_site = (block_index, next_ii)
+
+        def fn(thread):
+            counter.instr_cycles += charge
+            stats.instructions += 1
+            thread.call_stack.append(return_site)
+            pc = thread.pc
+            pc[0] = target
+            pc[1] = 0
+            return True
+        return fn
+
+    rs1 = instr.rs1
+    rs2 = instr.rs2
+
+    if op is Opcode.BZ:
+        def fn(thread):
+            counter.instr_cycles += charge
+            stats.instructions += 1
+            pc = thread.pc
+            if thread.regs[rs1] == 0:
+                pc[0] = target
+                pc[1] = 0
+                return True
+            pc[1] = next_ii
+            return False
+    elif op is Opcode.BNZ:
+        def fn(thread):
+            counter.instr_cycles += charge
+            stats.instructions += 1
+            pc = thread.pc
+            if thread.regs[rs1] != 0:
+                pc[0] = target
+                pc[1] = 0
+                return True
+            pc[1] = next_ii
+            return False
+    elif op is Opcode.BLT:
+        def fn(thread):
+            counter.instr_cycles += charge
+            stats.instructions += 1
+            pc = thread.pc
+            regs = thread.regs
+            if regs[rs1] < regs[rs2]:
+                pc[0] = target
+                pc[1] = 0
+                return True
+            pc[1] = next_ii
+            return False
+    else:  # BGE — CTL_OPCODES guards this
+        def fn(thread):
+            counter.instr_cycles += charge
+            stats.instructions += 1
+            pc = thread.pc
+            regs = thread.regs
+            if regs[rs1] >= regs[rs2]:
+                pc[0] = target
+                pc[1] = 0
+                return True
+            pc[1] = next_ii
+            return False
+    return fn
+
+
+def _mem_closure(instr, engine, charge: int, next_ii: int) -> Callable:
+    """Bind one unhooked memory instruction into ``fn(thread) -> bool``.
+
+    Returns True when the instruction retired (charge applied, stats and
+    pc advanced, so the caller only counts it against the budget and
+    checks the yield flag) and False when it page-faulted: the fault has
+    been routed through ``kernel.repair_fault`` and the caller must
+    refetch the block and retry, exactly like the interpreter's fault
+    arm. The fast path resolves the translation from the thread's TLB
+    micro-cache; a fast hit stands in for a successful ``lookup`` +
+    permission check, so it books a regular TLB hit too.
+    """
+    op = instr.op
+    mem = instr.mem
+    base = mem.base
+    disp = mem.disp
+    rd = instr.rd
+    rs1 = instr.rs1
+    memory = engine.cpu.memory
+    translate = engine.cpu.translate
+    kernel = engine.kernel
+    counter = engine.counter
+    stats = engine.stats
+    read_word = memory.read_word
+    write_word = memory.write_word
+
+    if op is Opcode.LOAD:
+        def fn(thread):
+            regs = thread.regs
+            ea = disp if base is None else (regs[base] + disp) & _MASK64
+            tlb = thread.tlb
+            pb = tlb.fast_ro.get(ea >> PAGE_SHIFT)
+            if pb is not None:
+                tlb.hits += 1
+                tlb.fast_hits += 1
+                paddr = pb | (ea & _PAGE_MASK)
+            else:
+                tlb.fast_misses += 1
+                try:
+                    paddr = translate(thread, ea, False)
+                except PageFault as fault:
+                    kernel.repair_fault(thread, fault)
+                    return False
+            regs[rd] = read_word(paddr)
+            counter.instr_cycles += charge
+            stats.instructions += 1
+            stats.memory_refs += 1
+            thread.pc[1] = next_ii
+            return True
+        return fn
+
+    if op is Opcode.STORE:
+        def fn(thread):
+            regs = thread.regs
+            ea = disp if base is None else (regs[base] + disp) & _MASK64
+            tlb = thread.tlb
+            pb = tlb.fast_rw.get(ea >> PAGE_SHIFT)
+            if pb is not None:
+                tlb.hits += 1
+                tlb.fast_hits += 1
+                paddr = pb | (ea & _PAGE_MASK)
+            else:
+                tlb.fast_misses += 1
+                try:
+                    paddr = translate(thread, ea, True)
+                except PageFault as fault:
+                    kernel.repair_fault(thread, fault)
+                    return False
+            write_word(paddr, regs[rs1])
+            counter.instr_cycles += charge
+            stats.instructions += 1
+            stats.memory_refs += 1
+            thread.pc[1] = next_ii
+            return True
+        return fn
+
+    # ATOMIC_ADD
+    def fn(thread):
+        regs = thread.regs
+        ea = disp if base is None else (regs[base] + disp) & _MASK64
+        tlb = thread.tlb
+        pb = tlb.fast_rw.get(ea >> PAGE_SHIFT)
+        if pb is not None:
+            tlb.hits += 1
+            tlb.fast_hits += 1
+            paddr = pb | (ea & _PAGE_MASK)
+        else:
+            tlb.fast_misses += 1
+            try:
+                paddr = translate(thread, ea, True)
+            except PageFault as fault:
+                kernel.repair_fault(thread, fault)
+                return False
+        old = read_word(paddr)
+        write_word(paddr, (old + regs[rs1]) & _MASK64)
+        if rd is not None:
+            regs[rd] = old
+        counter.instr_cycles += charge
+        stats.instructions += 1
+        stats.memory_refs += 1
+        thread.pc[1] = next_ii
+        return True
+    return fn
+
+
+def compile_block(cached, engine) -> CompiledBlock:
+    """Compile a cached block against ``engine``'s current overhead.
+
+    Classification is stable for the life of the ``CachedBlock``: hooks
+    are only *added* through a flush-and-rebuild (AikidoSD's re-JIT), and
+    runtime hook swaps replace the callable at an already-hooked (GEN)
+    position in place.
+    """
+    overhead = engine.overhead_per_instr
+    instrs = cached.instrs
+    hooks = cached.hooks
+    n = len(instrs)
+    steps: List[Optional[tuple]] = [None] * n
+    i = 0
+    while i < n:
+        instr = instrs[i]
+        if hooks[i] is None and instr.op in SEG_OPCODES:
+            j = i
+            fns: List[Callable] = []
+            charges: List[int] = []
+            while (j < n and hooks[j] is None
+                   and instrs[j].op in SEG_OPCODES):
+                fns.append(_alu_closure(instrs[j]))
+                charges.append(BASE_COST[instrs[j].op] + overhead)
+                j += 1
+            # One suffix step per position so mid-run re-entry (quantum
+            # boundary landed inside the segment) stays valid; only the
+            # run head gets the exec()-generated fast body, interior
+            # entries (rare: a quantum boundary parked mid-run) fall
+            # back to the micro-closure loop.
+            for start in range(i, j):
+                sub = tuple(fns[start - i:])
+                prefixes: List[int] = [0]
+                acc = 0
+                for c in charges[start - i:]:
+                    acc += c
+                    prefixes.append(acc)
+                run_fn = _seg_run_fn(instrs[i:j]) if start == i else None
+                steps[start] = (SEG, run_fn, sub, len(sub), acc,
+                                tuple(prefixes), j)
+            i = j
+            continue
+        if hooks[i] is None and instr.op in MEMORY_OPCODES:
+            charge = BASE_COST[instr.op] + overhead
+            steps[i] = (MEM, _mem_closure(instr, engine, charge, i + 1))
+        elif hooks[i] is None and instr.op in CTL_OPCODES:
+            charge = BASE_COST[instr.op] + overhead
+            steps[i] = (CTL, _ctl_closure(instr, engine, charge,
+                                          cached.block_index, i + 1))
+        else:
+            steps[i] = (GEN, BASE_COST[instr.op] + overhead,
+                        instr.op in MEMORY_OPCODES)
+        i += 1
+    return CompiledBlock(steps, overhead)

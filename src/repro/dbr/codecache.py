@@ -27,7 +27,8 @@ class CachedBlock:
     callable or None per instruction.
     """
 
-    __slots__ = ("block_index", "instrs", "hooks", "executions", "in_trace")
+    __slots__ = ("block_index", "instrs", "hooks", "executions", "in_trace",
+                 "compiled")
 
     def __init__(self, block_index: int, source: BasicBlock):
         self.block_index = block_index
@@ -35,6 +36,11 @@ class CachedBlock:
         self.hooks: List[Optional[Callable]] = [None] * len(self.instrs)
         self.executions = 0
         self.in_trace = False
+        #: Lazily attached :class:`~repro.dbr.blockcompiler.CompiledBlock`
+        #: (None until the engine's compiled tier first enters the block).
+        #: It shares this object's lifetime: every invalidation path pops
+        #: the CachedBlock, taking the closure with it.
+        self.compiled = None
 
     def set_hook(self, position: int, hook: Callable) -> None:
         self.hooks[position] = hook
@@ -59,8 +65,22 @@ class CodeCache:
         self.builds = 0
         self.flushes = 0
         self.traces_built = 0
+        #: Compiled-tier traffic: closures built by the engine and
+        #: closures dropped by invalidation (observability only — never
+        #: part of the tier-parity stats surface).
+        self.closures_compiled = 0
+        self.closures_dropped = 0
         #: Observability tracer, attached by AikidoSystem (None = off).
         self.tracer = None
+
+    def _note_closure_dropped(self, cached: CachedBlock,
+                              reason: str) -> None:
+        if cached.compiled is None:
+            return
+        self.closures_dropped += 1
+        if self.tracer is not None:
+            self.tracer.instant("closure_invalidate", "dbr",
+                                block=cached.block_index, reason=reason)
 
     def get(self, block_index: int) -> CachedBlock:
         """Fetch a cached block, building (and instrumenting) on miss."""
@@ -91,6 +111,7 @@ class CodeCache:
         cached = self._blocks.pop(block_index, None)
         if cached is None:
             return 0
+        self._note_closure_dropped(cached, "flush")
         self.flushes += 1
         if self.counter is not None:
             self.counter.charge("dbr", costs.BLOCK_FLUSH)
@@ -109,6 +130,8 @@ class CodeCache:
         count = len(self._blocks)
         if count == 0:
             return 0
+        for cached in self._blocks.values():
+            self._note_closure_dropped(cached, "flush_all")
         self._blocks.clear()
         self.flushes += count
         if self.counter is not None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro import costs
+from repro.dbr.blockcompiler import CTL, GEN, MEM, SEG, compile_block
 from repro.dbr.codecache import CodeCache
 from repro.dbr.tool import Tool
 from repro.guestos.driver import ExecutionDriver
@@ -28,10 +29,18 @@ _MASK64 = 0xFFFFFFFFFFFFFFFF
 
 
 class DBREngine(ExecutionDriver):
-    """Code-cache execution with inline instrumentation hooks."""
+    """Code-cache execution with inline instrumentation hooks.
+
+    Two execution tiers share the code cache. The *interpreter* tier
+    (:meth:`_run_interp`) is the reference: one ``CPU.execute`` per
+    instruction. The *compiled* tier (:meth:`_run_compiled`, default,
+    ``compile_blocks=False`` to disable) runs each block through its
+    specialized closure form (see :mod:`repro.dbr.blockcompiler`) and
+    must produce bit-identical simulated stats.
+    """
 
     def __init__(self, kernel, *, trace_threshold: int = 50,
-                 process=None):
+                 process=None, compile_blocks: bool = True):
         super().__init__(kernel)
         self.process = process if process is not None else kernel.process
         if self.process is None:
@@ -43,6 +52,8 @@ class DBREngine(ExecutionDriver):
         #: HandlerResult or None (None = not an Aikido fault).
         self.fault_router: Optional[Callable] = None
         self._cache_dirty = False
+        #: Execution-tier switch (AikidoConfig.compile_blocks).
+        self.compile_blocks = compile_blocks
         #: Per-instruction residency overhead of the installed stack;
         #: plain DynamoRIO by default, raised by AikidoSD on install.
         self.overhead_per_instr = costs.DBR_BASE_PER_INSTR
@@ -79,19 +90,29 @@ class DBREngine(ExecutionDriver):
     # execution
     # ------------------------------------------------------------------
     def run(self, thread, budget: int) -> str:
-        kernel = self.kernel
-        execute = self.cpu.execute
-        counter = self.counter
-        stats = self.stats
-        codecache = self.codecache
         chaos = self.chaos
         if chaos is not None and chaos.fires("codecache_flush",
                                              tid=thread.tid):
             # Recoverable by construction: every block rebuilds from the
             # program text with the same instrumentation on next entry.
-            if codecache.invalidate_all():
+            if self.codecache.invalidate_all():
                 self._cache_dirty = True
             chaos.note_recovered("codecache_flush")
+        # A pending yield left over from a previous quantum (a thread
+        # that blocked right after a chaos preempt) makes the very next
+        # instruction yield; the interpreter tier *is* that reference
+        # behavior, so delegate the quantum to it.
+        if self.compile_blocks and not self.kernel._yield_requested:
+            return self._run_compiled(thread, budget)
+        return self._run_interp(thread, budget)
+
+    def _run_interp(self, thread, budget: int) -> str:
+        """Reference tier: dict-dispatched ``CPU.execute`` per instruction."""
+        kernel = self.kernel
+        execute = self.cpu.execute
+        counter = self.counter
+        stats = self.stats
+        codecache = self.codecache
         pc = thread.pc
         executed = 0
         cur_bi = -1
@@ -152,6 +173,167 @@ class DBREngine(ExecutionDriver):
                 cur_bi = -1  # control may have transferred
             if kernel.consume_yield():
                 return "yield"
+        return "quantum"
+
+    def _compile_block(self, cached, overhead: int):
+        """(Re)compile a cached block's closure; tracks traffic/tracing."""
+        codecache = self.codecache
+        if cached.compiled is not None:
+            # Stale: baked with a different residency overhead (the
+            # installed stack changed, e.g. AikidoSD install).
+            codecache._note_closure_dropped(cached, "stale_overhead")
+        compiled = compile_block(cached, self)
+        assert compiled.overhead == overhead
+        cached.compiled = compiled
+        codecache.closures_compiled += 1
+        if self.tracer is not None:
+            self.tracer.instant("block_compile", "dbr",
+                                block=cached.block_index,
+                                steps=compiled.length)
+        return compiled
+
+    def _run_compiled(self, thread, budget: int) -> str:
+        """Compiled tier: one specialized step per fused unit.
+
+        Structurally a clone of :meth:`_run_interp` — same fetch
+        condition, same dispatch charge, same fault/yield/blocked exits —
+        with the per-instruction body replaced by the block's step list.
+        """
+        kernel = self.kernel
+        execute = self.cpu.execute
+        counter = self.counter
+        stats = self.stats
+        codecache = self.codecache
+        pc = thread.pc
+        executed = 0
+        cur_bi = -1
+        cached = None
+        steps = None
+        length = 0
+        #: True only while a fault-repair for the instruction being
+        #: retried may have left a chaos preempt pending.
+        pending_yield = False
+        #: The interpreter re-reads ``thread.runnable`` before every
+        #: instruction, but only kernel entries can change it; the
+        #: check is hoisted to the paths that entered the kernel
+        #: (fault repairs — actions return the new state directly).
+        check_runnable = True
+        overhead = self.overhead_per_instr
+        while executed < budget:
+            if check_runnable:
+                if not thread.runnable:
+                    return "exited" if thread.exited else "blocked"
+                check_runnable = False
+            bi = pc[0]
+            if bi != cur_bi or cached is None or self._cache_dirty:
+                self._cache_dirty = False
+                cached = codecache.get(bi)
+                cur_bi = bi
+                counter.charge("dbr", costs.BLOCK_DISPATCH)
+                compiled = cached.compiled
+                if compiled is None or compiled.overhead != overhead:
+                    compiled = self._compile_block(cached, overhead)
+                steps = compiled.steps
+                length = compiled.length
+            ii = pc[1]
+            if ii >= length:
+                pc[0] += 1
+                pc[1] = 0
+                cur_bi = -1
+                continue
+            step = steps[ii]
+            kind = step[0]
+            if kind == SEG:
+                # Fused pure-ALU run: no faults, no kernel entry, no
+                # observation point inside — retire it in one go (or a
+                # budget-bounded prefix of it).
+                count = step[3]
+                remaining = budget - executed
+                if count <= remaining:
+                    run_fn = step[1]
+                    if run_fn is not None:
+                        run_fn(thread.regs)
+                    else:
+                        regs = thread.regs
+                        for fn in step[2]:
+                            fn(regs)
+                    counter.instr_cycles += step[4]
+                    executed += count
+                    stats.instructions += count
+                    pc[1] = step[6]
+                else:
+                    regs = thread.regs
+                    for fn in step[2][:remaining]:
+                        fn(regs)
+                    counter.instr_cycles += step[5][remaining]
+                    executed += remaining
+                    stats.instructions += remaining
+                    pc[1] = ii + remaining
+                continue
+            if kind == MEM:
+                if step[1](thread):
+                    executed += 1
+                    # The closure never enters the kernel on the retire
+                    # path, so the yield flag can only be pending from a
+                    # chaos preempt during this instruction's own fault
+                    # repair — only then is the check live.
+                    if pending_yield and kernel.consume_yield():
+                        return "yield"
+                    pending_yield = False
+                else:
+                    # Faulted (not retired): the handler may have rebuilt
+                    # the block — force a re-fetch, like the interpreter.
+                    pending_yield = True
+                    check_runnable = True
+                    cur_bi = -1
+                continue
+            if kind == CTL:
+                # Control transfers and MOD never enter the kernel: no
+                # fault, no yield, no runnable change — just count it
+                # and re-fetch when control moved.
+                if step[1](thread):
+                    cur_bi = -1
+                executed += 1
+                continue
+            # GEN: the interpreter body, verbatim, for one instruction.
+            # hooks[ii] and instr.mem are read live — AikidoSD swaps the
+            # hook and patches the displacement in place at runtime.
+            instr = cached.instrs[ii]
+            hook = cached.hooks[ii]
+            try:
+                if hook is not None:
+                    mem = instr.mem
+                    if mem is not None:
+                        if mem.base is None:
+                            ea = mem.disp
+                        else:
+                            ea = (thread.regs[mem.base] + mem.disp) & _MASK64
+                    else:
+                        ea = None
+                    override = hook(thread, instr, ea)
+                    res = execute(instr, thread, ea_override=override)
+                    stats.instrumented_execs += 1
+                else:
+                    res = execute(instr, thread)
+            except PageFault as fault:
+                kernel.repair_fault(thread, fault)
+                check_runnable = True
+                cur_bi = -1
+                continue
+            counter.instr_cycles += step[1]
+            executed += 1
+            stats.instructions += 1
+            if step[2]:
+                stats.memory_refs += 1
+            if res is None:
+                pc[1] = ii + 1
+            else:
+                if not self._apply_result(thread, pc, ii, res):
+                    return "exited" if thread.exited else "blocked"
+                cur_bi = -1
+            if kernel.consume_yield():
+                return "yield"
+            pending_yield = False
         return "quantum"
 
     # ------------------------------------------------------------------

@@ -1,0 +1,361 @@
+"""Wall-clock benchmark suite for the DBR execution tiers.
+
+Everything else in the harness measures *simulated cycles* — a
+deterministic quantity that is bit-identical between the interpreter and
+block-compiled tiers by design. This module measures the one thing that
+is allowed to differ: **host wall-clock speed**. It runs each bundled
+workload under both tiers and reports seconds, instructions/second and
+the compiled-tier speedup, in a stable JSON document
+(``BENCH_simulator.json``) that the regression gate
+(``scripts/bench_gate.py``) diffs against the committed trajectory.
+
+Three sections:
+
+* ``workloads`` — the headline: each PARSEC-style workload on the bare
+  DBR engine (no tool attached), both tiers. This isolates the execution
+  engine itself, where the block compiler does its work.
+* ``macro`` — the full aikido-fasttrack stack on a few workloads, where
+  hook dispatch and analysis time dilute the engine's share.
+* ``micro`` — synthetic kernels (pure ALU spin, lock traffic, a
+  producer/consumer queue) that bound the best and worst case.
+
+Each measurement is best-of-``repeats`` (minimum seconds), the standard
+way to strip scheduler noise from a throughput number. The suite also
+cross-checks that both tiers retired the *same instruction count* per
+workload — a cheap standing parity assertion in every bench run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import AikidoConfig
+from repro.dbr.engine import DBREngine
+from repro.errors import HarnessError
+from repro.guestos.kernel import Kernel
+from repro.harness.runner import run_aikido_fasttrack
+from repro.workloads import micro
+from repro.workloads.parsec import benchmark_names, build_benchmark
+
+#: Bump when the JSON layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Workloads the full-stack macro section runs (engine share is diluted
+#: by analysis work there, so a few representatives suffice).
+MACRO_BENCHMARKS = ("freqmine", "canneal", "streamcluster")
+
+DEFAULT_REPEATS = 3
+DEFAULT_THREADS = 4
+DEFAULT_SCALE = 1.0
+DEFAULT_SEED = 3
+DEFAULT_QUANTUM = 200
+DEFAULT_JITTER = 0.1
+
+
+def _geomean(values: List[float]) -> float:
+    if not values:
+        raise HarnessError("geomean of an empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _micro_programs() -> Dict[str, Callable]:
+    return {
+        "alu_spin": lambda: micro.private_work(4, 400)[0],
+        "locked_counter": lambda: micro.locked_counter(4, 300)[0],
+        "producer_consumer": lambda: micro.producer_consumer(
+            items=200, consumers=2)[0],
+    }
+
+
+def _bare_dbr_run(program_factory, *, compile_blocks: bool, seed: int,
+                  quantum: int, jitter: float) -> Dict[str, float]:
+    """One bare-engine run (no tool): seconds + retired instructions."""
+    program = program_factory()
+    kernel = Kernel(seed=seed, quantum=quantum, jitter=jitter)
+    kernel.create_process(program)
+    engine = DBREngine(kernel, compile_blocks=compile_blocks)
+    start = time.perf_counter()
+    kernel.run()
+    seconds = time.perf_counter() - start
+    return {"seconds": seconds,
+            "instructions": engine.stats.instructions,
+            "cycles": kernel.counter.total}
+
+
+def _aikido_run(program_factory, *, compile_blocks: bool, seed: int,
+                quantum: int, jitter: float) -> Dict[str, float]:
+    """One full aikido-fasttrack stack run."""
+    config = AikidoConfig(compile_blocks=compile_blocks)
+    start = time.perf_counter()
+    result = run_aikido_fasttrack(program_factory(), seed=seed,
+                                  quantum=quantum, jitter=jitter,
+                                  config=config)
+    seconds = time.perf_counter() - start
+    return {"seconds": seconds,
+            "instructions": result.run_stats["instructions"],
+            "cycles": result.cycles}
+
+
+def _best_of(run: Callable[[], Dict], repeats: int) -> Dict:
+    best = None
+    for _ in range(max(1, repeats)):
+        sample = run()
+        if best is None or sample["seconds"] < best["seconds"]:
+            if best is not None and sample["instructions"] != \
+                    best["instructions"]:
+                raise HarnessError(
+                    "non-deterministic instruction count across repeats "
+                    f"({sample['instructions']} vs {best['instructions']})")
+            best = sample
+    return best
+
+
+def _tier_row(name: str, run_tier: Callable[[bool], Dict],
+              repeats: int) -> Dict:
+    """Measure one subject under both tiers and derive the speedup."""
+    interp = _best_of(lambda: run_tier(False), repeats)
+    compiled = _best_of(lambda: run_tier(True), repeats)
+    if interp["instructions"] != compiled["instructions"]:
+        raise HarnessError(
+            f"{name}: tiers disagree on retired instructions "
+            f"(interp={interp['instructions']}, "
+            f"compiled={compiled['instructions']}) — parity violation")
+    if interp["cycles"] != compiled["cycles"]:
+        raise HarnessError(
+            f"{name}: tiers disagree on simulated cycles "
+            f"(interp={interp['cycles']}, "
+            f"compiled={compiled['cycles']}) — parity violation")
+    instructions = interp["instructions"]
+
+    def rate(sample):
+        return instructions / sample["seconds"] if sample["seconds"] else 0.0
+
+    return {
+        "name": name,
+        "instructions": instructions,
+        "interp": {"seconds": interp["seconds"],
+                   "instrs_per_sec": rate(interp)},
+        "compiled": {"seconds": compiled["seconds"],
+                     "instrs_per_sec": rate(compiled)},
+        "speedup": (interp["seconds"] / compiled["seconds"]
+                    if compiled["seconds"] else 0.0),
+    }
+
+
+def bench_suite(*, threads: int = DEFAULT_THREADS,
+                scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
+                quantum: int = DEFAULT_QUANTUM,
+                jitter: float = DEFAULT_JITTER,
+                repeats: int = DEFAULT_REPEATS, quick: bool = False,
+                benchmarks: Optional[List[str]] = None,
+                progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """Run the wall-clock suite; returns the BENCH_simulator document.
+
+    ``quick`` shrinks everything (small scale, one repeat, a workload
+    subset, no macro section) — for smoke tests that only need a valid
+    document, not a stable measurement.
+    """
+    names = list(benchmarks) if benchmarks else list(benchmark_names())
+    if quick:
+        scale = min(scale, 0.1)
+        repeats = 1
+        if benchmarks is None:
+            names = names[:3]
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    workloads = []
+    for name in names:
+        note(f"bench: {name} (bare DBR, both tiers)")
+        factory = (lambda name=name:
+                   build_benchmark(name, threads=threads, scale=scale))
+        workloads.append(_tier_row(
+            name,
+            lambda cb, factory=factory: _bare_dbr_run(
+                factory, compile_blocks=cb, seed=seed, quantum=quantum,
+                jitter=jitter),
+            repeats))
+
+    macro = []
+    if not quick:
+        for name in MACRO_BENCHMARKS:
+            if name not in names:
+                continue
+            note(f"bench: {name} (full aikido-fasttrack stack)")
+            factory = (lambda name=name:
+                       build_benchmark(name, threads=threads, scale=scale))
+            macro.append(_tier_row(
+                f"aikido:{name}",
+                lambda cb, factory=factory: _aikido_run(
+                    factory, compile_blocks=cb, seed=seed,
+                    quantum=quantum, jitter=jitter),
+                repeats))
+
+    micro_rows = []
+    for name, factory in _micro_programs().items():
+        note(f"bench: micro {name}")
+        micro_rows.append(_tier_row(
+            f"micro:{name}",
+            lambda cb, factory=factory: _bare_dbr_run(
+                factory, compile_blocks=cb, seed=seed, quantum=quantum,
+                jitter=jitter),
+            repeats))
+
+    speedups = [row["speedup"] for row in workloads]
+    doc = {
+        "version": BENCH_SCHEMA_VERSION,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "params": {
+            "threads": threads, "scale": scale, "seed": seed,
+            "quantum": quantum, "jitter": jitter, "repeats": repeats,
+            "quick": quick,
+        },
+        "workloads": workloads,
+        "macro": macro,
+        "micro": micro_rows,
+        "summary": {
+            "geomean_speedup": _geomean(speedups) if speedups else 0.0,
+            "workloads_2x": sum(1 for s in speedups if s >= 2.0),
+            "workload_count": len(workloads),
+        },
+    }
+    validate_bench(doc)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# schema validation (shared by the CLI, the smoke test and the gate)
+# ----------------------------------------------------------------------
+_RATE_KEYS = ("seconds", "instrs_per_sec")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise HarnessError(f"invalid bench document: {message}")
+
+
+def validate_bench(doc: Dict) -> Dict:
+    """Raise :class:`HarnessError` unless ``doc`` is a valid bench
+    document; returns it unchanged so call sites can chain."""
+    _require(isinstance(doc, dict), "not a JSON object")
+    _require(doc.get("version") == BENCH_SCHEMA_VERSION,
+             f"version != {BENCH_SCHEMA_VERSION}")
+    for section in ("host", "params", "summary"):
+        _require(isinstance(doc.get(section), dict),
+                 f"missing object {section!r}")
+    for section in ("workloads", "macro", "micro"):
+        rows = doc.get(section)
+        _require(isinstance(rows, list), f"missing list {section!r}")
+        for row in rows:
+            _require(isinstance(row, dict) and isinstance(
+                row.get("name"), str), f"{section}: row without a name")
+            name = row["name"]
+            _require(isinstance(row.get("instructions"), int)
+                     and row["instructions"] > 0,
+                     f"{name}: bad instruction count")
+            for tier in ("interp", "compiled"):
+                sample = row.get(tier)
+                _require(isinstance(sample, dict), f"{name}: missing {tier}")
+                for key in _RATE_KEYS:
+                    value = sample.get(key)
+                    _require(isinstance(value, (int, float))
+                             and value >= 0,
+                             f"{name}: bad {tier}.{key}")
+            _require(isinstance(row.get("speedup"), (int, float))
+                     and row["speedup"] > 0,
+                     f"{name}: bad speedup")
+    _require(len(doc["workloads"]) > 0, "no workload rows")
+    summary = doc["summary"]
+    _require(isinstance(summary.get("geomean_speedup"), (int, float)),
+             "summary.geomean_speedup missing")
+    _require(isinstance(summary.get("workloads_2x"), int),
+             "summary.workloads_2x missing")
+    _require(summary.get("workload_count") == len(doc["workloads"]),
+             "summary.workload_count disagrees with workloads")
+    return doc
+
+
+def write_bench(doc: Dict, path: str) -> str:
+    validate_bench(doc)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_bench(path: str) -> Dict:
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise HarnessError(f"cannot load bench document {path}: {exc}")
+    return validate_bench(doc)
+
+
+def render_bench(doc: Dict) -> str:
+    """Human-readable table of one bench document."""
+    lines = [f"simulator wall-clock bench "
+             f"(threads={doc['params']['threads']}, "
+             f"scale={doc['params']['scale']}, "
+             f"repeats={doc['params']['repeats']}"
+             f"{', quick' if doc['params'].get('quick') else ''})",
+             f"{'workload':<24s} {'instrs':>10s} {'interp/s':>12s} "
+             f"{'compiled/s':>12s} {'speedup':>8s}"]
+    for section in ("workloads", "macro", "micro"):
+        for row in doc[section]:
+            lines.append(
+                f"{row['name']:<24s} {row['instructions']:>10,d} "
+                f"{row['interp']['instrs_per_sec']:>12,.0f} "
+                f"{row['compiled']['instrs_per_sec']:>12,.0f} "
+                f"{row['speedup']:>7.2f}x")
+    summary = doc["summary"]
+    lines.append(f"geomean speedup {summary['geomean_speedup']:.2f}x; "
+                 f"{summary['workloads_2x']}/{summary['workload_count']} "
+                 f"workloads at >=2x")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# regression gate (scripts/bench_gate.py calls this)
+# ----------------------------------------------------------------------
+def compare_bench(baseline: Dict, current: Dict,
+                  threshold: float = 0.15) -> Dict:
+    """Compare two bench documents' compiled-tier throughput.
+
+    The gated quantity is the geomean, over workloads present in both
+    documents, of ``current compiled instrs/sec / baseline compiled
+    instrs/sec``. Below ``1 - threshold`` the gate fails. Per-workload
+    ratios ride along for diagnosis.
+    """
+    validate_bench(baseline)
+    validate_bench(current)
+    base_rows = {row["name"]: row for row in baseline["workloads"]}
+    ratios = {}
+    for row in current["workloads"]:
+        base = base_rows.get(row["name"])
+        if base is None:
+            continue
+        old = base["compiled"]["instrs_per_sec"]
+        new = row["compiled"]["instrs_per_sec"]
+        if old > 0 and new > 0:
+            ratios[row["name"]] = new / old
+    if not ratios:
+        raise HarnessError("no common workloads between bench documents")
+    geomean = _geomean(list(ratios.values()))
+    return {
+        "ratios": ratios,
+        "geomean_ratio": geomean,
+        "threshold": threshold,
+        "ok": geomean >= 1.0 - threshold,
+    }

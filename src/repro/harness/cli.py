@@ -13,6 +13,8 @@ Usage (installed as ``aikido-repro`` or ``python -m repro.harness.cli``)::
     aikido-repro instr            # instrumentation-machinery counters
     aikido-repro chaos            # fault-injection survivability sweep
     aikido-repro trace --benchmark vips     # Chrome trace + attribution
+    aikido-repro bench            # wall-clock tier bench (BENCH_simulator.json)
+    aikido-repro bench --quick    # small/fast bench (schema smoke)
     aikido-repro all              # everything, one suite run
     aikido-repro all --static-prepass  # suite with seeded discovery
     aikido-repro all --scale 0.5  # faster, smaller run
@@ -67,8 +69,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("artifact",
                         choices=("fig5", "fig6", "table1", "table2",
                                  "races", "profile", "breakdown", "instr",
-                                 "prepass", "chaos", "trace", "lint",
-                                 "all"))
+                                 "prepass", "chaos", "trace", "bench",
+                                 "lint", "all"))
     parser.add_argument("--benchmark", default=None,
                         help="restrict 'profile'/'lint'/'trace' to one "
                              "benchmark")
@@ -80,6 +82,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-jsonl", metavar="PATH", default=None,
                         help="also write the trace as one JSON object "
                              "per line")
+    parser.add_argument("--bench-out", metavar="PATH",
+                        default="BENCH_simulator.json",
+                        help="JSON output of the 'bench' artifact")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the 'bench' artifact to a fast "
+                             "schema-smoke run (small scale, one repeat, "
+                             "workload subset)")
+    parser.add_argument("--repeats", type=int, default=3, metavar="N",
+                        help="best-of-N repeats per bench measurement")
     parser.add_argument("--static-prepass", action="store_true",
                         help="seed the sharing detector from the static "
                              "pre-classifier in aikido-fasttrack runs")
@@ -210,6 +221,19 @@ def _trace_artifact(args) -> list:
     return pieces
 
 
+def _bench_artifact(args) -> list:
+    """Run the wall-clock tier bench and write BENCH_simulator.json."""
+    from repro.harness.bench import bench_suite, render_bench, write_bench
+
+    doc = bench_suite(
+        threads=args.threads, scale=args.scale, seed=args.seed,
+        quantum=args.quantum, repeats=args.repeats, quick=args.quick,
+        benchmarks=[args.benchmark] if args.benchmark else None,
+        progress=lambda message: print(message, file=sys.stderr))
+    path = write_bench(doc, args.bench_out)
+    return [render_bench(doc), f"(bench json written to {path})"]
+
+
 def _run(args) -> int:
     started = time.monotonic()
     if args.artifact == "lint":
@@ -262,6 +286,8 @@ def _run(args) -> int:
         pieces.append(render_attribution(suite))
     if args.artifact == "trace":
         pieces.extend(_trace_artifact(args))
+    if args.artifact == "bench":
+        pieces.extend(_bench_artifact(args))
     if args.artifact == "chaos":
         sweep = experiments.chaos_sweep(
             threads=args.threads, scale=args.scale, seed=args.seed,

@@ -200,11 +200,12 @@ def run_native(program, *, seed: int = 0, quantum: int = 200,
 
 def run_fasttrack(program, *, seed: int = 0, quantum: int = 200,
                   jitter: float = 0.1, block_size: int = 8,
+                  compile_blocks: bool = True,
                   max_instructions: int = _DEFAULT_BUDGET) -> RunResult:
     """The conservative instrument-everything FastTrack baseline."""
     kernel = Kernel(seed=seed, quantum=quantum, jitter=jitter)
     kernel.create_process(program)
-    engine = DBREngine(kernel)
+    engine = DBREngine(kernel, compile_blocks=compile_blocks)
     tool = FastTrackTool(kernel, block_size=block_size)
     engine.attach_tool(tool)
     kernel.run(max_instructions=max_instructions)
@@ -287,7 +288,8 @@ def run_mode(program, mode: str, **kwargs) -> RunResult:
     the ones the selected mode does not take (``config`` for native and
     fasttrack, ``block_size`` for native), so suite drivers can pass one
     kwarg set to every mode. For ``aikido-fasttrack``, a bare
-    ``block_size`` is folded into the :class:`AikidoConfig`.
+    ``block_size`` or ``compile_blocks`` is folded into the
+    :class:`AikidoConfig`.
     """
     if mode not in _MODE_RUNNERS:
         raise HarnessError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -296,15 +298,20 @@ def run_mode(program, mode: str, **kwargs) -> RunResult:
         raise HarnessError(
             f"unknown keyword argument(s) {sorted(unknown)} for run_mode; "
             f"accepted: {sorted(SHARED_KWARGS)}")
-    if mode == "aikido-fasttrack" and "block_size" in kwargs:
-        block_size = kwargs.pop("block_size")
-        config = kwargs.get("config")
-        if config is None:
-            kwargs["config"] = AikidoConfig(block_size=block_size)
-        elif config.block_size != block_size:
-            raise HarnessError(
-                f"conflicting block_size={block_size} and "
-                f"config.block_size={config.block_size}")
+    if mode == "aikido-fasttrack":
+        bare = {field: kwargs.pop(field)
+                for field in ("block_size", "compile_blocks")
+                if field in kwargs}
+        if bare:
+            config = kwargs.get("config")
+            if config is None:
+                kwargs["config"] = AikidoConfig(**bare)
+            else:
+                for field, value in bare.items():
+                    if getattr(config, field) != value:
+                        raise HarnessError(
+                            f"conflicting {field}={value} and "
+                            f"config.{field}={getattr(config, field)}")
     accepted = _MODE_KWARGS[mode]
     return _MODE_RUNNERS[mode](
         program, **{k: v for k, v in kwargs.items() if k in accepted})

@@ -47,16 +47,24 @@ class CycleCounter:
     def __init__(self):
         self.instr_cycles = 0
         self.by_category: Dict[str, int] = {}
+        #: Running sum of every charge(); kept in lockstep with
+        #: ``by_category`` so ``total`` never re-sums the dict (it is read
+        #: at quantum cadence by metrics/invariants and at every fault by
+        #: the sharing detector's fault log).
+        self._charged = 0
 
     def charge(self, category: str, cycles: int) -> None:
         """Add ``cycles`` to a named cost category."""
-        self.by_category[category] = \
-            self.by_category.get(category, 0) + cycles
+        try:
+            self.by_category[category] += cycles
+        except KeyError:
+            self.by_category[category] = cycles
+        self._charged += cycles
 
     @property
     def total(self) -> int:
         """All simulated cycles of the run."""
-        return self.instr_cycles + sum(self.by_category.values())
+        return self.instr_cycles + self._charged
 
     def snapshot(self) -> Dict[str, int]:
         """A copy of the per-category breakdown, including instructions."""

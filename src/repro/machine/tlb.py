@@ -12,7 +12,12 @@ accesses without the flushes.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
+
+_PAGE_SHIFT = 12
+_PTE_PRESENT = 0b001
+_PTE_WRITABLE = 0b010
+_PTE_USER = 0b100
 
 
 class TLB:
@@ -26,6 +31,18 @@ class TLB:
     def __init__(self, capacity: int = 64):
         self.capacity = capacity
         self._entries: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
+        #: Translation micro-caches: vpn -> page-base physical address for
+        #: entries whose cached permission bits already allow a user-mode
+        #: read (``fast_ro``) or write (``fast_rw``). Strict subsets of
+        #: ``_entries`` (same FIFO lifetime, same chaos semantics), they
+        #: let hot paths resolve a repeat same-page access with one dict
+        #: probe instead of lookup() + permission re-check. A fast hit is
+        #: valid in kernel mode too: user-permitted implies
+        #: kernel-permitted.
+        self.fast_ro: Dict[int, int] = {}
+        self.fast_rw: Dict[int, int] = {}
+        self.fast_hits = 0
+        self.fast_misses = 0
         #: statistics for the cost model
         self.hits = 0
         self.misses = 0
@@ -51,8 +68,20 @@ class TLB:
     def fill(self, vpn: int, pfn: int, flags: int) -> None:
         """Insert a translation, evicting FIFO-oldest when full."""
         if vpn not in self._entries and len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self.fast_ro.pop(evicted, None)
+            self.fast_rw.pop(evicted, None)
         self._entries[vpn] = (pfn, flags)
+        if flags & _PTE_PRESENT and flags & _PTE_USER:
+            base = pfn << _PAGE_SHIFT
+            self.fast_ro[vpn] = base
+            if flags & _PTE_WRITABLE:
+                self.fast_rw[vpn] = base
+            else:
+                self.fast_rw.pop(vpn, None)
+        else:
+            self.fast_ro.pop(vpn, None)
+            self.fast_rw.pop(vpn, None)
 
     def invalidate(self, vpn: int) -> None:
         """Drop one page's translation (INVLPG)."""
@@ -74,11 +103,15 @@ class TLB:
                 chaos.note_recovered("tlb_flush")
                 return
         if self._entries.pop(vpn, None) is not None:
+            self.fast_ro.pop(vpn, None)
+            self.fast_rw.pop(vpn, None)
             self.single_invalidations += 1
 
     def flush(self) -> None:
         """Drop every translation (CR3 reload / full flush)."""
         self._entries.clear()
+        self.fast_ro.clear()
+        self.fast_rw.clear()
         self.flushes += 1
 
     def items(self) -> Iterator[Tuple[int, Tuple[int, int]]]:

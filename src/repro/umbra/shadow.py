@@ -67,6 +67,13 @@ class ShadowMemory:
         self._next_shadow = _SHADOW_SYNTHETIC_BASE
         # tid -> last region hit (inline memoization cache).
         self._inline_cache: Dict[int, ShadowRegion] = {}
+        # tid -> (page, region) memo for repeat same-page accesses. Set
+        # only when the region covers the whole page, so a page match
+        # alone proves containment — and since it is written in lockstep
+        # with the inline cache (and regions are never removed), a memo
+        # hit is exactly an inline-cache hit minus the containment
+        # arithmetic: same counter, same charge.
+        self._page_memo: Dict[int, tuple] = {}
         # tid -> set of region ids translated before (thread-local cache).
         self._warm: Dict[int, Set[int]] = {}
         self.inline_hits = 0
@@ -112,11 +119,19 @@ class ShadowMemory:
     # ------------------------------------------------------------------
     def translate(self, tid: int, addr: int) -> ShadowRegion:
         """App address -> region, charging the appropriate cache level."""
+        page = addr >> 12
+        memo = self._page_memo.get(tid)
+        if memo is not None and memo[0] == page:
+            self.inline_hits += 1
+            if self.counter is not None:
+                self.counter.charge("umbra", costs.UMBRA_TRANSLATE_INLINE)
+            return memo[1]
         region = self._inline_cache.get(tid)
         if region is not None and region.contains(addr):
             self.inline_hits += 1
             if self.counter is not None:
                 self.counter.charge("umbra", costs.UMBRA_TRANSLATE_INLINE)
+            self._refresh_page_memo(tid, page, region)
             return region
         region = self.region_for(addr)
         if region is None:
@@ -136,7 +151,17 @@ class ShadowMemory:
                 self.tracer.instant("umbra_full_lookup", "umbra", tid=tid,
                                     app_start=region.app_start)
         self._inline_cache[tid] = region
+        self._refresh_page_memo(tid, page, region)
         return region
+
+    def _refresh_page_memo(self, tid: int, page: int, region: ShadowRegion):
+        if (region.app_start <= (page << 12)
+                and ((page + 1) << 12) <= region.app_end):
+            self._page_memo[tid] = (page, region)
+        else:
+            # Page straddles a region boundary: a page match would not
+            # prove containment, so drop the memo entirely.
+            self._page_memo.pop(tid, None)
 
     # ------------------------------------------------------------------
     def block_id(self, addr: int) -> int:

@@ -1,0 +1,379 @@
+"""The block-compiled tier must be observationally identical to the
+interpreter tier.
+
+Three layers of evidence:
+
+* differential runs over every bundled workload (plain, under chaos
+  injection, and with tracing/metrics on) comparing the full simulated
+  surface — cycles, run stats, per-category breakdown, attribution,
+  detector profile, hypervisor stats, chaos payload and race reports;
+* seeded Hypothesis fuzzing over generated multithreaded programs;
+* unit tests that every invalidation event (re-JIT, full flush, chaos
+  cache flush, residency-overhead change) drops the stale closure, and
+  that the TLB's translation micro-caches track its entry table through
+  fill/invalidate/flush/eviction.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import costs
+from repro.chaos.invariants import InvariantMonitor
+from repro.chaos.plan import ChaosPlan
+from repro.core.config import AikidoConfig
+from repro.dbr.engine import DBREngine
+from repro.errors import InvariantViolationError, ReproError
+from repro.guestos.kernel import Kernel
+from repro.harness.runner import build_aikido_system, run_mode
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SIZE
+from repro.machine.tlb import TLB
+from repro.workloads.parsec import benchmark_names, build_benchmark
+
+PARITY_FIELDS = ("cycles", "run_stats", "cycle_breakdown", "aikido_stats",
+                 "hypervisor_stats", "detector_profile", "chaos",
+                 "cycle_attribution")
+
+
+def surface(result):
+    """Everything the tiers must agree on, as one comparable value."""
+    fields = {name: getattr(result, name) for name in PARITY_FIELDS}
+    fields["races"] = [r.describe() for r in result.races]
+    return fields
+
+
+def run_both_tiers(program_factory, mode="aikido-fasttrack", **kwargs):
+    """Run compiled and interpreter tiers; either both results or both
+    exceptions (hostile chaos runs may legitimately raise)."""
+    outcomes = []
+    for compile_blocks in (True, False):
+        tier_kwargs = dict(kwargs)
+        if mode == "aikido-fasttrack":
+            config = tier_kwargs.pop("config", None) or AikidoConfig()
+            config.compile_blocks = compile_blocks
+            tier_kwargs["config"] = config
+        else:
+            tier_kwargs["compile_blocks"] = compile_blocks
+        try:
+            outcomes.append(
+                ("ok", surface(run_mode(program_factory(), mode,
+                                        **tier_kwargs))))
+        except ReproError as exc:
+            outcomes.append(("raised", type(exc).__name__, str(exc)))
+    return outcomes
+
+
+class TestWorkloadParity:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_plain_run_bit_identical(self, name):
+        compiled, interp = run_both_tiers(
+            lambda: build_benchmark(name, threads=2, scale=0.05),
+            seed=2, quantum=100)
+        assert compiled == interp
+
+    @pytest.mark.parametrize("name", ["freqmine", "canneal", "vips"])
+    def test_chaos_recovery_run_bit_identical(self, name):
+        def config():
+            return AikidoConfig(
+                chaos=ChaosPlan.recovery(seed=11, intensity=0.3),
+                check_invariants=True)
+
+        compiled, interp = run_both_tiers(
+            lambda: build_benchmark(name, threads=2, scale=0.05),
+            seed=2, quantum=100, config=config())
+        assert compiled[0] == "ok", compiled
+        assert compiled == interp
+
+    @pytest.mark.parametrize("name", ["blackscholes", "streamcluster"])
+    def test_hostile_chaos_run_bit_identical(self, name):
+        compiled, interp = run_both_tiers(
+            lambda: build_benchmark(name, threads=2, scale=0.05),
+            seed=2, quantum=100,
+            config=AikidoConfig(
+                chaos=ChaosPlan.hostile(seed=13, intensity=0.2)))
+        assert compiled == interp
+
+    @pytest.mark.parametrize("name", ["bodytrack", "x264"])
+    def test_traced_run_bit_identical(self, name):
+        compiled, interp = run_both_tiers(
+            lambda: build_benchmark(name, threads=2, scale=0.05),
+            seed=2, quantum=100,
+            config=AikidoConfig(trace=True, metrics_cadence=25))
+        assert compiled == interp
+
+    @pytest.mark.parametrize("name", ["canneal", "raytrace"])
+    def test_fasttrack_mode_bit_identical(self, name):
+        compiled, interp = run_both_tiers(
+            lambda: build_benchmark(name, threads=2, scale=0.05),
+            mode="fasttrack", seed=2, quantum=100)
+        assert compiled == interp
+
+
+# ----------------------------------------------------------------------
+# seeded fuzzing over generated programs
+# ----------------------------------------------------------------------
+statement = st.one_of(
+    st.tuples(st.just("priv_load"), st.integers(0, 63)),
+    st.tuples(st.just("priv_store"), st.integers(0, 63)),
+    st.tuples(st.just("shared_load"), st.integers(0, 63)),
+    st.tuples(st.just("shared_store"), st.integers(0, 63)),
+    st.tuples(st.just("atomic"), st.integers(0, 7)),
+    st.tuples(st.just("alu"), st.integers(0, 100)),
+    st.tuples(st.just("branchy"), st.integers(1, 7)),
+)
+
+
+def _build(n_workers, body, loop_count):
+    b = ProgramBuilder("parity-fuzz")
+    priv = b.segment("priv", PAGE_SIZE * 4)
+    shared = b.segment("shared", PAGE_SIZE)
+    b.label("main")
+    for i in range(n_workers):
+        b.li(3, i + 1)
+        b.spawn(5 + i, "child", arg_reg=3)
+    for i in range(n_workers):
+        b.join(5 + i)
+    b.halt()
+    b.label("child")
+    b.li(4, PAGE_SIZE)
+    b.mul(2, 1, 4)
+    b.add(2, 2, imm=priv)
+    b.li(6, shared)
+    with b.loop(12, loop_count):
+        for k, (op, val) in enumerate(body):
+            if op == "priv_load":
+                b.load(7, base=2, disp=val * 8)
+            elif op == "priv_store":
+                b.store(7, base=2, disp=val * 8)
+            elif op == "shared_load":
+                b.load(8, base=6, disp=val * 8)
+            elif op == "shared_store":
+                b.store(8, base=6, disp=val * 8)
+            elif op == "atomic":
+                b.atomic_add(9, 8, base=6, disp=val * 8)
+            elif op == "alu":
+                b.add(11, 11, imm=val)
+                b.xor(11, 11, imm=0x55)
+                b.shl(13, 11, imm=1)
+            elif op == "branchy":
+                skip = b.fresh_label(f"skip{k}")
+                b.and_(14, 12, imm=val)
+                b.bz(14, skip)
+                b.sub(11, 11, imm=1)
+                b.label(skip)
+    b.halt()
+    return b.build()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 3), st.lists(statement, min_size=1, max_size=10),
+       st.integers(1, 4), st.integers(0, 3))
+def test_fuzzed_programs_fasttrack_parity(n_workers, body, loop_count,
+                                          seed):
+    try:
+        _build(n_workers, body, loop_count)
+    except ReproError:
+        return  # clean validation failure is acceptable
+    compiled, interp = run_both_tiers(
+        lambda: _build(n_workers, body, loop_count), mode="fasttrack",
+        seed=seed, quantum=120, max_instructions=200_000)
+    assert compiled == interp
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 2), st.lists(statement, min_size=1, max_size=8),
+       st.integers(1, 3), st.integers(0, 2))
+def test_fuzzed_programs_aikido_parity(n_workers, body, loop_count, seed):
+    try:
+        _build(n_workers, body, loop_count)
+    except ReproError:
+        return
+    compiled, interp = run_both_tiers(
+        lambda: _build(n_workers, body, loop_count),
+        seed=seed, quantum=120, max_instructions=200_000)
+    assert compiled == interp
+
+
+# ----------------------------------------------------------------------
+# closure invalidation
+# ----------------------------------------------------------------------
+def _counting_program(iters=10):
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(4, data)
+    with b.loop(counter=2, count=iters):
+        b.load(5, base=4, disp=0)
+        b.add(5, 5, imm=1)
+        b.store(5, base=4, disp=0)
+    b.halt()
+    return b.build()
+
+
+def _engine():
+    kernel = Kernel(seed=0, quantum=100, jitter=0.0)
+    kernel.create_process(_counting_program())
+    engine = DBREngine(kernel)
+    thread = kernel.process.threads[1]
+    return kernel, engine, thread
+
+
+class RecordingTracer:
+    def __init__(self):
+        self.instants = []
+
+    def instant(self, name, category, **attrs):
+        self.instants.append((name, attrs))
+
+    def span(self, name, category, **attrs):
+        import contextlib
+        return contextlib.nullcontext()
+
+
+class TestClosureInvalidation:
+    def test_first_entry_compiles_closure(self):
+        _, engine, thread = _engine()
+        engine.run(thread, budget=1)
+        cached = engine.codecache._blocks[0]
+        assert cached.compiled is not None
+        assert cached.compiled.overhead == costs.DBR_BASE_PER_INSTR
+        assert engine.codecache.closures_compiled == 1
+
+    def test_rejit_drops_closure(self):
+        _, engine, thread = _engine()
+        engine.run(thread, budget=1)  # stay inside block 0
+        uid = engine.codecache._blocks[0].instrs[0].uid
+        dropped_before = engine.codecache.closures_dropped
+        compiled_before = engine.codecache.closures_compiled
+        assert engine.invalidate_instruction(uid) == 1
+        assert engine.codecache.closures_dropped == dropped_before + 1
+        # Re-entry rebuilds and recompiles from program text.
+        engine.run(thread, budget=1)
+        assert engine.codecache._blocks[0].compiled is not None
+        assert engine.codecache.closures_compiled == compiled_before + 1
+
+    def test_invalidate_all_drops_every_closure(self):
+        _, engine, thread = _engine()
+        engine.run(thread, budget=50)  # touches both blocks
+        compiled = sum(1 for c in engine.codecache._blocks.values()
+                       if c.compiled is not None)
+        assert compiled >= 2
+        tracer = RecordingTracer()
+        engine.codecache.tracer = tracer
+        assert engine.codecache.invalidate_all() >= compiled
+        assert engine.codecache.closures_dropped == compiled
+        reasons = {attrs["reason"] for name, attrs in tracer.instants
+                   if name == "closure_invalidate"}
+        assert reasons == {"flush_all"}
+
+    def test_overhead_change_recompiles_closure(self):
+        # The AikidoSD install path: residency overhead changes after
+        # blocks were already compiled, so the baked per-instruction
+        # charge is stale and the block must recompile on next entry.
+        _, engine, thread = _engine()
+        engine.run(thread, budget=1)  # stay inside block 0
+        old = engine.codecache._blocks[0].compiled
+        assert old.overhead == costs.DBR_BASE_PER_INSTR
+        tracer = RecordingTracer()
+        engine.codecache.tracer = tracer
+        engine.overhead_per_instr = costs.AIKIDO_RESIDENCY_PER_INSTR
+        engine.run(thread, budget=3)
+        new = engine.codecache._blocks[0].compiled
+        assert new is not old
+        assert new.overhead == costs.AIKIDO_RESIDENCY_PER_INSTR
+        assert ("closure_invalidate",
+                {"block": 0, "reason": "stale_overhead"}) in tracer.instants
+
+    def test_sharing_fault_rejit_drops_closures_in_full_stack(self):
+        system = build_aikido_system(
+            build_benchmark("canneal", threads=2, scale=0.05),
+            seed=2, quantum=100)
+        system.run()
+        cache = system.engine.codecache
+        assert system.stats.rejit_flushes > 0
+        assert cache.closures_dropped > 0
+        assert cache.closures_compiled > cache.closures_dropped
+
+    def test_chaos_cache_flush_drops_closures(self):
+        system = build_aikido_system(
+            build_benchmark("freqmine", threads=2, scale=0.05),
+            seed=2, quantum=100,
+            config=AikidoConfig(
+                chaos=ChaosPlan.recovery(seed=11, intensity=0.5)))
+        system.run()
+        delivered = system.chaos.as_dict()["delivered"]
+        assert delivered.get("codecache_flush", 0) > 0
+        assert system.engine.codecache.closures_dropped > 0
+
+
+# ----------------------------------------------------------------------
+# translation micro-cache maintenance
+# ----------------------------------------------------------------------
+_RW = 0b111  # present | writable | user
+_RO = 0b101  # present | user
+
+
+class TestTLBFastMaps:
+    def test_fill_populates_by_permission(self):
+        tlb = TLB()
+        tlb.fill(1, 10, _RW)
+        tlb.fill(2, 20, _RO)
+        tlb.fill(3, 30, 0b001)  # kernel-only
+        assert tlb.fast_ro == {1: 10 << 12, 2: 20 << 12}
+        assert tlb.fast_rw == {1: 10 << 12}
+
+    def test_refill_with_downgraded_flags_evicts_fast_entry(self):
+        tlb = TLB()
+        tlb.fill(1, 10, _RW)
+        tlb.fill(1, 10, _RO)  # write permission revoked
+        assert 1 not in tlb.fast_rw
+        assert tlb.fast_ro == {1: 10 << 12}
+        tlb.fill(1, 10, 0b001)
+        assert not tlb.fast_ro and not tlb.fast_rw
+
+    def test_invalidate_drops_fast_entries(self):
+        tlb = TLB()
+        tlb.fill(1, 10, _RW)
+        tlb.invalidate(1)
+        assert 1 not in tlb.fast_ro and 1 not in tlb.fast_rw
+
+    def test_flush_clears_fast_maps(self):
+        tlb = TLB()
+        tlb.fill(1, 10, _RW)
+        tlb.fill(2, 20, _RO)
+        tlb.flush()
+        assert not tlb.fast_ro and not tlb.fast_rw
+
+    def test_fifo_eviction_drops_fast_entries(self):
+        tlb = TLB(capacity=2)
+        tlb.fill(1, 10, _RW)
+        tlb.fill(2, 20, _RW)
+        tlb.fill(3, 30, _RW)  # evicts vpn 1
+        assert 1 not in tlb._entries
+        assert 1 not in tlb.fast_ro and 1 not in tlb.fast_rw
+        assert set(tlb.fast_rw) == {2, 3}
+
+    def test_fast_maps_always_subset_of_entries(self):
+        tlb = TLB(capacity=4)
+        for vpn in range(10):
+            tlb.fill(vpn, vpn + 100, _RW if vpn % 2 else _RO)
+            assert set(tlb.fast_ro) <= set(tlb._entries)
+            assert set(tlb.fast_rw) <= set(tlb.fast_ro)
+
+    def test_monitor_catches_poisoned_fast_map(self):
+        # The soundness net: if an invalidation ever updated _entries
+        # but not the fast maps, the cross-layer monitor must say so.
+        system = build_aikido_system(
+            build_benchmark("blackscholes", threads=2, scale=0.05),
+            seed=2, quantum=100, config=AikidoConfig(check_invariants=True))
+        monitor = system.monitor
+        monitor.check_all()  # consistent on the freshly built stack
+        thread = next(iter(system.kernel.process.live_threads))
+        thread.tlb.fast_rw[0xdead] = 0xbeef << 12
+        with pytest.raises(InvariantViolationError, match="no backing"):
+            monitor.check_all()
+        del thread.tlb.fast_rw[0xdead]
+        system.run()  # the poisoned map must not leak into the real run
+        monitor.check_all()
