@@ -6,7 +6,9 @@ the committed ``BENCH_simulator.json`` trajectory: the geomean over
 workloads of ``current / baseline`` instrs/sec must not fall more than
 ``--threshold`` (default 15%) below 1.0.
 
-Exit codes: 0 = within budget, 2 = regression (or broken documents).
+Exit codes: 0 = within budget, 2 = genuine throughput regression (or a
+failure while re-measuring), 4 = missing/corrupt/incomparable bench
+document — a CI consumer must not read exit 4 as a performance problem.
 
     python scripts/bench_gate.py                  # re-measure and gate
     python scripts/bench_gate.py --current X.json # gate a saved document
@@ -31,6 +33,12 @@ from repro.harness.bench import (  # noqa: E402
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / \
     "BENCH_simulator.json"
 
+#: Compiled-tier throughput fell below the floor.
+EXIT_REGRESSION = 2
+#: A bench document is missing, corrupt, or incomparable — not a
+#: performance verdict at all.
+EXIT_BAD_DOCUMENT = 4
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -49,9 +57,15 @@ def main(argv=None) -> int:
 
     try:
         baseline = load_bench(args.baseline)
-        if args.current is not None:
-            current = load_bench(args.current)
-        else:
+        current = (load_bench(args.current)
+                   if args.current is not None else None)
+    except HarnessError as exc:
+        print(f"bench gate cannot read documents: {exc}", file=sys.stderr)
+        print(f"(exit {EXIT_BAD_DOCUMENT}: missing or corrupt bench "
+              "document, NOT a throughput regression)", file=sys.stderr)
+        return EXIT_BAD_DOCUMENT
+    try:
+        if current is None:
             params = baseline["params"]
             current = bench_suite(
                 threads=params["threads"], scale=params["scale"],
@@ -62,8 +76,14 @@ def main(argv=None) -> int:
         verdict = compare_bench(baseline, current,
                                 threshold=args.threshold)
     except HarnessError as exc:
+        # Documents that load but cannot be compared (e.g. no common
+        # workloads) are a document problem, not a regression.
+        if "no common workloads" in str(exc):
+            print(f"bench gate cannot compare documents: {exc}",
+                  file=sys.stderr)
+            return EXIT_BAD_DOCUMENT
         print(f"bench gate error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_REGRESSION
 
     for name, ratio in sorted(verdict["ratios"].items()):
         print(f"  {name:<20s} {ratio:6.2f}x vs baseline")
@@ -72,7 +92,7 @@ def main(argv=None) -> int:
     if not verdict["ok"]:
         print(f"bench gate FAIL: geomean throughput ratio {geomean:.3f} "
               f"below the {floor:.2f} floor", file=sys.stderr)
-        return 2
+        return EXIT_REGRESSION
     print(f"bench gate ok: geomean throughput ratio {geomean:.3f} "
           f"(floor {floor:.2f})")
     return 0

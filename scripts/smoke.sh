@@ -114,6 +114,41 @@ EOF
 python scripts/bench_gate.py --baseline "$BENCH_OUT" \
     --current "$BENCH_OUT" > /dev/null
 
+# Fuzz smoke: a fixed-seed differential campaign over generated
+# scenarios must complete with zero oracle disagreements (exit 0; a
+# disagreement exits 3). Then the resumability contract: kill a
+# journaled campaign mid-flight and the --resume rerun must replay
+# every journaled verdict without re-simulating it.
+FUZZ_JOURNAL="$AIKIDO_CACHE_DIR/smoke-fuzz.jsonl"
+python -m repro.harness.cli fuzz --seed 1 --count 30 --quick
+python -m repro.harness.cli fuzz --seed 100 --count 30 --quick \
+    --journal "$FUZZ_JOURNAL" --no-cache 2> /dev/null &
+FUZZ_PID=$!
+until [ -s "$FUZZ_JOURNAL" ]; do sleep 0.05; done
+kill -9 "$FUZZ_PID" 2> /dev/null || true
+wait "$FUZZ_PID" 2> /dev/null || true
+JOURNALED=$(wc -l < "$FUZZ_JOURNAL")
+echo "fuzz smoke: killed campaign after $JOURNALED journaled verdict(s)"
+RESUME_STATS=$(python -m repro.harness.cli fuzz --seed 100 --count 30 \
+    --quick --journal "$FUZZ_JOURNAL" --resume --no-cache \
+    2>&1 > /dev/null | tail -1)
+echo "fuzz smoke: $RESUME_STATS"
+python - "$JOURNALED" "$RESUME_STATS" <<'EOF'
+import re
+import sys
+
+journaled = int(sys.argv[1])
+stats = sys.argv[2]
+simulated = int(re.search(r"(\d+) simulated", stats).group(1))
+replayed = int(re.search(r"(\d+) replayed from journal", stats).group(1))
+assert replayed >= journaled, \
+    f"resume replayed {replayed} < {journaled} journaled before the kill"
+assert simulated == 30 - replayed, \
+    f"resume re-simulated journaled runs: {stats}"
+print(f"fuzz smoke ok: resume replayed {replayed}, "
+      f"simulated only the remaining {simulated}")
+EOF
+
 # Tier-parity smoke: the block-compiled tier (the default) and the
 # interpreter reference must report bit-identical simulated results.
 python - <<'EOF'

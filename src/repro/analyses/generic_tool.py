@@ -21,12 +21,14 @@ from __future__ import annotations
 from repro.core.analysis import SharedDataAnalysis
 from repro.dbr.codecache import CachedBlock
 from repro.dbr.tool import Tool
+from repro.errors import ToolError
 from repro.events import (
     AcquireEvent,
     BarrierEvent,
     ForkEvent,
     JoinEvent,
     ReleaseEvent,
+    ThreadExitEvent,
 )
 from repro.umbra.shadow import ShadowMemory
 
@@ -54,6 +56,12 @@ def dispatch_sync(detector, event) -> None:
         handler = getattr(detector, "on_barrier", None)
         if handler:
             handler(event.tids)
+    elif cls is ThreadExitEvent:
+        pass  # join carries the happens-before edge
+    else:
+        raise ToolError(
+            f"dispatch_sync: unrecognized sync event {cls.__name__}; "
+            f"dropping it would silently desynchronize the detector")
 
 
 class FullInstrumentationTool(Tool):

@@ -20,12 +20,14 @@ from __future__ import annotations
 from typing import Callable, List, Tuple
 
 from repro.core.analysis import SharedDataAnalysis
+from repro.errors import ToolError
 from repro.events import (
     AcquireEvent,
     BarrierEvent,
     ForkEvent,
     JoinEvent,
     ReleaseEvent,
+    ThreadExitEvent,
 )
 
 TraceEntry = Tuple
@@ -57,6 +59,16 @@ class TraceRecorder(SharedDataAnalysis):
         elif cls is BarrierEvent:
             self.trace.append(("barrier", event.barrier_id,
                                tuple(event.tids)))
+        elif cls is ThreadExitEvent:
+            # Deliberately not recorded: JOIN carries the happens-before
+            # edge, so replay needs no exit entry (the live detectors
+            # make the same call).
+            pass
+        else:
+            raise ToolError(
+                f"trace-recorder: unrecognized sync event "
+                f"{cls.__name__}; dropping it would make the recorded "
+                f"trace silently diverge from the live run")
 
     # ------------------------------------------------------------------
     @property

@@ -65,6 +65,11 @@ class ChaosInjector:
         """Install this injector on every layer of one stack."""
         self.counter = kernel.counter
         kernel.chaos = self
+        # The scheduler draws chaos preemptions from the injector's
+        # dedicated stream; binding it here (rather than passing an RNG
+        # per rotation) keeps the schedule a pure function of
+        # (scheduler seed, chaos seed).
+        kernel.scheduler.bind_chaos_rng(self.rng("preempt"))
         if engine is not None:
             engine.chaos = self
         if hypervisor is not None:
@@ -101,8 +106,17 @@ class ChaosInjector:
         return True
 
     def rng(self, point: str) -> random.Random:
-        """The point's dedicated stream (for choosing *what* to corrupt)."""
-        return self._rngs[point]
+        """The point's dedicated stream (for choosing *what* to corrupt).
+
+        Streams exist eagerly for every point in the plan and are
+        created on demand for points the plan omits (a plan without
+        ``preempt`` still binds a deterministic scheduler stream).
+        """
+        rng = self._rngs.get(point)
+        if rng is None:
+            rng = self._rngs[point] = random.Random(
+                f"{self.plan.seed}:{point}")
+        return rng
 
     def note_recovered(self, point: str) -> None:
         """Record that the stack absorbed one delivered injection."""

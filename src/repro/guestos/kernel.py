@@ -301,7 +301,7 @@ class Kernel:
     def _chaos_preempt(self, chaos) -> None:
         """Adversarial preemption: yield now, resume somewhere hostile."""
         self._yield_requested = True
-        self.scheduler.chaos_rotate(chaos.rng("preempt"))
+        self.scheduler.chaos_rotate()
         chaos.note_recovered("preempt")
 
     # ------------------------------------------------------------------

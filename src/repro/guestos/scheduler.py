@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+from repro.errors import GuestOSError
 from repro.guestos.process import Thread
 
 
@@ -26,9 +27,17 @@ class Scheduler:
 
     def __init__(self, seed: int = 0, quantum: int = 200,
                  jitter: float = 0.1):
+        if not isinstance(seed, int):
+            # random.Random(None) would seed from OS entropy: the
+            # schedule could never be replayed from the recorded seed —
+            # exactly the silent divergence the oracle checks for.
+            raise GuestOSError(
+                f"scheduler seed must be an int, got {seed!r}; an "
+                f"unseeded schedule cannot be replayed")
         self.quantum = quantum
         self.jitter = jitter
         self._rng = random.Random(seed)
+        self._chaos_rng: Optional[random.Random] = None
         self._ring: List[Thread] = []
         self._cursor = 0
         #: Adversarial cursor rotations performed by the chaos injector.
@@ -70,16 +79,32 @@ class Scheduler:
                 return thread
         return None
 
-    def chaos_rotate(self, rng: random.Random) -> None:
+    def bind_chaos_rng(self, rng: random.Random) -> None:
+        """Bind the chaos injector's dedicated preemption stream.
+
+        Called once by :meth:`ChaosInjector.attach`. Keeping the stream
+        bound (instead of letting each call site pass any RNG) means a
+        schedule is a pure function of ``(scheduler seed, chaos seed)``:
+        there is no third path that could feed the rotation a different
+        stream — or, worse, ``self._rng`` itself, which would perturb
+        the jitter sequence and break seed-for-seed replay.
+        """
+        self._chaos_rng = rng
+
+    def chaos_rotate(self) -> None:
         """Adversarially re-aim the cursor (chaos preemption).
 
-        Draws from the *injector's* dedicated stream, never from
-        ``self._rng`` — the scheduler's own jitter sequence must stay
-        identical whether or not chaos is enabled.
+        Draws from the injector's bound stream, never from ``self._rng``
+        — the scheduler's own jitter sequence must stay identical
+        whether or not chaos is enabled.
         """
+        if self._chaos_rng is None:
+            raise GuestOSError(
+                "chaos_rotate without a bound chaos stream; call "
+                "bind_chaos_rng (ChaosInjector.attach does) first")
         self.chaos_preemptions += 1
         if self._ring:
-            self._cursor = rng.randrange(len(self._ring))
+            self._cursor = self._chaos_rng.randrange(len(self._ring))
 
     @property
     def registered_count(self) -> int:

@@ -15,6 +15,8 @@ Usage (installed as ``aikido-repro`` or ``python -m repro.harness.cli``)::
     aikido-repro trace --benchmark vips     # Chrome trace + attribution
     aikido-repro bench            # wall-clock tier bench (BENCH_simulator.json)
     aikido-repro bench --quick    # small/fast bench (schema smoke)
+    aikido-repro fuzz --seed 1 --count 200 --quick  # differential fuzz
+    aikido-repro fuzz --seed 1 --count 500 --journal f.jsonl --resume
     aikido-repro all              # everything, one suite run
     aikido-repro all --static-prepass  # suite with seeded discovery
     aikido-repro all --scale 0.5  # faster, smaller run
@@ -70,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("fig5", "fig6", "table1", "table2",
                                  "races", "profile", "breakdown", "instr",
                                  "prepass", "chaos", "trace", "bench",
-                                 "lint", "all"))
+                                 "fuzz", "lint", "all"))
     parser.add_argument("--benchmark", default=None,
                         help="restrict 'profile'/'lint'/'trace' to one "
                              "benchmark")
@@ -133,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--resume", action="store_true",
                         help="replay finished jobs from --journal instead "
                              "of re-simulating them")
+    parser.add_argument("--count", type=int, default=100, metavar="N",
+                        help="scenarios per 'fuzz' campaign (seeds "
+                             "--seed .. --seed+N-1)")
+    parser.add_argument("--corpus-dir", metavar="DIR", default=None,
+                        help="archive failing fuzz scenarios (verdict + "
+                             "minimized repro) as JSON under this "
+                             "directory")
     return parser
 
 
@@ -143,6 +152,8 @@ def main(argv=None) -> int:
         parser.error(f"--jobs must be >= 0 (0 = auto), got {args.jobs}")
     if args.resume and not args.journal:
         parser.error("--resume requires --journal PATH")
+    if args.count < 1:
+        parser.error(f"--count must be >= 1, got {args.count}")
     try:
         return _run(args)
     except SuiteFailureError as exc:
@@ -234,10 +245,31 @@ def _bench_artifact(args) -> list:
     return [render_bench(doc), f"(bench json written to {path})"]
 
 
+def _fuzz_artifact(args, started: float) -> int:
+    """Seeded differential fuzz campaign over generated scenarios."""
+    from repro.scengen import render_campaign, run_campaign
+
+    cache = None if args.no_cache else ResultCache()
+    journal = (RunJournal(args.journal, resume=args.resume)
+               if args.journal else None)
+    result = run_campaign(
+        args.seed, args.count, quick=args.quick, journal=journal,
+        cache=cache, corpus_dir=args.corpus_dir,
+        progress=lambda message: print(message, file=sys.stderr))
+    print(render_campaign(result))
+    if args.corpus_dir and result.disagreements:
+        print(f"(failing scenarios archived under {args.corpus_dir})")
+    print(f"[{time.monotonic() - started:.1f}s; {result.stats_line()}]",
+          file=sys.stderr)
+    return 3 if result.disagreements else 0
+
+
 def _run(args) -> int:
     started = time.monotonic()
     if args.artifact == "lint":
         return _lint_workloads(args.threads, args.benchmark)
+    if args.artifact == "fuzz":
+        return _fuzz_artifact(args, started)
     pieces = []
     cache = None if args.no_cache else ResultCache()
     journal = (RunJournal(args.journal, resume=args.resume)

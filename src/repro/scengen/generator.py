@@ -1,0 +1,128 @@
+"""Seeded scenario generation from configurable distributions.
+
+``generate(seed, config)`` is a pure function: the same (seed, config)
+pair always yields the same :class:`~repro.scengen.scenario.ScenarioIR`,
+so a campaign is fully described by its base seed and count, and any
+scenario can be regenerated from its seed alone — the property that
+makes the fuzz corpus replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+from repro.scengen.scenario import MAX_THREADS, ScenarioIR, WorkerSpec
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Distribution knobs for scenario composition.
+
+    The weights are probabilities per draw, not exact fractions — a
+    particular scenario may contain none or many of an idiom; the
+    distribution only holds in aggregate across a campaign.
+    """
+
+    #: Plain workers per scenario (1..max); producer/consumer pairs ride
+    #: on top, capped so the total stays within MAX_THREADS.
+    max_workers: int = 3
+    #: Ops per worker (1..max).
+    max_ops: int = 8
+    #: Scenario-wide loop count (1..max).
+    max_loop: int = 6
+    #: Probability an access op targets the shared page (vs private).
+    sharing_ratio: float = 0.45
+    #: Probability an op is a lock-guarded critical section.
+    locked_weight: float = 0.2
+    #: Probability a shared access is a lock-free atomic increment.
+    atomic_weight: float = 0.25
+    #: Probability the scenario barrier-syncs each loop iteration.
+    barrier_rate: float = 0.25
+    #: Probability the scenario carries a producer/consumer pair.
+    prodcons_rate: float = 0.3
+    #: Probability an access op targets a freshly-mmap'd region.
+    churn_rate: float = 0.15
+    #: Probability of a self-modifying-code cadence (periodic re-JIT).
+    smc_rate: float = 0.2
+    #: Probability the scenario runs under a recovery chaos plan
+    #: (fault-proneness).
+    chaos_rate: float = 0.25
+    chaos_intensity: float = 0.2
+
+    def canonical(self) -> Dict:
+        """JSON-able form, folded into campaign cache keys."""
+        return asdict(self)
+
+
+DEFAULT_CONFIG = GeneratorConfig()
+
+#: Smaller programs for --quick campaigns and Hypothesis strategies.
+QUICK_CONFIG = GeneratorConfig(max_workers=3, max_ops=6, max_loop=4)
+
+
+def _draw_plain_op(rng: random.Random, config: GeneratorConfig):
+    roll = rng.random()
+    if roll < 0.25:
+        return ("alu", rng.randrange(0, 101))
+    if roll < 0.4:
+        return ("branchy", rng.randrange(1, 8))
+    if rng.random() < config.churn_rate:
+        kind = "churn_store" if rng.random() < 0.5 else "churn_load"
+        return (kind, rng.randrange(0, 64))
+    if rng.random() < config.sharing_ratio:
+        if rng.random() < config.atomic_weight:
+            return ("atomic", rng.randrange(0, 8))
+        kind = "shared_store" if rng.random() < 0.5 else "shared_load"
+        return (kind, rng.randrange(0, 64))
+    kind = "priv_store" if rng.random() < 0.5 else "priv_load"
+    return (kind, rng.randrange(0, 64))
+
+
+def _draw_op(rng: random.Random, config: GeneratorConfig):
+    if rng.random() < config.locked_weight:
+        inner = tuple(_draw_plain_op(rng, config)
+                      for _ in range(rng.randint(1, 3)))
+        return ("locked", rng.randint(1, 3), inner)
+    return _draw_plain_op(rng, config)
+
+
+def generate(seed: int,
+             config: Optional[GeneratorConfig] = None) -> ScenarioIR:
+    """Compose one scenario from the configured distributions."""
+    config = config or DEFAULT_CONFIG
+    rng = random.Random(f"scengen:{seed}")
+    n_workers = rng.randint(1, config.max_workers)
+    workers = tuple(
+        WorkerSpec(tuple(_draw_op(rng, config)
+                         for _ in range(rng.randint(1, config.max_ops))))
+        for _ in range(n_workers))
+    loop_count = rng.randint(1, config.max_loop)
+    barrier = n_workers >= 2 and rng.random() < config.barrier_rate
+    pc_pairs = 0
+    pc_items = 0
+    if (n_workers + 2 <= MAX_THREADS
+            and rng.random() < config.prodcons_rate):
+        pc_pairs = 1
+        pc_items = rng.randint(1, 4)
+    smc_period = (rng.choice((2, 3, 5))
+                  if rng.random() < config.smc_rate else 0)
+    chaos_seed = None
+    chaos_intensity = 0.0
+    if rng.random() < config.chaos_rate:
+        chaos_seed = rng.randrange(1, 1 << 16)
+        chaos_intensity = config.chaos_intensity
+    return ScenarioIR(
+        seed=seed,
+        workers=workers,
+        loop_count=loop_count,
+        pc_pairs=pc_pairs,
+        pc_items=pc_items,
+        barrier=barrier,
+        smc_period=smc_period,
+        sched_seed=rng.randrange(0, 10_000),
+        chaos_seed=chaos_seed,
+        chaos_intensity=chaos_intensity,
+        quantum=rng.choice((40, 80, 120)),
+        jitter=rng.choice((0.0, 0.1)))

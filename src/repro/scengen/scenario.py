@@ -1,0 +1,329 @@
+"""Scenario intermediate representation and its renderer.
+
+A scenario is plain data — a tuple of per-worker op lists plus
+scenario-wide knobs (loop count, producer/consumer pairs, barrier,
+self-modifying-code cadence, chaos seed). Keeping the IR declarative
+buys three things at once:
+
+* the generator composes scenarios from distributions without touching
+  the assembler;
+* the reducer shrinks scenarios structurally (drop a worker, drop an
+  op, simplify a constant) and re-renders, so every candidate is a
+  well-formed program by construction — no unbalanced locks, no
+  mismatched barrier parties;
+* rendering is deterministic, so a scenario JSON round-trips through
+  the campaign journal and replays bit-identically.
+
+Op vocabulary (``(kind, arg)`` tuples, mirroring the retired inline
+Hypothesis strategies of ``tests/dbr/test_compiled_parity.py``):
+
+=================  ====================================================
+``alu``            register arithmetic on the accumulator
+``branchy``        data-dependent forward branch
+``priv_load/store``   access into the worker's private page
+``shared_load/store`` access into the page all workers share
+``atomic``         lock-free fetch-and-add on a shared counter
+``churn_load/store``  access into a region the worker ``mmap``s at
+                   startup (allocation churn)
+``locked``         ``("locked", lock_id, inner_ops)`` — a critical
+                   section; inner ops use the same vocabulary minus
+                   ``locked``
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.guestos import syscalls
+from repro.machine.asm import ProgramBuilder
+from repro.machine.disasm import disassemble
+from repro.machine.paging import PAGE_SIZE
+from repro.machine.program import Program
+
+#: Barrier id used by the scenario-wide barrier idiom.
+BARRIER_ID = 7
+
+#: Upper bound on spawned threads (main's tid registers are r5..r10).
+MAX_THREADS = 6
+
+#: Op kinds legal inside a ``locked`` critical section.
+PLAIN_OP_KINDS = ("alu", "branchy", "priv_load", "priv_store",
+                  "shared_load", "shared_store", "atomic",
+                  "churn_load", "churn_store")
+
+OP_KINDS = PLAIN_OP_KINDS + ("locked",)
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """One plain worker: a tuple of ops executed (maybe in a loop)."""
+
+    ops: Tuple = ()
+
+    def to_dict(self) -> Dict:
+        return {"ops": [_op_to_list(op) for op in self.ops]}
+
+    @staticmethod
+    def from_dict(data: Dict) -> "WorkerSpec":
+        return WorkerSpec(tuple(_op_from_list(op) for op in data["ops"]))
+
+
+def _op_to_list(op) -> List:
+    if op[0] == "locked":
+        return ["locked", op[1], [list(o) for o in op[2]]]
+    return list(op)
+
+
+def _op_from_list(op) -> Tuple:
+    if op[0] == "locked":
+        return ("locked", op[1], tuple(tuple(o) for o in op[2]))
+    return tuple(op)
+
+
+@dataclass(frozen=True)
+class ScenarioIR:
+    """Declarative description of one generated workload."""
+
+    seed: int
+    workers: Tuple[WorkerSpec, ...] = ()
+    loop_count: int = 1
+    pc_pairs: int = 0
+    pc_items: int = 0
+    barrier: bool = False
+    smc_period: int = 0
+    sched_seed: int = 1
+    chaos_seed: Optional[int] = None
+    chaos_intensity: float = 0.0
+    quantum: int = 120
+    jitter: float = 0.1
+
+    @property
+    def thread_count(self) -> int:
+        """Spawned threads (main not counted)."""
+        return len(self.workers) + 2 * self.pc_pairs
+
+    def to_dict(self) -> Dict:
+        data = asdict(self)
+        data["workers"] = [w.to_dict() for w in self.workers]
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict) -> "ScenarioIR":
+        data = dict(data)
+        data["workers"] = tuple(WorkerSpec.from_dict(w)
+                                for w in data["workers"])
+        return ScenarioIR(**data)
+
+
+@dataclass
+class RenderInfo:
+    """Renderer byproducts the oracle needs."""
+
+    #: First-emitted instruction uid per plain worker — the rejit
+    #: targets of self-modifying-code scenarios.
+    smc_uids: Tuple[int, ...] = ()
+    instruction_count: int = 0
+    segments: Dict[str, int] = field(default_factory=dict)
+
+
+def _worker_uses_churn(worker: WorkerSpec) -> bool:
+    for op in worker.ops:
+        inner = op[2] if op[0] == "locked" else (op,)
+        if any(o[0].startswith("churn") for o in inner):
+            return True
+    return False
+
+
+def _emit_plain_op(b: ProgramBuilder, op) -> None:
+    kind, arg = op[0], op[1]
+    if kind == "alu":
+        b.add(11, 11, imm=arg)
+        b.xor(11, 11, imm=0x55)
+    elif kind == "branchy":
+        skip = b.fresh_label("skip")
+        b.and_(9, 12, imm=max(1, arg))
+        b.bz(9, skip)
+        b.sub(11, 11, imm=1)
+        b.label(skip)
+    elif kind == "priv_load":
+        b.load(7, base=2, disp=(arg % 64) * 8)
+    elif kind == "priv_store":
+        b.store(7, base=2, disp=(arg % 64) * 8)
+    elif kind == "shared_load":
+        b.load(8, base=6, disp=(arg % 64) * 8)
+    elif kind == "shared_store":
+        b.store(8, base=6, disp=(arg % 64) * 8)
+    elif kind == "atomic":
+        b.atomic_add(9, 8, base=6, disp=(arg % 8) * 8)
+    elif kind == "churn_load":
+        b.load(7, base=10, disp=(arg % 64) * 8)
+    elif kind == "churn_store":
+        b.store(7, base=10, disp=(arg % 64) * 8)
+    else:
+        raise WorkloadError(f"scenario op kind {kind!r} unknown")
+
+
+def _emit_op(b: ProgramBuilder, op) -> None:
+    if op[0] == "locked":
+        b.lock(lock_id=op[1])
+        for inner in op[2]:
+            _emit_plain_op(b, inner)
+        b.unlock(lock_id=op[1])
+    else:
+        _emit_plain_op(b, op)
+
+
+def _emit_worker(b: ProgramBuilder, ir: ScenarioIR, index: int,
+                 priv: int, shared: int, first_instrs: List) -> None:
+    worker = ir.workers[index]
+    b.label(f"worker{index}")
+    # r2 = private page for this worker ordinal (r1 holds the arg).
+    first_instrs.append(b.li(4, PAGE_SIZE))
+    b.mul(2, 1, 4)
+    b.add(2, 2, imm=priv)
+    b.li(6, shared)
+    if _worker_uses_churn(worker):
+        b.li(1, PAGE_SIZE)                 # r1 = mmap length
+        b.syscall(syscalls.SYS_MMAP)       # r0 = fresh region
+        b.mov(10, 0)
+    n_plain = len(ir.workers)
+
+    def body():
+        for op in worker.ops:
+            _emit_op(b, op)
+        if ir.barrier:
+            b.barrier(BARRIER_ID, 13)
+
+    if ir.barrier:
+        b.li(13, n_plain)
+    if ir.loop_count > 1:
+        with b.loop(12, ir.loop_count):
+            body()
+    else:
+        b.li(12, index + 1)                # branchy source without a loop
+        body()
+    b.halt()
+
+
+def _emit_pc_pair(b: ProgramBuilder, pair: int, cell: int,
+                  items: int) -> None:
+    """Single-producer/single-consumer rendezvous over one cell.
+
+    Strict alternation through a full-flag plus two condition variables
+    (pthread_cond_wait semantics with a while-loop predicate re-check),
+    so matched item counts can never deadlock. Cell layout: +0 full
+    flag, +8 value, +16 consumer-side sum.
+    """
+    lock = 100 + pair
+    cv_full = 200 + pair
+    cv_empty = 300 + pair
+
+    b.label(f"prod{pair}")
+    b.li(4, cell)
+    with b.loop(2, items):
+        b.lock(lock_id=lock)
+        not_empty = b.fresh_label("notempty")
+        b.label(not_empty)
+        b.load(6, base=4, disp=0)
+        deposit = b.fresh_label("deposit")
+        b.bz(6, deposit)
+        b.wait(cv_empty, lock_id=lock)
+        b.jmp(not_empty)
+        b.label(deposit)
+        b.add(7, 2, imm=100)               # value = 100 + iteration
+        b.store(7, base=4, disp=8)
+        b.li(6, 1)
+        b.store(6, base=4, disp=0)         # full = 1
+        b.notify(cv_full)
+        b.unlock(lock_id=lock)
+    b.halt()
+
+    b.label(f"cons{pair}")
+    b.li(4, cell)
+    with b.loop(2, items):
+        b.lock(lock_id=lock)
+        not_full = b.fresh_label("notfull")
+        b.label(not_full)
+        b.load(6, base=4, disp=0)
+        have = b.fresh_label("have")
+        b.bnz(6, have)
+        b.wait(cv_full, lock_id=lock)
+        b.jmp(not_full)
+        b.label(have)
+        b.load(7, base=4, disp=8)          # value
+        b.li(6, 0)
+        b.store(6, base=4, disp=0)         # full = 0
+        b.notify(cv_empty)
+        b.load(8, base=4, disp=16)
+        b.add(8, 8, 7)
+        b.store(8, base=4, disp=16)        # sum += value
+        b.unlock(lock_id=lock)
+    b.halt()
+
+
+def render(ir: ScenarioIR) -> Tuple[Program, RenderInfo]:
+    """Assemble the scenario into a finalized program.
+
+    Rendering is a pure function of the IR — two calls produce
+    byte-identical programs with identical instruction uids, which is
+    what lets the oracle target self-modifying-code invalidations at
+    uids recorded from a *different* build of the same IR.
+    """
+    if ir.thread_count > MAX_THREADS:
+        raise WorkloadError(
+            f"scenario spawns {ir.thread_count} threads; "
+            f"main tracks at most {MAX_THREADS}")
+    if ir.pc_pairs > 0 and ir.pc_items < 1:
+        raise WorkloadError("producer/consumer pairs need pc_items >= 1")
+    b = ProgramBuilder(f"scen-{ir.seed}")
+    priv = b.segment("priv", PAGE_SIZE * (MAX_THREADS + 2))
+    shared = b.segment("shared", PAGE_SIZE)
+    cells = [b.segment(f"cell{p}", 64) for p in range(ir.pc_pairs)]
+
+    b.label("main")
+    tid_slot = 0
+    for i in range(len(ir.workers)):
+        b.li(3, i + 1)
+        b.spawn(5 + tid_slot, f"worker{i}", arg_reg=3)
+        tid_slot += 1
+    for p in range(ir.pc_pairs):
+        for entry in (f"prod{p}", f"cons{p}"):
+            b.li(3, len(ir.workers) + tid_slot + 1)
+            b.spawn(5 + tid_slot, entry, arg_reg=3)
+            tid_slot += 1
+    for slot in range(tid_slot):
+        b.join(5 + slot)
+    b.halt()
+
+    first_instrs: List = []
+    for i in range(len(ir.workers)):
+        _emit_worker(b, ir, i, priv, shared, first_instrs)
+    for p in range(ir.pc_pairs):
+        _emit_pc_pair(b, p, cells[p], ir.pc_items)
+
+    program = b.build()
+    info = RenderInfo(
+        smc_uids=tuple(instr.uid for instr in first_instrs),
+        instruction_count=sum(1 for _ in program.iter_instructions()),
+        segments={"priv": priv, "shared": shared,
+                  **{f"cell{p}": cells[p] for p in range(ir.pc_pairs)}})
+    return program, info
+
+
+def instruction_count(ir: ScenarioIR) -> int:
+    """Rendered size of a scenario, in static instructions."""
+    return render(ir)[1].instruction_count
+
+
+def describe(ir: ScenarioIR) -> str:
+    """Human-readable dump: the IR summary plus full disassembly."""
+    program, info = render(ir)
+    head = (f"scenario seed={ir.seed}: {len(ir.workers)} worker(s), "
+            f"{ir.pc_pairs} producer/consumer pair(s), "
+            f"loop={ir.loop_count}, barrier={ir.barrier}, "
+            f"smc_period={ir.smc_period}, chaos_seed={ir.chaos_seed}, "
+            f"{info.instruction_count} instructions")
+    return head + "\n" + disassemble(program)

@@ -6,6 +6,8 @@ from repro.analyses.atomicity import AVIOChecker
 from repro.analyses.eraser import EraserDetector
 from repro.analyses.fasttrack.detector import FastTrackDetector
 from repro.analyses.record import TraceRecorder, replay, replay_into
+from repro.errors import ToolError
+from repro.events import SyncEvent, ThreadExitEvent
 from repro.core.system import AikidoSystem
 from repro.harness.runner import run_aikido_fasttrack
 from repro.workloads import micro
@@ -124,3 +126,42 @@ class TestFullTraceRecorder:
         kernel.run()
         detector = replay_into(full.trace, FastTrackDetector)
         assert detector.races
+
+
+class TestUnrecognizedSyncEvents:
+    """Regression: unknown sync events must fail loudly, not vanish.
+
+    ``on_sync_event`` used to fall through silently for any event class
+    it did not recognize — the recorded trace would diverge from the
+    live run with no signal at all, poisoning every offline replay.
+    """
+
+    class NovelEvent(SyncEvent):
+        __slots__ = ("tid",)
+
+        def __init__(self, tid):
+            self.tid = tid
+
+    def test_recorder_rejects_unknown_event(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ToolError, match="unrecognized sync event"):
+            recorder.on_sync_event(self.NovelEvent(1))
+        assert recorder.trace == []  # nothing half-recorded
+
+    def test_recorder_tolerates_thread_exit(self):
+        # JOIN carries the happens-before edge; EXIT is deliberately
+        # (and now explicitly) not recorded.
+        recorder = TraceRecorder()
+        recorder.on_sync_event(ThreadExitEvent(3))
+        assert recorder.trace == []
+
+    def test_dispatch_sync_rejects_unknown_event(self):
+        from repro.analyses.generic_tool import dispatch_sync
+
+        with pytest.raises(ToolError, match="unrecognized sync event"):
+            dispatch_sync(FastTrackDetector(), self.NovelEvent(1))
+
+    def test_dispatch_sync_tolerates_thread_exit(self):
+        from repro.analyses.generic_tool import dispatch_sync
+
+        dispatch_sync(FastTrackDetector(), ThreadExitEvent(3))

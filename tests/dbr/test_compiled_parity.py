@@ -7,7 +7,9 @@ Three layers of evidence:
   injection, and with tracing/metrics on) comparing the full simulated
   surface — cycles, run stats, per-category breakdown, attribution,
   detector profile, hypervisor stats, chaos payload and race reports;
-* seeded Hypothesis fuzzing over generated multithreaded programs;
+* seeded Hypothesis fuzzing over generated multithreaded programs,
+  drawing scenarios from the shared ``repro.scengen`` generator (the
+  same distributions ``aikido-repro fuzz`` campaigns use);
 * unit tests that every invalidation event (re-JIT, full flush, chaos
   cache flush, residency-overhead change) drops the stale closure, and
   that the TLB's translation micro-caches track its entry table through
@@ -17,7 +19,7 @@ Three layers of evidence:
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro import costs
 from repro.chaos.invariants import InvariantMonitor
@@ -28,8 +30,9 @@ from repro.errors import InvariantViolationError, ReproError
 from repro.guestos.kernel import Kernel
 from repro.harness.runner import build_aikido_system, run_mode
 from repro.machine.asm import ProgramBuilder
-from repro.machine.paging import PAGE_SIZE
 from repro.machine.tlb import TLB
+from repro.scengen.scenario import render
+from repro.scengen.strategies import scenario_irs
 from repro.workloads.parsec import benchmark_names, build_benchmark
 
 PARITY_FIELDS = ("cycles", "run_stats", "cycle_breakdown", "aikido_stats",
@@ -112,87 +115,40 @@ class TestWorkloadParity:
 
 
 # ----------------------------------------------------------------------
-# seeded fuzzing over generated programs
+# seeded fuzzing over generated scenarios (repro.scengen strategies)
 # ----------------------------------------------------------------------
-statement = st.one_of(
-    st.tuples(st.just("priv_load"), st.integers(0, 63)),
-    st.tuples(st.just("priv_store"), st.integers(0, 63)),
-    st.tuples(st.just("shared_load"), st.integers(0, 63)),
-    st.tuples(st.just("shared_store"), st.integers(0, 63)),
-    st.tuples(st.just("atomic"), st.integers(0, 7)),
-    st.tuples(st.just("alu"), st.integers(0, 100)),
-    st.tuples(st.just("branchy"), st.integers(1, 7)),
-)
-
-
-def _build(n_workers, body, loop_count):
-    b = ProgramBuilder("parity-fuzz")
-    priv = b.segment("priv", PAGE_SIZE * 4)
-    shared = b.segment("shared", PAGE_SIZE)
-    b.label("main")
-    for i in range(n_workers):
-        b.li(3, i + 1)
-        b.spawn(5 + i, "child", arg_reg=3)
-    for i in range(n_workers):
-        b.join(5 + i)
-    b.halt()
-    b.label("child")
-    b.li(4, PAGE_SIZE)
-    b.mul(2, 1, 4)
-    b.add(2, 2, imm=priv)
-    b.li(6, shared)
-    with b.loop(12, loop_count):
-        for k, (op, val) in enumerate(body):
-            if op == "priv_load":
-                b.load(7, base=2, disp=val * 8)
-            elif op == "priv_store":
-                b.store(7, base=2, disp=val * 8)
-            elif op == "shared_load":
-                b.load(8, base=6, disp=val * 8)
-            elif op == "shared_store":
-                b.store(8, base=6, disp=val * 8)
-            elif op == "atomic":
-                b.atomic_add(9, 8, base=6, disp=val * 8)
-            elif op == "alu":
-                b.add(11, 11, imm=val)
-                b.xor(11, 11, imm=0x55)
-                b.shl(13, 11, imm=1)
-            elif op == "branchy":
-                skip = b.fresh_label(f"skip{k}")
-                b.and_(14, 12, imm=val)
-                b.bz(14, skip)
-                b.sub(11, 11, imm=1)
-                b.label(skip)
-    b.halt()
-    return b.build()
-
-
 @settings(max_examples=20, deadline=None)
-@given(st.integers(1, 3), st.lists(statement, min_size=1, max_size=10),
-       st.integers(1, 4), st.integers(0, 3))
-def test_fuzzed_programs_fasttrack_parity(n_workers, body, loop_count,
-                                          seed):
-    try:
-        _build(n_workers, body, loop_count)
-    except ReproError:
-        return  # clean validation failure is acceptable
+@given(scenario_irs(chaos=False))
+def test_fuzzed_scenarios_fasttrack_parity(ir):
     compiled, interp = run_both_tiers(
-        lambda: _build(n_workers, body, loop_count), mode="fasttrack",
-        seed=seed, quantum=120, max_instructions=200_000)
+        lambda: render(ir)[0], mode="fasttrack",
+        seed=ir.sched_seed, quantum=ir.quantum, jitter=ir.jitter,
+        max_instructions=300_000)
     assert compiled == interp
 
 
 @settings(max_examples=10, deadline=None)
-@given(st.integers(1, 2), st.lists(statement, min_size=1, max_size=8),
-       st.integers(1, 3), st.integers(0, 2))
-def test_fuzzed_programs_aikido_parity(n_workers, body, loop_count, seed):
-    try:
-        _build(n_workers, body, loop_count)
-    except ReproError:
-        return
+@given(scenario_irs(chaos=False))
+def test_fuzzed_scenarios_aikido_parity(ir):
     compiled, interp = run_both_tiers(
-        lambda: _build(n_workers, body, loop_count),
-        seed=seed, quantum=120, max_instructions=200_000)
+        lambda: render(ir)[0],
+        seed=ir.sched_seed, quantum=ir.quantum, jitter=ir.jitter,
+        max_instructions=300_000)
+    assert compiled == interp
+
+
+@settings(max_examples=8, deadline=None)
+@given(scenario_irs(chaos=True).filter(
+    lambda ir: ir.chaos_seed is not None))
+def test_fuzzed_chaotic_scenarios_aikido_parity(ir):
+    def config():
+        return AikidoConfig(chaos=ChaosPlan.recovery(
+            seed=ir.chaos_seed, intensity=ir.chaos_intensity))
+
+    compiled, interp = run_both_tiers(
+        lambda: render(ir)[0],
+        seed=ir.sched_seed, quantum=ir.quantum, jitter=ir.jitter,
+        max_instructions=300_000, config=config())
     assert compiled == interp
 
 

@@ -1,0 +1,115 @@
+"""Exit-code contract of ``scripts/bench_gate.py``.
+
+A CI consumer keys on the exit code alone, so the distinction matters:
+2 means compiled-tier throughput genuinely regressed, 4 means the gate
+never had two comparable documents in the first place (missing file,
+corrupt JSON, schema violation, disjoint workload sets). The gate used
+to report all of those as 2, burying infrastructure rot under
+"performance regression".
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+GATE = REPO / "scripts" / "bench_gate.py"
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    extra = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + extra if extra else "")
+    return env
+
+
+def _gate(*argv):
+    return subprocess.run(
+        [sys.executable, str(GATE), *argv],
+        capture_output=True, text=True, env=_env(), timeout=120)
+
+
+def _row(name, compiled_rate=4000.0):
+    return {
+        "name": name,
+        "instructions": 10_000,
+        "interp": {"seconds": 10.0, "instrs_per_sec": 1000.0},
+        "compiled": {"seconds": 10_000 / compiled_rate,
+                     "instrs_per_sec": compiled_rate},
+        "speedup": compiled_rate / 1000.0,
+    }
+
+
+def _doc(names=("alpha", "beta"), compiled_rate=4000.0):
+    return {
+        "version": 1,
+        "host": {"platform": "test"},
+        "params": {"threads": 2, "scale": 0.05, "seed": 2,
+                   "quantum": 100, "jitter": 0.0},
+        "workloads": [_row(n, compiled_rate) for n in names],
+        "macro": [],
+        "micro": [],
+        "summary": {"geomean_speedup": compiled_rate / 1000.0,
+                    "workloads_2x": len(names),
+                    "workload_count": len(names)},
+    }
+
+
+def _write(path, doc):
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestExitCodes:
+    def test_missing_baseline_exits_four(self, tmp_path):
+        proc = _gate("--baseline", str(tmp_path / "nope.json"),
+                     "--current", _write(tmp_path / "c.json", _doc()))
+        assert proc.returncode == 4, proc.stderr
+        assert "NOT a throughput regression" in proc.stderr
+
+    def test_corrupt_json_exits_four(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        proc = _gate("--baseline", str(bad),
+                     "--current", _write(tmp_path / "c.json", _doc()))
+        assert proc.returncode == 4, proc.stderr
+
+    def test_schema_violation_exits_four(self, tmp_path):
+        doc = _doc()
+        del doc["summary"]["workload_count"]
+        proc = _gate("--baseline", _write(tmp_path / "b.json", doc),
+                     "--current", _write(tmp_path / "c.json", _doc()))
+        assert proc.returncode == 4, proc.stderr
+
+    def test_disjoint_workloads_exit_four(self, tmp_path):
+        proc = _gate(
+            "--baseline",
+            _write(tmp_path / "b.json", _doc(names=("alpha", "beta"))),
+            "--current",
+            _write(tmp_path / "c.json", _doc(names=("gamma",))))
+        assert proc.returncode == 4, proc.stderr
+        assert "cannot compare" in proc.stderr
+
+    def test_identical_documents_pass(self, tmp_path):
+        path = _write(tmp_path / "b.json", _doc())
+        proc = _gate("--baseline", path, "--current", path)
+        assert proc.returncode == 0, proc.stderr
+        assert "bench gate ok" in proc.stdout
+
+    def test_genuine_regression_exits_two(self, tmp_path):
+        proc = _gate(
+            "--baseline", _write(tmp_path / "b.json", _doc()),
+            "--current",
+            _write(tmp_path / "c.json", _doc(compiled_rate=2000.0)))
+        assert proc.returncode == 2, proc.stderr
+        assert "bench gate FAIL" in proc.stderr
+
+    def test_within_threshold_passes(self, tmp_path):
+        proc = _gate(
+            "--baseline", _write(tmp_path / "b.json", _doc()),
+            "--current",
+            _write(tmp_path / "c.json", _doc(compiled_rate=3600.0)))
+        assert proc.returncode == 0, proc.stderr

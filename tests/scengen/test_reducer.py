@@ -1,0 +1,104 @@
+"""Reducer convergence: termination, determinism, and minimality
+(ISSUE 6 satellite — the reducer convergence suite)."""
+
+from repro.machine.isa import Opcode
+from repro.scengen import (
+    check_scenario,
+    failure_signature,
+    generate,
+    instruction_count,
+    measure,
+    reduce_scenario,
+    render,
+)
+from repro.scengen.reducer import _moves
+from tests.scengen.test_oracle import perturb_compiled_when
+
+
+def _has_atomic(ir):
+    program, _ = render(ir)
+    return any(i.op == Opcode.ATOMIC_ADD
+               for i in program.iter_instructions())
+
+
+def _atomic_seed():
+    return next(s for s in range(1, 200) if _has_atomic(generate(s)))
+
+
+def _bug_predicate():
+    runner = perturb_compiled_when(_has_atomic)
+
+    def predicate(ir):
+        verdict = check_scenario(ir, quick=True, tier_runner=runner)
+        return "tier_parity_fasttrack" in failure_signature(verdict)
+
+    return predicate
+
+
+class TestTermination:
+    def test_every_move_strictly_shrinks_the_measure(self):
+        for seed in range(30):
+            ir = generate(seed)
+            m = measure(ir)
+            for candidate in _moves(ir):
+                assert measure(candidate) < m, (seed, candidate)
+
+    def test_reduction_terminates_even_when_everything_fails(self):
+        # predicate True for every candidate = worst case: the reducer
+        # must walk all the way down and stop at a fixed point with no
+        # move left to accept.
+        result = reduce_scenario(generate(9), lambda ir: True)
+        assert list(_moves(result.minimized)) == []
+        assert result.minimized.workers == ()
+        assert result.minimized.pc_pairs == 0
+
+    def test_reduction_terminates_when_nothing_reproduces(self):
+        ir = generate(9)
+        result = reduce_scenario(ir, lambda candidate: False)
+        assert result.minimized == ir
+        assert result.accepted == 0
+
+
+class TestDeterminism:
+    def test_fixed_seed_reduces_identically(self):
+        predicate = _bug_predicate()
+        ir = generate(_atomic_seed())
+        first = reduce_scenario(ir, predicate)
+        second = reduce_scenario(ir, predicate)
+        assert first.minimized == second.minimized
+        assert first.attempts == second.attempts
+        assert first.accepted == second.accepted
+
+
+class TestMinimality:
+    def test_planted_bug_shrinks_to_small_repro(self):
+        """Acceptance bar: a planted tier-divergence bug must shrink to
+        a repro of at most 15 instructions."""
+        predicate = _bug_predicate()
+        ir = generate(_atomic_seed())
+        assert predicate(ir)  # the original does trip the bug
+        result = reduce_scenario(ir, predicate)
+        assert instruction_count(result.minimized) <= 15
+        assert instruction_count(result.minimized) \
+            < instruction_count(ir)
+
+    def test_minimized_scenario_still_trips_the_same_verdict(self):
+        runner = perturb_compiled_when(_has_atomic)
+        ir = generate(_atomic_seed())
+        original = failure_signature(
+            check_scenario(ir, quick=True, tier_runner=runner))
+
+        def predicate(candidate):
+            sig = failure_signature(check_scenario(
+                candidate, quick=True, tier_runner=runner))
+            return set(original) <= set(sig)
+
+        result = reduce_scenario(ir, predicate)
+        final = failure_signature(check_scenario(
+            result.minimized, quick=True, tier_runner=runner))
+        assert set(original) <= set(final)
+
+    def test_minimized_scenario_keeps_the_trigger(self):
+        predicate = _bug_predicate()
+        result = reduce_scenario(generate(_atomic_seed()), predicate)
+        assert _has_atomic(result.minimized)
