@@ -87,6 +87,15 @@ class AikidoConfig:
             statistic is bit-identical between the two — this switch
             only changes host wall-clock speed (and is the escape hatch
             if it ever doesn't).
+        static_elide: compile-time shared-check elision (``--static-elide``):
+            feed the static race analyzer's elision plan (see
+            :mod:`repro.staticanalysis.elision`) into the block
+            compiler, fusing accesses proved PROVABLY_PRIVATE or
+            statically race-free into guarded straight-line fast paths.
+            Requires ``compile_blocks``; every simulated statistic stays
+            bit-identical to a non-elided run (a dynamic tripwire
+            retires any elided access whose page turns SHARED, and the
+            InvariantMonitor's ``elision_no_shared`` check enforces it).
     """
 
     block_size: int = 8
@@ -104,3 +113,4 @@ class AikidoConfig:
     trace_max_events: int = 250_000
     metrics_cadence: int = 0
     compile_blocks: bool = True
+    static_elide: bool = False

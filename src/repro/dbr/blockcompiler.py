@@ -59,7 +59,7 @@ interpreter tier (see ``tests/dbr/test_compiled_parity.py``).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, FrozenSet, List, Optional, Tuple
 
 from repro.errors import InvalidInstructionError
 from repro.machine.cpu import BASE_COST
@@ -74,6 +74,15 @@ SEG = 0
 MEM = 1
 GEN = 2
 CTL = 3
+#: Statically-elided fused run (``--static-elide``): superimposed over a
+#: maximal run of SEG positions and unhooked memory accesses the elision
+#: plan proved race-free/private. ``(ELI, fast_fn, count, fallback)``
+#: where ``fast_fn(thread) -> retired`` runs the whole run with inline
+#: TLB-micro-cache guards and literal-baked effects, bailing (with exact
+#: prefix accounting) to the base step at the failing position, and
+#: ``fallback`` is the base step the position keeps for budget tails,
+#: pending yields and guard misses at position 0.
+ELI = 4
 
 #: Opcodes eligible for segment fusion: register-file-only semantics,
 #: cannot fault, cannot trap, cannot raise before charging.
@@ -100,12 +109,21 @@ class CompiledBlock:
     the engine treats a mismatch as stale and recompiles.
     """
 
-    __slots__ = ("steps", "overhead", "length")
+    __slots__ = ("steps", "overhead", "length", "elided_uids",
+                 "elided_private")
 
-    def __init__(self, steps: List[tuple], overhead: int):
+    def __init__(self, steps: List[tuple], overhead: int,
+                 elided_uids: FrozenSet[int] = frozenset(),
+                 elided_private: FrozenSet[int] = frozenset()):
         self.steps = steps
         self.overhead = overhead
         self.length = len(steps)
+        #: Memory uids fused into ELI fast paths in this closure, and
+        #: the private-tier subset (the InvariantMonitor asserts no
+        #: private-tier uid's closure coexists with a SHARED footprint
+        #: page — see ``elision_no_shared``).
+        self.elided_uids = elided_uids
+        self.elided_private = elided_private
 
 
 def _alu_closure(instr) -> Callable:
@@ -486,6 +504,120 @@ def _mem_closure(instr, engine, charge: int, next_ii: int) -> Callable:
     return fn
 
 
+def _eli_fast_fn(instrs, start: int, engine, overhead: int) -> Callable:
+    """exec()-generate the fast body for one statically-elided run.
+
+    ``instrs`` is the run (SEG opcodes + elidable memory accesses),
+    ``start`` its first instruction index in the block. The generated
+    ``fn(thread) -> retired`` inlines every ALU statement and guards
+    each memory access on the owning thread's TLB micro-cache
+    (``fast_ro``/``fast_rw``). A guard miss at run position ``k``
+    applies the *exact* accounting of the ``k`` already-retired prefix
+    instructions (pre-summed cycle charges, instruction/memory-ref
+    counts, per-access TLB hit bookkeeping — identical to what the base
+    SEG/MEM steps would have booked, because nothing between two fast
+    retires can observe intermediate state), parks ``pc`` on the failing
+    position and returns ``k``; the engine then re-executes that
+    position through its base step, which re-probes, counts the
+    ``fast_misses`` and handles translate/fault — so a bail costs
+    nothing extra and counts nothing twice. A miss at position 0 returns
+    0 with no effects at all.
+
+    The elision counters (``engine._elision_cell``) are host-side
+    observability, never part of any simulated stat surface.
+    """
+    counter = engine.counter
+    stats = engine.stats
+    memory = engine.cpu.memory
+
+    charges = [BASE_COST[i.op] + overhead for i in instrs]
+    cyc_prefix = [0]
+    for c in charges:
+        cyc_prefix.append(cyc_prefix[-1] + c)
+    n = len(instrs)
+
+    lines: List[str] = ["def _eli(thread):",
+                        "    regs = thread.regs",
+                        "    tlb = thread.tlb"]
+    uses_ro = any(i.op is Opcode.LOAD for i in instrs)
+    uses_rw = any(i.op in (Opcode.STORE, Opcode.ATOMIC_ADD)
+                  for i in instrs)
+    if uses_ro:
+        lines.append("    fr = tlb.fast_ro")
+    if uses_rw:
+        lines.append("    fw = tlb.fast_rw")
+
+    def bail(k: int, mems: int) -> List[str]:
+        if k == 0:
+            return ["        return 0"]
+        out = [f"        counter.instr_cycles += {cyc_prefix[k]}",
+               f"        stats.instructions += {k}"]
+        if mems:
+            out += [f"        stats.memory_refs += {mems}",
+                    f"        tlb.hits += {mems}",
+                    f"        tlb.fast_hits += {mems}",
+                    f"        _ec[0] += {mems}"]
+        out += [f"        _ec[1] += {k}",
+                f"        thread.pc[1] = {start + k}",
+                f"        return {k}"]
+        return out
+
+    mems_so_far = 0
+    for k, instr in enumerate(instrs):
+        op = instr.op
+        if op in SEG_OPCODES:
+            stmt = _seg_statement(instr)
+            if stmt is not None:
+                lines.append(f"    {stmt}")
+            continue
+        # Memory access: compute the physical address behind a guard.
+        mem = instr.mem
+        fmap = "fr" if op is Opcode.LOAD else "fw"
+        if mem.base is None:
+            page = mem.disp >> PAGE_SHIFT
+            off = mem.disp & _PAGE_MASK
+            lines.append(f"    pb{k} = {fmap}.get({page})")
+            lines.append(f"    if pb{k} is None:")
+            lines.extend(bail(k, mems_so_far))
+            paddr = f"(pb{k} | {off})" if off else f"pb{k}"
+        else:
+            lines.append(f"    ea{k} = (regs[{mem.base}] + {mem.disp})"
+                         f" & {_MASK64}")
+            lines.append(f"    pb{k} = {fmap}.get(ea{k} >> {PAGE_SHIFT})")
+            lines.append(f"    if pb{k} is None:")
+            lines.extend(bail(k, mems_so_far))
+            paddr = f"(pb{k} | (ea{k} & {_PAGE_MASK}))"
+        if op is Opcode.LOAD:
+            lines.append(f"    regs[{instr.rd}] = read_word({paddr})")
+        elif op is Opcode.STORE:
+            lines.append(f"    write_word({paddr}, regs[{instr.rs1}])")
+        else:  # ATOMIC_ADD
+            lines.append(f"    pa{k} = {paddr}")
+            lines.append(f"    old{k} = read_word(pa{k})")
+            lines.append(f"    write_word(pa{k}, (old{k} + "
+                         f"regs[{instr.rs1}]) & {_MASK64})")
+            if instr.rd is not None:
+                lines.append(f"    regs[{instr.rd}] = old{k}")
+        mems_so_far += 1
+    # Full completion: total accounting in one shot.
+    lines += [f"    counter.instr_cycles += {cyc_prefix[n]}",
+              f"    stats.instructions += {n}",
+              f"    stats.memory_refs += {mems_so_far}",
+              f"    tlb.hits += {mems_so_far}",
+              f"    tlb.fast_hits += {mems_so_far}",
+              f"    _ec[0] += {mems_so_far}",
+              f"    _ec[1] += {n}",
+              f"    thread.pc[1] = {start + n}",
+              f"    return {n}"]
+    namespace: dict = {}
+    exec(compile("\n".join(lines), "<blockcompiler:eli>", "exec"),
+         {"counter": counter, "stats": stats, "_ec": engine._elision_cell,
+          "read_word": memory.read_word,
+          "write_word": memory.write_word},
+         namespace)
+    return namespace["_eli"]
+
+
 def compile_block(cached, engine) -> CompiledBlock:
     """Compile a cached block against ``engine``'s current overhead.
 
@@ -539,4 +671,45 @@ def compile_block(cached, engine) -> CompiledBlock:
             steps[i] = (GEN, BASE_COST[instr.op] + overhead,
                         instr.op in MEMORY_OPCODES)
         i += 1
-    return CompiledBlock(steps, overhead)
+
+    # ------------------------------------------------------------------
+    # static-check elision: superimpose ELI fast paths (--static-elide)
+    # ------------------------------------------------------------------
+    plan = engine.elision_plan
+    if plan is None:
+        return CompiledBlock(steps, overhead)
+    retired = engine._elision_retired
+    elided_uids = set()
+    elided_private = set()
+
+    def _elidable(pos: int) -> bool:
+        if steps[pos][0] != MEM:
+            return False
+        uid = instrs[pos].uid
+        return uid in plan and uid not in retired
+
+    i = 0
+    while i < n:
+        if steps[i][0] != SEG and not _elidable(i):
+            i += 1
+            continue
+        j = i
+        mem_positions: List[int] = []
+        while j < n and (steps[j][0] == SEG or _elidable(j)):
+            if steps[j][0] == MEM:
+                mem_positions.append(j)
+            j += 1
+        # Fuse only when there is a check to elide and the run beats a
+        # single base step. Interior positions keep their base steps
+        # (mid-run re-entry after a quantum boundary or a bail).
+        if mem_positions and j - i >= 2:
+            fast_fn = _eli_fast_fn(instrs[i:j], i, engine, overhead)
+            steps[i] = (ELI, fast_fn, j - i, steps[i])
+            for p in mem_positions:
+                uid = instrs[p].uid
+                elided_uids.add(uid)
+                if plan.tier(uid) == "private":
+                    elided_private.add(uid)
+        i = j
+    return CompiledBlock(steps, overhead, frozenset(elided_uids),
+                         frozenset(elided_private))

@@ -96,6 +96,24 @@ class CodeCache:
                 self.counter.charge("dbr", costs.TRACE_BUILD)
         return cached
 
+    def drop_closures_of_instruction(self, uid: int, reason: str) -> int:
+        """Drop (only) the compiled closure of the block holding ``uid``.
+
+        Host-side bookkeeping for the elision tripwire: unlike
+        :meth:`invalidate`, the CachedBlock (and its hooks and trace
+        state) survives, no simulated BLOCK_FLUSH is charged, and the
+        engine recompiles at the block's next natural entry — so the
+        simulated cost stream is identical whether or not a page-share
+        ever retired an elided access. Returns closures dropped (0/1).
+        """
+        block_index, _ = self.program.instruction_locations[uid]
+        cached = self._blocks.get(block_index)
+        if cached is None or cached.compiled is None:
+            return 0
+        self._note_closure_dropped(cached, reason)
+        cached.compiled = None
+        return 1
+
     def invalidate_blocks_of_instruction(self, uid: int) -> int:
         """Flush every cached block containing the static instruction.
 

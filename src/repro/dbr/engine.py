@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro import costs
-from repro.dbr.blockcompiler import CTL, GEN, MEM, SEG, compile_block
+from repro.dbr.blockcompiler import CTL, ELI, GEN, MEM, SEG, compile_block
 from repro.dbr.codecache import CodeCache
 from repro.dbr.tool import Tool
 from repro.guestos.driver import ExecutionDriver
@@ -61,6 +61,14 @@ class DBREngine(ExecutionDriver):
         self.chaos = None
         #: Observability tracer, attached by AikidoSystem (None = off).
         self.tracer = None
+        #: Static-check elision (``--static-elide``): the plan installed
+        #: by AikidoSD (None = off), the uids dynamically retired from
+        #: it by page-share tripwires, and the host-side elision
+        #: counters ``[checks_elided, fast_path_instructions]`` the
+        #: generated fast bodies bump (never part of simulated stats).
+        self.elision_plan = None
+        self._elision_retired: set = set()
+        self._elision_cell = [0, 0]
         kernel.set_driver(self, self.process)
 
     # ------------------------------------------------------------------
@@ -76,6 +84,55 @@ class DBREngine(ExecutionDriver):
     def register_master_signal_handler(self) -> None:
         """Take over SIGSEGV for the process (DynamoRIO does this)."""
         self.process.signal_handlers[SIGSEGV] = self._master_signal_handler
+
+    def set_elision_plan(self, plan) -> None:
+        """Install the static elision plan (AikidoSD, static_elide=True).
+
+        Must happen before the first block compiles against it; AikidoSD
+        installs it at the same point it raises ``overhead_per_instr``,
+        which already forces a recompile of anything built earlier.
+        """
+        self.elision_plan = plan
+
+    def note_page_shared(self, vpn: int) -> list:
+        """Dynamic elision tripwire: page ``vpn`` just became SHARED.
+
+        Retires every elided uid whose static footprint contains the
+        page and drops the affected compiled closures — host-side only
+        (no simulated flush/build charges), so the cycle stream is
+        identical to a run that never elided anything. The block
+        recompiles, without the retired uids, at its next natural
+        entry. Returns the newly retired ``(uid, tier)`` pairs; the
+        caller (AikidoSD) escalates private-tier hits to ``ToolError``
+        when per-thread protection makes the transition trustworthy.
+        """
+        plan = self.elision_plan
+        if plan is None:
+            return []
+        retired = []
+        for uid, tier in plan.uids_touching_page(vpn):
+            if uid in self._elision_retired:
+                continue
+            self._elision_retired.add(uid)
+            self.codecache.drop_closures_of_instruction(
+                uid, "elision_retired")
+            retired.append((uid, tier))
+        if retired and self.tracer is not None:
+            self.tracer.instant("elision_retired", "dbr", vpn=vpn,
+                                uids=[u for u, _ in retired])
+        return retired
+
+    def elision_snapshot(self) -> Optional[dict]:
+        """Host-side elision telemetry (None when elision is off)."""
+        plan = self.elision_plan
+        if plan is None:
+            return None
+        return {
+            "plan": plan.as_dict(),
+            "checks_elided": self._elision_cell[0],
+            "fast_path_instructions": self._elision_cell[1],
+            "retired_uids": sorted(self._elision_retired),
+        }
 
     def invalidate_instruction(self, uid: int) -> int:
         """Flush cached blocks containing the instruction (re-JIT)."""
@@ -243,6 +300,22 @@ class DBREngine(ExecutionDriver):
                 continue
             step = steps[ii]
             kind = step[0]
+            if kind == ELI:
+                # Statically-elided fused run: the whole run (or an
+                # exactly-accounted prefix, when a TLB guard misses)
+                # retires in one call. Never entered with a pending
+                # yield (the post-fault retry must go through the base
+                # step's consume_yield check) or a budget too small for
+                # the full run — both fall back to the base step.
+                if not pending_yield and step[2] <= budget - executed:
+                    retired = step[1](thread)
+                    if retired:
+                        executed += retired
+                        continue
+                    # Guard missed at position 0: nothing retired, run
+                    # this position through its base step below.
+                step = step[3]
+                kind = step[0]
             if kind == SEG:
                 # Fused pure-ALU run: no faults, no kernel entry, no
                 # observation point inside — retire it in one go (or a

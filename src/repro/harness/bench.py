@@ -9,7 +9,7 @@ the compiled-tier speedup, in a stable JSON document
 (``BENCH_simulator.json``) that the regression gate
 (``scripts/bench_gate.py``) diffs against the committed trajectory.
 
-Three sections:
+Four sections:
 
 * ``workloads`` — the headline: each PARSEC-style workload on the bare
   DBR engine (no tool attached), both tiers. This isolates the execution
@@ -18,6 +18,10 @@ Three sections:
   hook dispatch and analysis time dilute the engine's share.
 * ``micro`` — synthetic kernels (pure ALU spin, lock traffic, a
   producer/consumer queue) that bound the best and worst case.
+* ``elision`` — the full stack on the compiled tier, plain vs
+  ``static_elide``: the wall-clock value of fusing statically
+  race-free shared-checks into straight-line fast paths, measured at
+  enforced bit-identity of every simulated statistic.
 
 Each measurement is best-of-``repeats`` (minimum seconds), the standard
 way to strip scheduler noise from a throughput number. The suite also
@@ -38,6 +42,7 @@ from repro.dbr.engine import DBREngine
 from repro.errors import HarnessError
 from repro.guestos.kernel import Kernel
 from repro.harness.runner import run_aikido_fasttrack
+from repro.staticanalysis.analysiscache import analysis_for
 from repro.workloads import micro
 from repro.workloads.parsec import benchmark_names, build_benchmark
 
@@ -100,6 +105,32 @@ def _aikido_run(program_factory, *, compile_blocks: bool, seed: int,
             "cycles": result.cycles}
 
 
+def _elide_run(program_factory, *, static_elide: bool, seed: int,
+               quantum: int, jitter: float) -> Dict[str, float]:
+    """One compiled-tier full-stack run, with or without elision.
+
+    The static analysis is compile-time work amortized across runs
+    (it is memoized per program fingerprint), so the elided arm warms
+    the analysis cache *outside* the timed region — the section
+    measures the runtime value of the elided checks, not the one-off
+    cost of computing the plan.
+    """
+    config = AikidoConfig(compile_blocks=True, static_elide=static_elide)
+    program = program_factory()
+    if static_elide:
+        analysis_for(program).elision
+    start = time.perf_counter()
+    result = run_aikido_fasttrack(program, seed=seed,
+                                  quantum=quantum, jitter=jitter,
+                                  config=config)
+    seconds = time.perf_counter() - start
+    elision = result.elision or {}
+    return {"seconds": seconds,
+            "instructions": result.run_stats["instructions"],
+            "cycles": result.cycles,
+            "checks_elided": elision.get("checks_elided", 0)}
+
+
 def _best_of(run: Callable[[], Dict], repeats: int) -> Dict:
     best = None
     for _ in range(max(1, repeats)):
@@ -143,6 +174,39 @@ def _tier_row(name: str, run_tier: Callable[[bool], Dict],
                      "instrs_per_sec": rate(compiled)},
         "speedup": (interp["seconds"] / compiled["seconds"]
                     if compiled["seconds"] else 0.0),
+    }
+
+
+def _elision_row(name: str, run_elide: Callable[[bool], Dict],
+                 repeats: int) -> Dict:
+    """Measure plain vs static_elide and derive the elision speedup."""
+    baseline = _best_of(lambda: run_elide(False), repeats)
+    elided = _best_of(lambda: run_elide(True), repeats)
+    if baseline["instructions"] != elided["instructions"]:
+        raise HarnessError(
+            f"{name}: static_elide changed retired instructions "
+            f"(plain={baseline['instructions']}, "
+            f"elided={elided['instructions']}) — parity violation")
+    if baseline["cycles"] != elided["cycles"]:
+        raise HarnessError(
+            f"{name}: static_elide changed simulated cycles "
+            f"(plain={baseline['cycles']}, "
+            f"elided={elided['cycles']}) — parity violation")
+    instructions = baseline["instructions"]
+
+    def rate(sample):
+        return instructions / sample["seconds"] if sample["seconds"] else 0.0
+
+    return {
+        "name": name,
+        "instructions": instructions,
+        "checks_elided": elided["checks_elided"],
+        "baseline": {"seconds": baseline["seconds"],
+                     "instrs_per_sec": rate(baseline)},
+        "elided": {"seconds": elided["seconds"],
+                   "instrs_per_sec": rate(elided)},
+        "speedup": (baseline["seconds"] / elided["seconds"]
+                    if elided["seconds"] else 0.0),
     }
 
 
@@ -207,7 +271,23 @@ def bench_suite(*, threads: int = DEFAULT_THREADS,
                 jitter=jitter),
             repeats))
 
+    elision_rows = []
+    for name in names:
+        note(f"bench: {name} (elision ablation, plain vs --static-elide)")
+        factory = (lambda name=name:
+                   build_benchmark(name, threads=threads, scale=scale))
+        # Elision deltas are a few percent on runs of a few hundred
+        # milliseconds — extra repeats are cheap here and the best-of
+        # needs them to punch through host timing noise.
+        elision_rows.append(_elision_row(
+            name,
+            lambda elide, factory=factory: _elide_run(
+                factory, static_elide=elide, seed=seed, quantum=quantum,
+                jitter=jitter),
+            repeats if quick else max(repeats, 5)))
+
     speedups = [row["speedup"] for row in workloads]
+    elision_speedups = [row["speedup"] for row in elision_rows]
     doc = {
         "version": BENCH_SCHEMA_VERSION,
         "host": {
@@ -224,10 +304,15 @@ def bench_suite(*, threads: int = DEFAULT_THREADS,
         "workloads": workloads,
         "macro": macro,
         "micro": micro_rows,
+        "elision": elision_rows,
         "summary": {
             "geomean_speedup": _geomean(speedups) if speedups else 0.0,
             "workloads_2x": sum(1 for s in speedups if s >= 2.0),
             "workload_count": len(workloads),
+            "elision_geomean_speedup": (_geomean(elision_speedups)
+                                        if elision_speedups else 0.0),
+            "elision_nonzero": sum(1 for row in elision_rows
+                                   if row["checks_elided"] > 0),
         },
     }
     validate_bench(doc)
@@ -275,6 +360,31 @@ def validate_bench(doc: Dict) -> Dict:
             _require(isinstance(row.get("speedup"), (int, float))
                      and row["speedup"] > 0,
                      f"{name}: bad speedup")
+    # The elision section is optional (older documents predate it);
+    # when present its rows pair a baseline and an elided sample.
+    elision = doc.get("elision", [])
+    _require(isinstance(elision, list), "elision is not a list")
+    for row in elision:
+        _require(isinstance(row, dict) and isinstance(
+            row.get("name"), str), "elision: row without a name")
+        name = row["name"]
+        _require(isinstance(row.get("instructions"), int)
+                 and row["instructions"] > 0,
+                 f"elision {name}: bad instruction count")
+        _require(isinstance(row.get("checks_elided"), int)
+                 and row["checks_elided"] >= 0,
+                 f"elision {name}: bad checks_elided")
+        for arm in ("baseline", "elided"):
+            sample = row.get(arm)
+            _require(isinstance(sample, dict),
+                     f"elision {name}: missing {arm}")
+            for key in _RATE_KEYS:
+                value = sample.get(key)
+                _require(isinstance(value, (int, float)) and value >= 0,
+                         f"elision {name}: bad {arm}.{key}")
+        _require(isinstance(row.get("speedup"), (int, float))
+                 and row["speedup"] > 0,
+                 f"elision {name}: bad speedup")
     _require(len(doc["workloads"]) > 0, "no workload rows")
     summary = doc["summary"]
     _require(isinstance(summary.get("geomean_speedup"), (int, float)),
@@ -319,10 +429,26 @@ def render_bench(doc: Dict) -> str:
                 f"{row['interp']['instrs_per_sec']:>12,.0f} "
                 f"{row['compiled']['instrs_per_sec']:>12,.0f} "
                 f"{row['speedup']:>7.2f}x")
+    elision = doc.get("elision", [])
+    if elision:
+        lines.append("")
+        lines.append(f"{'elision ablation':<24s} {'elided':>10s} "
+                     f"{'plain/s':>12s} {'elided/s':>12s} {'speedup':>8s}")
+        for row in elision:
+            lines.append(
+                f"{row['name']:<24s} {row['checks_elided']:>10,d} "
+                f"{row['baseline']['instrs_per_sec']:>12,.0f} "
+                f"{row['elided']['instrs_per_sec']:>12,.0f} "
+                f"{row['speedup']:>7.2f}x")
     summary = doc["summary"]
     lines.append(f"geomean speedup {summary['geomean_speedup']:.2f}x; "
                  f"{summary['workloads_2x']}/{summary['workload_count']} "
                  f"workloads at >=2x")
+    if elision:
+        lines.append(f"elision geomean speedup "
+                     f"{summary.get('elision_geomean_speedup', 0.0):.2f}x; "
+                     f"{summary.get('elision_nonzero', 0)}/{len(elision)} "
+                     f"workloads elide checks")
     return "\n".join(lines)
 
 

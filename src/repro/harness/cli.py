@@ -7,9 +7,11 @@ Usage (installed as ``aikido-repro`` or ``python -m repro.harness.cli``)::
     aikido-repro table1           # Table 1 thread-count sweep
     aikido-repro table2           # Table 2 instrumentation statistics
     aikido-repro races            # §5.3 detected-races comparison
+    aikido-repro races-static     # static race analyzer verdicts
     aikido-repro profile --benchmark vips   # workload profile
     aikido-repro lint             # static linter over the workloads
     aikido-repro prepass          # --static-prepass on/off ablation
+    aikido-repro elide            # --static-elide on/off ablation
     aikido-repro instr            # instrumentation-machinery counters
     aikido-repro chaos            # fault-injection survivability sweep
     aikido-repro trace --benchmark vips     # Chrome trace + attribution
@@ -70,9 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the Aikido paper's evaluation artifacts")
     parser.add_argument("artifact",
                         choices=("fig5", "fig6", "table1", "table2",
-                                 "races", "profile", "breakdown", "instr",
-                                 "prepass", "chaos", "trace", "bench",
-                                 "fuzz", "lint", "all"))
+                                 "races", "races-static", "profile",
+                                 "breakdown", "instr", "prepass", "elide",
+                                 "chaos", "trace", "bench", "fuzz", "lint",
+                                 "all"))
     parser.add_argument("--benchmark", default=None,
                         help="restrict 'profile'/'lint'/'trace' to one "
                              "benchmark")
@@ -96,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--static-prepass", action="store_true",
                         help="seed the sharing detector from the static "
                              "pre-classifier in aikido-fasttrack runs")
+    parser.add_argument("--static-elide", action="store_true",
+                        help="fuse statically race-free shared-checks "
+                             "into compiled fast paths in "
+                             "aikido-fasttrack runs (bit-identical by "
+                             "contract)")
     parser.add_argument("--threads", type=int,
                         default=experiments.DEFAULT_THREADS)
     parser.add_argument("--scale", type=float,
@@ -281,8 +289,10 @@ def _run(args) -> int:
                                      intensity=args.chaos_intensity)
                   if args.chaos else None)
     config = None
-    if args.static_prepass or chaos_plan or args.check_invariants:
+    if (args.static_prepass or args.static_elide or chaos_plan
+            or args.check_invariants):
         config = AikidoConfig(static_prepass=args.static_prepass,
+                              static_elide=args.static_elide,
                               chaos=chaos_plan,
                               check_invariants=args.check_invariants)
     wants_suite = args.artifact in SUITE_ARTIFACTS or args.artifact == "all"
@@ -343,6 +353,27 @@ def _run(args) -> int:
             quantum=args.quantum, runner=runner,
             benchmarks=[args.benchmark] if args.benchmark else None)
         pieces.append(render_prepass(comparisons))
+    if args.artifact == "elide":
+        from repro.harness.report import render_elision
+
+        comparisons = experiments.elision_ablation(
+            threads=args.threads, scale=args.scale, seed=args.seed,
+            quantum=args.quantum, runner=runner,
+            benchmarks=[args.benchmark] if args.benchmark else None)
+        pieces.append(render_elision(comparisons))
+    if args.artifact == "races-static":
+        from repro.harness.report import render_static_races
+        from repro.staticanalysis.analysiscache import analysis_for
+        from repro.workloads.parsec import benchmark_names, get_benchmark
+
+        names = ([args.benchmark] if args.benchmark
+                 else benchmark_names())
+        reports = []
+        for name in names:
+            program = get_benchmark(name).program(threads=args.threads,
+                                                  scale=args.scale)
+            reports.append(analysis_for(program).races)
+        pieces.append(render_static_races(reports))
     if args.artifact == "profile":
         from repro.workloads.parsec import benchmark_names, get_benchmark
         from repro.workloads.profile import (

@@ -172,6 +172,7 @@ def result_to_dict(result: RunResult) -> Dict:
         "detector_profile": dict(result.detector_profile),
         "chaos": result.chaos,
         "timeline": [dict(sample) for sample in result.timeline],
+        "elision": result.elision,
     }
 
 
@@ -186,6 +187,7 @@ def result_from_dict(payload: Dict) -> RunResult:
         detector_profile=dict(payload["detector_profile"]),
         chaos=payload.get("chaos"),  # absent in pre-chaos archives
         timeline=payload.get("timeline"),  # absent in pre-1.2 archives
+        elision=payload.get("elision"),  # absent in pre-elision archives
     )
 
 

@@ -44,7 +44,8 @@ class RunResult:
                  hypervisor_stats: Optional[Dict[str, int]] = None,
                  detector_profile: Optional[Dict[str, int]] = None,
                  chaos: Optional[Dict] = None,
-                 timeline: Optional[List[Dict]] = None):
+                 timeline: Optional[List[Dict]] = None,
+                 elision: Optional[Dict] = None):
         self.mode = mode
         self.cycles = cycles
         self.run_stats = run_stats
@@ -60,6 +61,12 @@ class RunResult:
         #: Metrics timeline samples ([] unless the run's config set
         #: ``metrics_cadence`` > 0).
         self.timeline = timeline if timeline is not None else []
+        #: Static-elision payload (None unless ``static_elide``):
+        #: {"plan", "checks_elided", "fast_path_instructions",
+        #:  "retired_uids"}. Host-side observability — deliberately NOT
+        #: part of run_stats/aikido_stats, which stay bit-identical
+        #: between elided and non-elided runs.
+        self.elision = elision
 
     @property
     def cycle_attribution(self) -> Dict[str, int]:
@@ -248,7 +255,8 @@ def system_result(system: AikidoSystem) -> RunResult:
                      hypervisor_stats=system.hypervisor_stats.as_dict(),
                      detector_profile=_detector_profile(analysis.detector),
                      chaos=chaos_payload,
-                     timeline=system.timeline())
+                     timeline=system.timeline(),
+                     elision=system.engine.elision_snapshot())
 
 
 def run_aikido_fasttrack(program, *, seed: int = 0, quantum: int = 200,

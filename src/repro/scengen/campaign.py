@@ -46,7 +46,8 @@ from repro.scengen.scenario import ScenarioIR, describe, render
 
 #: Bumped whenever the oracle's checks change meaning, invalidating
 #: journaled/cached verdicts from older code.
-ORACLE_VERSION = 1
+#: 2: added static_race_superset + lint_clean checks.
+ORACLE_VERSION = 2
 
 
 def scenario_key(config: GeneratorConfig, seed: int, quick: bool) -> str:

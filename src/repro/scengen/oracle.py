@@ -29,6 +29,15 @@ Checks
                             incomparable, but it must be stable).
 ``classifier_soundness``    no statically PROVABLY_PRIVATE instruction
                             ever touched a dynamically shared page.
+``static_race_superset``    every dynamic FastTrack race maps to a
+                            static (uid, uid) pair that is NOT
+                            ``STATICALLY_RACE_FREE`` — the static race
+                            analyzer must over-approximate the dynamic
+                            one (zero false negatives).
+``lint_clean``              the rendered scenario has no error-severity
+                            lint findings (the generator only emits
+                            well-formed programs, and ``aikido-repro
+                            fuzz`` lints what it runs).
 ``aikido_subset``           Aikido's live races are a subset of full
                             FastTrack's (the §6 first-touch blind spot
                             only removes reports). Skipped under chaos,
@@ -62,9 +71,11 @@ from repro.harness.runner import (
     build_aikido_system,
     system_result,
 )
+from repro.analyses.fasttrack.epoch import epoch_tid
 from repro.machine.paging import PAGE_SHIFT
 from repro.scengen.scenario import ScenarioIR, render
-from repro.staticanalysis import SharingClass, classify_sharing
+from repro.staticanalysis import RaceVerdict, SharingClass, lint_program
+from repro.staticanalysis.analysiscache import analysis_for
 
 #: Per-run instruction budgets; exceeding one raises HarnessError in
 #: every tier identically, so runaway scenarios still agree.
@@ -232,11 +243,18 @@ def check_scenario(ir: ScenarioIR, *, quick: bool = True,
         report("chaos_replay", aik_interp == aik_again,
                _surface_diff(aik_interp, aik_again))
 
+    program, _ = render(ir)
+    findings = lint_program(program)
+    errors = [str(f) for f in findings if f.severity == "error"]
+    report("lint_clean", not errors,
+           "" if not errors else "; ".join(errors[:5]))
+
     completed = ft_interp[0] == "ok"
     recorder = _record_trace(ir, budget) if completed else None
     if recorder is None:
         for name in ("record_replay_fidelity", "fasttrack_djit_agreement",
-                     "eraser_determinism", "classifier_soundness"):
+                     "eraser_determinism", "classifier_soundness",
+                     "static_race_superset"):
             report(name, True, skipped=True,
                    detail="scenario did not complete cleanly")
     else:
@@ -267,8 +285,8 @@ def check_scenario(ir: ScenarioIR, *, quick: bool = True,
         report("eraser_determinism", first == second,
                "" if first == second else "eraser replay is unstable")
 
-        program, _ = render(ir)
-        sharing = classify_sharing(program)
+        analysis = analysis_for(program)
+        sharing = analysis.sharing
         private = sharing.uids(SharingClass.PROVABLY_PRIVATE)
         uid_pages: Dict[int, set] = {}
         page_tids: Dict[int, set] = {}
@@ -287,6 +305,40 @@ def check_scenario(ir: ScenarioIR, *, quick: bool = True,
         report("classifier_soundness", not offenders,
                "" if not offenders else
                f"provably-private uids on shared pages: {offenders}")
+
+        # Static race analyzer soundness: each dynamic race attributes
+        # to at least one (prior uid, current uid) candidate pair, and
+        # no dynamic race may be exclusively explained by pairs the
+        # static analysis called STATICALLY_RACE_FREE.
+        static_races = analysis.races
+        by_site: Dict[Tuple[int, int, bool], set] = {}
+        for entry in trace:
+            if entry[0] != "access":
+                continue
+            _, tid, addr, is_write, uid = entry
+            key = (addr // BLOCK_SIZE, tid, bool(is_write))
+            by_site.setdefault(key, set()).add(uid)
+        missed = []
+        for race in ft_replay.races:
+            prior_write = race.kind.startswith("write")
+            curr_write = race.kind.endswith("write")
+            priors = by_site.get(
+                (race.block, epoch_tid(race.prior_epoch), prior_write),
+                set())
+            currents = (frozenset((race.instr_uid,))
+                        if race.instr_uid >= 0 else
+                        by_site.get((race.block, race.current_tid,
+                                     curr_write), set()))
+            if not priors or not currents:
+                continue  # unattributable: claim nothing
+            if all(static_races.pair_verdict(p, c)
+                   is RaceVerdict.STATICALLY_RACE_FREE
+                   for p in priors for c in currents):
+                missed.append((race.block, race.kind))
+        report("static_race_superset", not missed,
+               "" if not missed else
+               f"dynamic races statically proved race-free: "
+               f"{sorted(set(missed))}")
 
     if (ir.chaos_seed is None and completed and aik_interp[0] == "ok"):
         aik_keys = {tuple(k) for k in aik_interp[1]["race_keys"]}

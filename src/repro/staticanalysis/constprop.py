@@ -5,6 +5,12 @@ The abstract value :class:`AVal` tracks what a 64-bit register may hold:
 * ``BOT`` — unreachable / no value yet;
 * a small set of known constants (at most :data:`MAX_CONSTS`);
 * an unsigned interval ``[lo, hi]``;
+* a *strided multi-interval*: a small set of base constants plus a
+  bounded offset, ``{c + d : c in consts, 0 <= d <= width}`` — the
+  shape of "partition base (ring generation x owner) + random index"
+  address arithmetic that pipeline workloads use. Without it, adding a
+  bounded random offset to a set of partition bases collapses to one
+  interval spanning every partition, and per-thread privacy is lost;
 * ``TOP`` — anything.
 
 Each value also carries a ``maybe_tid`` taint: set on SPAWN results (and
@@ -41,11 +47,17 @@ _WIDEN_THRESHOLDS = tuple(
     [0] + [1 << k for k in (8, 12, 16, 20, 24, 28, 29, 30, 31, 32,
                             36, 40, 48, 56)] + [_UMAX])
 
-_BOT, _CONST, _RANGE, _TOP = "bot", "const", "range", "top"
+_BOT, _CONST, _RANGE, _SETOFF, _TOP = \
+    "bot", "const", "range", "setoff", "top"
 
 
 class AVal:
-    """Abstract 64-bit register value (immutable)."""
+    """Abstract 64-bit register value (immutable).
+
+    For the ``setoff`` kind, ``consts`` holds the base constants and
+    ``hi`` the inclusive offset width (``lo`` is unused and stays 0):
+    the concrete values are ``{c + d : c in consts, 0 <= d <= hi}``.
+    """
 
     __slots__ = ("kind", "consts", "lo", "hi", "maybe_tid")
 
@@ -94,6 +106,32 @@ class AVal:
                         maybe_tid=maybe_tid)
         return AVal(_RANGE, lo=lo, hi=hi, maybe_tid=maybe_tid)
 
+    @staticmethod
+    def setoff(consts: Iterable[int], width: int,
+               maybe_tid: bool = False) -> "AVal":
+        """Base constants plus a bounded offset ``[0, width]``.
+
+        Normalizes aggressively: zero width is a constant set, a single
+        base (or bases whose windows all touch) is a plain interval, and
+        more than :data:`MAX_CONSTS` bases degrade to the covering
+        interval.
+        """
+        vals = frozenset(c & _MASK64 for c in consts)
+        if not vals:
+            return _BOT_VAL
+        if width <= 0:
+            return AVal.const_set(vals, maybe_tid)
+        top = max(vals) + width
+        if top > _UMAX:
+            return AVal.top(maybe_tid)
+        if len(vals) == 1 or len(vals) > MAX_CONSTS:
+            return AVal.range(min(vals), top, maybe_tid)
+        ordered = sorted(vals)
+        if all(b - a <= width + 1
+               for a, b in zip(ordered, ordered[1:])):
+            return AVal.range(ordered[0], top, maybe_tid)
+        return AVal(_SETOFF, vals, hi=width, maybe_tid=maybe_tid)
+
     # -- predicates -----------------------------------------------------
     @property
     def is_bot(self) -> bool:
@@ -109,7 +147,35 @@ class AVal:
             return (min(self.consts), max(self.consts))
         if self.kind == _RANGE:
             return (self.lo, self.hi)
+        if self.kind == _SETOFF:
+            return (min(self.consts), max(self.consts) + self.hi)
         return None
+
+    def intervals(self) -> Optional[Tuple[Tuple[int, int], ...]]:
+        """Disjoint concrete-value intervals, sorted ascending.
+
+        ``None`` for TOP (unbounded), ``()`` for BOT. This is the
+        footprint computation's entry point: a ``setoff`` value yields
+        one interval per base constant instead of a single covering
+        interval.
+        """
+        if self.kind == _CONST:
+            raw = [(c, c) for c in sorted(self.consts)]
+        elif self.kind == _RANGE:
+            return ((self.lo, self.hi),)
+        elif self.kind == _SETOFF:
+            raw = [(c, c + self.hi) for c in sorted(self.consts)]
+        elif self.kind == _BOT:
+            return ()
+        else:
+            return None
+        merged = [raw[0]]
+        for lo, hi in raw[1:]:
+            if lo <= merged[-1][1] + 1:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        return tuple(merged)
 
     def as_constant(self) -> Optional[int]:
         """The single concrete value, if there is exactly one."""
@@ -125,6 +191,8 @@ class AVal:
             return value in self.consts
         if self.kind == _RANGE:
             return self.lo <= value <= self.hi
+        if self.kind == _SETOFF:
+            return any(c <= value <= c + self.hi for c in self.consts)
         return False
 
     # -- lattice --------------------------------------------------------
@@ -140,6 +208,17 @@ class AVal:
             return AVal.top(tid)
         if self.kind == _CONST and other.kind == _CONST:
             return AVal.const_set(self.consts | other.consts, tid)
+        if _SETOFF in (self.kind, other.kind):
+            a, b = ((self, other) if self.kind == _SETOFF
+                    else (other, self))
+            if b.kind == _CONST:
+                return AVal.setoff(a.consts | b.consts, a.hi, tid)
+            if b.kind == _SETOFF:
+                return AVal.setoff(a.consts | b.consts,
+                                   max(a.hi, b.hi), tid)
+            # b is a range: fold it in as one more base window.
+            return AVal.setoff(a.consts | {b.lo},
+                               max(a.hi, b.hi - b.lo), tid)
         a, b = self.bounds(), other.bounds()
         return AVal.range(min(a[0], b[0]), max(a[1], b[1]), tid)
 
@@ -153,6 +232,19 @@ class AVal:
         finite, so repeated widening still terminates at TOP.
         """
         joined = self.join(other)
+        if joined == self:
+            return self
+        if joined.kind == _SETOFF:
+            # Base sets only grow under join (capped at MAX_CONSTS,
+            # beyond which setoff normalizes to a range), so the only
+            # unstable dimension left is the offset width: jump it to
+            # the next threshold like an interval bound.
+            if self.kind == _SETOFF and joined.consts == self.consts \
+                    and joined.hi > self.hi:
+                w = next((t for t in _WIDEN_THRESHOLDS
+                          if t >= joined.hi), _UMAX)
+                return AVal.setoff(joined.consts, w, joined.maybe_tid)
+            return joined
         mine, theirs = self.bounds(), joined.bounds()
         if mine is None or theirs is None:
             return joined
@@ -189,6 +281,9 @@ class AVal:
             return f"{{{vals}}}{tid}"
         if self.kind == _RANGE:
             return f"[{self.lo:#x},{self.hi:#x}]{tid}"
+        if self.kind == _SETOFF:
+            vals = ",".join(f"{v:#x}" for v in sorted(self.consts))
+            return f"{{{vals}}}+[0,{self.hi:#x}]{tid}"
         return self.kind.upper() + tid
 
 
@@ -207,6 +302,22 @@ def _pairwise(a: AVal, b: AVal, fn) -> Optional[AVal]:
     return None
 
 
+def _decompose(v: AVal) -> Optional[Tuple[FrozenSet[int], int]]:
+    """(base constants, offset width) normal form, or None.
+
+    Every bounded value is ``{c + d : c in bases, 0 <= d <= width}``:
+    a constant set has width 0, a range is one base plus its span, and
+    setoff carries both. TOP/BOT have no decomposition.
+    """
+    if v.kind == _CONST:
+        return v.consts, 0
+    if v.kind == _RANGE:
+        return frozenset((v.lo,)), v.hi - v.lo
+    if v.kind == _SETOFF:
+        return v.consts, v.hi
+    return None
+
+
 def av_add(a: AVal, b: AVal) -> AVal:
     if a.is_bot or b.is_bot:
         return AVal.bot()
@@ -214,6 +325,12 @@ def av_add(a: AVal, b: AVal) -> AVal:
     if exact is not None:
         return exact
     tid = a.maybe_tid or b.maybe_tid
+    da, db = _decompose(a), _decompose(b)
+    if da is not None and db is not None \
+            and len(da[0]) * len(db[0]) <= MAX_CONSTS * MAX_CONSTS:
+        bases = {x + y for x in da[0] for y in db[0]}
+        if max(bases) + da[1] + db[1] <= _UMAX:
+            return AVal.setoff(bases, da[1] + db[1], tid)
     ab, bb = a.bounds(), b.bounds()
     if ab is None or bb is None:
         return AVal.top(tid)
@@ -230,6 +347,14 @@ def av_sub(a: AVal, b: AVal) -> AVal:
     if exact is not None:
         return exact
     tid = a.maybe_tid or b.maybe_tid
+    da, db = _decompose(a), _decompose(b)
+    if da is not None and db is not None \
+            and len(da[0]) * len(db[0]) <= MAX_CONSTS * MAX_CONSTS:
+        # (ca + da) - (cb + db) = (ca - cb - wb) + (da + (wb - db)),
+        # so shift the bases down by wb and widen by wa + wb.
+        bases = {x - y - db[1] for x in da[0] for y in db[0]}
+        if min(bases) >= 0:
+            return AVal.setoff(bases, da[1] + db[1], tid)
     ab, bb = a.bounds(), b.bounds()
     if ab is None or bb is None:
         return AVal.top(tid)

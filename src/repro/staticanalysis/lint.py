@@ -36,6 +36,11 @@ from repro.staticanalysis.constprop import (
     initial_regs,
     instruction_address_bounds,
 )
+from repro.staticanalysis.lockset import (
+    LockState,
+    resolve_lock_id,
+    step_lock_state,
+)
 
 
 @dataclass(frozen=True)
@@ -211,92 +216,52 @@ def _check_indirect_ro_stores(cfg: CFG, entries_states) -> List[Finding]:
     return findings
 
 
-class _LockState:
-    """(must-held, may-held, poisoned) lockset lattice element."""
-
-    __slots__ = ("must", "may", "poisoned")
-
-    def __init__(self, must: FrozenSet[int] = frozenset(),
-                 may: FrozenSet[int] = frozenset(),
-                 poisoned: bool = False):
-        self.must = must
-        self.may = may
-        self.poisoned = poisoned
-
-    def join(self, other: "_LockState") -> "_LockState":
-        return _LockState(self.must & other.must, self.may | other.may,
-                          self.poisoned or other.poisoned)
-
-    def __eq__(self, other) -> bool:
-        return (isinstance(other, _LockState)
-                and self.must == other.must and self.may == other.may
-                and self.poisoned == other.poisoned)
-
-    def __hash__(self) -> int:
-        return hash((self.must, self.may, self.poisoned))
-
-
-def _lock_id(instr: Instruction, regs: Optional[RegState]) -> Optional[int]:
-    if instr.rs1 is None:
-        return instr.imm
-    if regs is None:
-        return None
-    return regs[instr.rs1].as_constant()
-
-
 def _check_locks(cfg: CFG, entry: int,
                  states: Dict[int, RegState]) -> List[Finding]:
     """Lockset dataflow over one thread context; findings emitted once
-    per (uid, problem) on the final fixed-point states."""
+    per (uid, problem) on the final fixed-point states.
+
+    State evolution is the shared :func:`step_lock_state` transfer in
+    its lint (``sound=False``) mode: unresolved ids poison but keep the
+    sets, so ``unlock-unheld`` still keys off the accumulated ``may``
+    set; the race analyzer's sound mode lives in
+    :mod:`repro.staticanalysis.lockset`.
+    """
     from repro.staticanalysis.dataflow import ForwardProblem, solve_forward
 
     program = cfg.program
 
-    def step(state: _LockState, instr: Instruction,
+    def step(state: LockState, instr: Instruction,
              findings: Optional[List[Finding]],
-             block_label: str) -> _LockState:
-        if instr.op is Opcode.LOCK:
-            lock = _lock_id(instr, states.get(instr.uid))
-            if lock is None:
-                return _LockState(state.must, state.may, True)
-            if lock in state.must and findings is not None \
+             block_label: str) -> LockState:
+        if instr.op in (Opcode.LOCK, Opcode.UNLOCK):
+            lock = resolve_lock_id(instr, states.get(instr.uid))
+            if findings is not None and lock is not None \
                     and not state.poisoned:
-                findings.append(Finding(
-                    "double-acquire", "error",
-                    f"{instr!r} re-acquires lock {lock} already held "
-                    f"on every path here (the kernel raises on "
-                    f"recursive acquire)",
-                    block=block_label, uid=instr.uid))
-            return _LockState(state.must | {lock}, state.may | {lock},
-                              state.poisoned)
-        if instr.op is Opcode.UNLOCK:
-            lock = _lock_id(instr, states.get(instr.uid))
-            if lock is None:
-                return _LockState(state.must, state.may, True)
-            if lock not in state.may and findings is not None \
-                    and not state.poisoned:
-                findings.append(Finding(
-                    "unlock-unheld", "error",
-                    f"{instr!r} releases lock {lock}, which is not "
-                    f"held on any path here",
-                    block=block_label, uid=instr.uid))
-            return _LockState(state.must - {lock}, state.may - {lock},
-                              state.poisoned)
-        if instr.op is Opcode.WAIT:
-            # pthread_cond_wait semantics: the lock is released while
-            # waiting and re-acquired before returning -> lockset is
-            # unchanged across the instruction.
-            return state
-        return state
+                if instr.op is Opcode.LOCK and lock in state.must:
+                    findings.append(Finding(
+                        "double-acquire", "error",
+                        f"{instr!r} re-acquires lock {lock} already held "
+                        f"on every path here (the kernel raises on "
+                        f"recursive acquire)",
+                        block=block_label, uid=instr.uid))
+                elif instr.op is Opcode.UNLOCK and lock not in state.may:
+                    findings.append(Finding(
+                        "unlock-unheld", "error",
+                        f"{instr!r} releases lock {lock}, which is not "
+                        f"held on any path here",
+                        block=block_label, uid=instr.uid))
+            return step_lock_state(state, instr, lock, sound=False)
+        return step_lock_state(state, instr, None, sound=False)
 
     class _Problem(ForwardProblem):
         edge_kinds = THREAD_EDGES
 
         def initial(self):
-            return _LockState()
+            return LockState()
 
         def entry_state(self):
-            return _LockState()
+            return LockState()
 
         def join(self, a, b):
             return a.join(b)
@@ -384,9 +349,20 @@ def _check_joins(cfg: CFG, entries_states) -> List[Finding]:
 # ---------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------
-def lint_program(program: Program) -> List[Finding]:
-    """Run every lint check; returns findings (errors first)."""
-    cfg = CFG(program)
+def lint_program(program: Program, cfg: Optional[CFG] = None,
+                 _cacheable: bool = True) -> List[Finding]:
+    """Run every lint check; returns findings (errors first).
+
+    By default the result is memoized per program fingerprint (the
+    fuzz campaign lints every rendered scenario, often twice for the
+    reduced form); ``_cacheable=False`` is the cache's own entry point.
+    """
+    if _cacheable and cfg is None:
+        from repro.staticanalysis.analysiscache import analysis_for
+
+        return analysis_for(program).lint
+    if cfg is None:
+        cfg = CFG(program)
     live = cfg.reachable(0)
     findings: List[Finding] = []
     findings += _check_unreachable(cfg)

@@ -1,0 +1,409 @@
+"""Static race detector over thread contexts, footprints and locksets.
+
+Pairs every two memory-access *sites* (context, instruction uid) that
+can overlap in memory and run in concurrent threads, and classifies each
+(uid, uid) pair with a :class:`RaceVerdict`:
+
+* ``STATICALLY_RACE_FREE`` — every site pair for these uids is proved
+  ordered or mutually excluded: disjoint footprints (implicitly — such
+  pairs are never even enumerated), same single-instance context
+  (program order), fork ordering (the main-thread access provably
+  executes once, before every spawn site), or a common must-held lock;
+* ``POTENTIAL_RACE`` — some concrete site pair conflicts (bounded
+  overlapping footprints, at least one write, disjoint must-locksets);
+* ``UNKNOWN`` — the analysis could not bound the pair (unbounded
+  footprint, unresolved lock operations, context-enumeration bailout).
+
+Soundness contract (checked dynamically by the scengen oracle's
+``static_race_superset``): if FastTrack ever reports a dynamic race
+between two instructions, their pair must NOT be
+``STATICALLY_RACE_FREE``. The proofs used here map onto FastTrack's
+happens-before exactly:
+
+* program order within a single-instance context ⇒ same thread;
+* fork ordering: the access's block dominates every spawn site (over
+  ``THREAD_EDGES``) and is not multi-executed, and *every* spawn site
+  program-wide belongs to the main context, so the access happens-before
+  each child's first instruction (FastTrack's fork edge);
+* a common must-held lock ⇒ the two critical sections are mutually
+  exclusive and the kernel emits the Release/Acquire pair FastTrack
+  turns into a happens-before edge (WAIT parks release and re-acquire
+  the mutex through the same events).
+
+Everything the proofs cannot cover degrades toward POTENTIAL_RACE /
+UNKNOWN, never toward race-free.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.machine.isa import MEMORY_OPCODES, Opcode
+from repro.machine.program import Program
+from repro.staticanalysis.cfg import CFG, THREAD_EDGES
+from repro.staticanalysis.lockset import (
+    LocksetResult,
+    compute_locksets,
+    lock_touching_entries,
+)
+from repro.staticanalysis.sharing import (
+    Context,
+    _compute_footprints,
+    _multi_executed_blocks,
+    discover_contexts,
+)
+
+#: Stop enumerating beyond this many overlapping site pairs; the report
+#: degrades to incomplete (everything UNKNOWN) instead of stalling.
+MAX_SITE_PAIRS = 250_000
+
+
+class RaceVerdict(enum.Enum):
+    STATICALLY_RACE_FREE = "race-free"
+    POTENTIAL_RACE = "potential-race"
+    UNKNOWN = "unknown"
+
+
+#: Join order when several site pairs map onto one (uid, uid) pair.
+_SEVERITY = {
+    RaceVerdict.STATICALLY_RACE_FREE: 0,
+    RaceVerdict.UNKNOWN: 1,
+    RaceVerdict.POTENTIAL_RACE: 2,
+}
+
+
+@dataclass
+class RacePair:
+    """One classified (uid, uid) access pair (uid_a <= uid_b)."""
+
+    uid_a: int
+    uid_b: int
+    verdict: RaceVerdict
+    reason: str
+    #: Human-readable witness path per side (entry-to-access blocks).
+    witness: Tuple[str, str]
+
+    def as_dict(self) -> Dict:
+        return {"uid_a": self.uid_a, "uid_b": self.uid_b,
+                "verdict": self.verdict.value, "reason": self.reason,
+                "witness": list(self.witness)}
+
+
+@dataclass
+class StaticRaceReport:
+    """Race verdicts for every enumerable access pair of one program."""
+
+    program_name: str
+    #: (uid_a, uid_b) -> worst RacePair over all its site pairs.
+    pairs: Dict[Tuple[int, int], RacePair] = field(default_factory=dict)
+    memory_uids: FrozenSet[int] = frozenset()
+    n_contexts: int = 0
+    incomplete: bool = False
+    incomplete_reason: str = ""
+
+    def pair_verdict(self, uid_a: int, uid_b: int) -> RaceVerdict:
+        """The verdict for an unordered uid pair.
+
+        Pairs never enumerated are race-free *by construction* (their
+        footprints cannot overlap, or no two concurrent threads reach
+        them) — unless the analysis is incomplete, in which case nothing
+        is claimed about anything.
+        """
+        if self.incomplete:
+            return RaceVerdict.UNKNOWN
+        key = (uid_a, uid_b) if uid_a <= uid_b else (uid_b, uid_a)
+        pair = self.pairs.get(key)
+        if pair is None:
+            return RaceVerdict.STATICALLY_RACE_FREE
+        return pair.verdict
+
+    def uid_verdict(self, uid: int) -> RaceVerdict:
+        """Worst verdict over every pair the uid participates in."""
+        if self.incomplete:
+            return RaceVerdict.UNKNOWN
+        worst = RaceVerdict.STATICALLY_RACE_FREE
+        for (a, b), pair in self.pairs.items():
+            if uid in (a, b) and _SEVERITY[pair.verdict] > _SEVERITY[worst]:
+                worst = pair.verdict
+        return worst
+
+    def race_free_uids(self) -> Set[int]:
+        """Memory uids with no non-race-free pair (∅ when incomplete)."""
+        if self.incomplete:
+            return set()
+        tainted: Set[int] = set()
+        for (a, b), pair in self.pairs.items():
+            if pair.verdict is not RaceVerdict.STATICALLY_RACE_FREE:
+                tainted.add(a)
+                tainted.add(b)
+        return set(self.memory_uids) - tainted
+
+    def counts(self) -> Dict[str, int]:
+        out = {v.value: 0 for v in RaceVerdict}
+        for pair in self.pairs.values():
+            out[pair.verdict.value] += 1
+        return out
+
+    def potential(self) -> List[RacePair]:
+        ranked = [p for p in self.pairs.values()
+                  if p.verdict is not RaceVerdict.STATICALLY_RACE_FREE]
+        ranked.sort(key=lambda p: (-_SEVERITY[p.verdict], p.uid_a, p.uid_b))
+        return ranked
+
+    def as_dict(self) -> Dict:
+        counts = self.counts()
+        return {
+            "program": self.program_name,
+            "memory_instructions": len(self.memory_uids),
+            "contexts": self.n_contexts,
+            "pairs_classified": len(self.pairs),
+            "race_free_pairs": counts[
+                RaceVerdict.STATICALLY_RACE_FREE.value],
+            "potential_race_pairs": counts[
+                RaceVerdict.POTENTIAL_RACE.value],
+            "unknown_pairs": counts[RaceVerdict.UNKNOWN.value],
+            "race_free_uids": len(self.race_free_uids()),
+            "incomplete": self.incomplete,
+            "incomplete_reason": self.incomplete_reason,
+        }
+
+    def render(self, limit: int = 10) -> str:
+        d = self.as_dict()
+        lines = [f"static race analysis: {self.program_name}"]
+        if self.incomplete:
+            lines.append(f"  INCOMPLETE: {self.incomplete_reason} "
+                         f"(every pair is UNKNOWN)")
+            return "\n".join(lines)
+        lines.append(
+            f"  contexts: {d['contexts']}; memory instructions: "
+            f"{d['memory_instructions']} ({d['race_free_uids']} race-free)")
+        lines.append(
+            f"  pairs: {d['pairs_classified']} classified — "
+            f"{d['race_free_pairs']} race-free, "
+            f"{d['potential_race_pairs']} potential, "
+            f"{d['unknown_pairs']} unknown")
+        shown = self.potential()[:limit]
+        for pair in shown:
+            lines.append(f"  {pair.verdict.value}: uid {pair.uid_a} x "
+                         f"uid {pair.uid_b} — {pair.reason}")
+            lines.append(f"    A: {pair.witness[0]}")
+            lines.append(f"    B: {pair.witness[1]}")
+        hidden = len(self.potential()) - len(shown)
+        if hidden > 0:
+            lines.append(f"  ... {hidden} more non-race-free pair(s)")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Site:
+    """One (context, uid) access site covering one page interval of
+    its footprint (multi-interval footprints emit several sites)."""
+
+    ctx: int
+    uid: int
+    lo: int
+    hi: int            # inclusive; unbounded sites use _UNBOUNDED_HI
+    write: bool
+    bounded: bool
+
+
+_UNBOUNDED_HI = 1 << 62
+
+
+def _witness(cfg: CFG, ctx: Context, uid: int,
+             cache: Dict[Tuple[int, int], str]) -> str:
+    """Entry-to-access block path plus the access description."""
+    program = cfg.program
+    block = cfg.instruction_block(uid)
+    key = (ctx.key.entry, block)
+    path = cache.get(key)
+    if path is None:
+        # BFS over thread edges for the shortest entry->block path.
+        parents: Dict[int, int] = {ctx.key.entry: -1}
+        frontier = [ctx.key.entry]
+        while frontier and block not in parents:
+            nxt: List[int] = []
+            for b in frontier:
+                for dst in cfg.successors(b, THREAD_EDGES):
+                    if dst not in parents:
+                        parents[dst] = b
+                        nxt.append(dst)
+            frontier = nxt
+        if block in parents:
+            chain: List[int] = []
+            b = block
+            while b != -1:
+                chain.append(b)
+                b = parents[b]
+            path = " -> ".join(program.blocks[b].label
+                               for b in reversed(chain))
+        else:
+            path = f"(unreachable from {program.blocks[ctx.key.entry].label})"
+        cache[key] = path
+    instr = program.instruction_at(uid)
+    return f"{ctx.key.describe(program)} via {path}: {instr!r}"
+
+
+def analyze_races(program: Program, *,
+                  cfg: Optional[CFG] = None,
+                  contexts: Optional[List[Context]] = None,
+                  discovery_reason: str = "",
+                  locksets: Optional[List[LocksetResult]] = None
+                  ) -> StaticRaceReport:
+    """Classify every overlapping concurrent access pair of ``program``.
+
+    ``contexts`` (with footprints already computed) and ``locksets`` may
+    be supplied by :mod:`repro.staticanalysis.analysiscache` so one
+    discovery pass serves the classifier, the race analyzer and the
+    elision planner alike.
+    """
+    if cfg is None:
+        cfg = CFG(program)
+    memory_uids = frozenset(
+        instr.uid
+        for block in program.blocks
+        for instr in block.instructions
+        if instr.op in MEMORY_OPCODES)
+    if contexts is None:
+        contexts, discovery_reason = discover_contexts(cfg)
+        for ctx in contexts:
+            _compute_footprints(cfg, ctx)
+    if discovery_reason:
+        return StaticRaceReport(
+            program.name, memory_uids=memory_uids,
+            incomplete=True, incomplete_reason=discovery_reason)
+    if locksets is None:
+        touching = lock_touching_entries(cfg)
+        locksets = [compute_locksets(cfg, ctx.states,
+                                     entry=ctx.key.entry,
+                                     touching=touching)
+                    for ctx in contexts]
+
+    report = StaticRaceReport(program.name, memory_uids=memory_uids,
+                              n_contexts=len(contexts))
+
+    # Fork-ordering refinement: only sound when every spawn site
+    # program-wide executes in the main context (children never spawn),
+    # so "parent" is always main and its vector clock flows to every
+    # child's start.
+    main_idx = 0
+    assert contexts[main_idx].key.entry == 0
+    spawn_uids = {instr.uid for block in program.blocks
+                  for instr in block.instructions
+                  if instr.op is Opcode.SPAWN}
+    fork_refinement = all(
+        not (spawn_uids & set(ctx.states))
+        for i, ctx in enumerate(contexts) if i != main_idx)
+    dom = cfg.dominators(0, THREAD_EDGES) if fork_refinement else {}
+    multi = _multi_executed_blocks(cfg) if fork_refinement else set()
+
+    def main_precedes_all_spawns(uid: int) -> bool:
+        block, pos = program.instruction_locations[uid]
+        if block in multi:
+            return False
+        for sblock, spos, _ in cfg.spawn_sites:
+            if sblock == block:
+                if pos >= spos:
+                    return False
+            elif sblock in dom and block not in dom[sblock]:
+                return False
+            elif sblock not in dom:
+                # Spawn site unreachable over thread edges from main's
+                # entry: it can still run (e.g. via paths the subgraph
+                # misses) as far as this proof cares — refuse to order.
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # access sites and the overlap sweep
+    # ------------------------------------------------------------------
+    sites: List[_Site] = []
+    for i, ctx in enumerate(contexts):
+        for uid, fp in ctx.footprints.items():
+            instr = program.instruction_at(uid)
+            write = instr.is_write
+            if fp is None:
+                sites.append(_Site(i, uid, 0, _UNBOUNDED_HI, write, False))
+            else:
+                # One site per disjoint footprint interval: sub-
+                # intervals of the same access never overlap each
+                # other, so they only meet *other* sites in the sweep.
+                for lo, hi in fp:
+                    sites.append(_Site(i, uid, lo, hi, write, True))
+    sites.sort(key=lambda s: (s.lo, s.hi, s.ctx, s.uid))
+
+    witness_cache: Dict[Tuple[int, int], str] = {}
+
+    def classify(sa: _Site, sb: _Site) -> Optional[Tuple[RaceVerdict, str]]:
+        """Verdict for one site pair, or None when no pair exists."""
+        if not (sa.write or sb.write):
+            return None
+        same_site = sa.ctx == sb.ctx and sa.uid == sb.uid
+        if sa.ctx == sb.ctx:
+            if contexts[sa.ctx].instances < 2:
+                return None  # one thread, program order
+            # Two instances of the same context run the same code
+            # concurrently; fall through to the lock/footprint logic.
+        elif fork_refinement and main_idx in (sa.ctx, sb.ctx):
+            main_site = sa if sa.ctx == main_idx else sb
+            if main_precedes_all_spawns(main_site.uid):
+                return (RaceVerdict.STATICALLY_RACE_FREE,
+                        "fork-ordered: main access precedes every spawn")
+        la, lb = locksets[sa.ctx], locksets[sb.ctx]
+        common = la.must_held(sa.uid) & lb.must_held(sb.uid)
+        if common:
+            locks = ", ".join(str(x) for x in sorted(common))
+            return (RaceVerdict.STATICALLY_RACE_FREE,
+                    f"consistently locked (common lock {locks})")
+        if not sa.bounded or not sb.bounded:
+            return (RaceVerdict.UNKNOWN, "unbounded footprint")
+        if la.poisoned_at.get(sa.uid) or lb.poisoned_at.get(sb.uid):
+            return (RaceVerdict.UNKNOWN, "unresolved lock operations")
+        kind = ("write-write" if sa.write and sb.write
+                else "read-write")
+        where = ("same instruction, multiple thread instances"
+                 if same_site else "concurrent contexts")
+        return (RaceVerdict.POTENTIAL_RACE,
+                f"{kind} overlap, no common lock ({where})")
+
+    def record(sa: _Site, sb: _Site) -> None:
+        outcome = classify(sa, sb)
+        if outcome is None:
+            return
+        verdict, reason = outcome
+        key = ((sa.uid, sb.uid) if sa.uid <= sb.uid
+               else (sb.uid, sa.uid))
+        existing = report.pairs.get(key)
+        if existing is not None \
+                and _SEVERITY[existing.verdict] >= _SEVERITY[verdict]:
+            return
+        first, second = (sa, sb) if sa.uid <= sb.uid else (sb, sa)
+        report.pairs[key] = RacePair(
+            key[0], key[1], verdict, reason,
+            (_witness(cfg, contexts[first.ctx], first.uid, witness_cache),
+             _witness(cfg, contexts[second.ctx], second.uid,
+                      witness_cache)))
+
+    examined = 0
+    active: List[_Site] = []
+    for site in sites:
+        active = [a for a in active if a.hi >= site.lo]
+        for other in active:
+            # Identical (ctx, uid) sites pair with themselves exactly
+            # once: a site races itself only via a second instance,
+            # which `classify` checks through ctx.instances.
+            examined += 1
+            if examined > MAX_SITE_PAIRS:
+                return StaticRaceReport(
+                    program.name, memory_uids=memory_uids,
+                    n_contexts=len(contexts), incomplete=True,
+                    incomplete_reason=(
+                        f"site-pair explosion (> {MAX_SITE_PAIRS})"))
+            record(other, site)
+        if contexts[site.ctx].instances >= 2:
+            # Self pair: the same site in two instances of its context.
+            record(site, site)
+        active.append(site)
+    return report

@@ -15,7 +15,8 @@ a fixed point (spawned threads may spawn further threads). Each context
 is solved with :class:`~repro.staticanalysis.constprop.ConstProp` from
 its entry block with ``r1`` bound to the spawn argument's abstract
 value; the per-instruction register states then give every memory
-instruction a per-context *footprint* (a page interval, or unbounded).
+instruction a per-context *footprint* (disjoint page intervals, or
+unbounded).
 
 Soundness argument for PRIVATE (the only classification the runtime
 relies on): footprints over-approximate the pages a context's threads
@@ -90,8 +91,10 @@ class Context:
     instances: int = 1
     #: Register state just before each reachable instruction (by uid).
     states: Dict[int, RegState] = field(default_factory=dict)
-    #: uid -> (first_page, last_page) footprint, or None for unbounded.
-    footprints: Dict[int, Optional[Tuple[int, int]]] = \
+    #: uid -> disjoint sorted (first_page, last_page) intervals, or
+    #: None for unbounded. Multi-interval footprints arise from setoff
+    #: address values (partition base sets plus bounded offsets).
+    footprints: Dict[int, Optional[Tuple[Tuple[int, int], ...]]] = \
         field(default_factory=dict)
     #: True when some reachable access has an unbounded footprint.
     unbounded: bool = False
@@ -229,19 +232,20 @@ def _compute_footprints(cfg: CFG, ctx: Context) -> None:
         addr = instruction_address(instr, regs)
         if addr.is_bot:
             continue  # no feasible execution reaches it in this context
-        bounds = addr.bounds()
-        if bounds is None:
+        spans = addr.intervals()
+        if spans is None:
             ctx.footprints[uid] = None
             ctx.unbounded = True
             continue
         # A word access spans [ea, ea+7] but is translated (and page-
         # classified) through ea alone, so pages are taken from ea.
-        pages = (bounds[0] >> PAGE_SHIFT, bounds[1] >> PAGE_SHIFT)
-        if pages[1] - pages[0] > MAX_FOOTPRINT_PAGES:
+        pages = _merge_intervals(
+            [(lo >> PAGE_SHIFT, hi >> PAGE_SHIFT) for lo, hi in spans])
+        if sum(hi - lo for lo, hi in pages) > MAX_FOOTPRINT_PAGES:
             ctx.footprints[uid] = None
             ctx.unbounded = True
         else:
-            ctx.footprints[uid] = pages
+            ctx.footprints[uid] = tuple(pages)
 
 
 def _merge_intervals(intervals: List[Tuple[int, int]]
@@ -281,8 +285,17 @@ def _covers(merged: List[Tuple[int, int]], lo: int, hi: int) -> bool:
 # classification
 # ---------------------------------------------------------------------
 def classify_sharing(program: Program,
-                     cfg: Optional[CFG] = None) -> SharingReport:
-    """Classify every memory instruction of ``program``."""
+                     cfg: Optional[CFG] = None,
+                     contexts: Optional[List[Context]] = None,
+                     discovery_reason: str = "") -> SharingReport:
+    """Classify every memory instruction of ``program``.
+
+    ``contexts`` (with footprints already computed) and the matching
+    ``discovery_reason`` may come from a previous
+    :func:`discover_contexts` pass — the analysis cache uses this to
+    share one discovery across classifier, linter, race analyzer and
+    elision planner.
+    """
     if cfg is None:
         cfg = CFG(program)
     memory_uids = [
@@ -291,14 +304,16 @@ def classify_sharing(program: Program,
         for instr in block.instructions
         if instr.op in MEMORY_OPCODES
     ]
-    contexts, reason = discover_contexts(cfg)
-    if reason:
+    if contexts is None:
+        contexts, discovery_reason = discover_contexts(cfg)
+        if not discovery_reason:
+            for ctx in contexts:
+                _compute_footprints(cfg, ctx)
+    if discovery_reason:
         return SharingReport(
             program.name,
             {uid: SharingClass.UNKNOWN for uid in memory_uids},
-            [], incomplete=True, incomplete_reason=reason)
-    for ctx in contexts:
-        _compute_footprints(cfg, ctx)
+            [], incomplete=True, incomplete_reason=discovery_reason)
 
     # Per-context merged footprints (for the "does anyone else touch
     # this page" query) and the multi-coverage region (pages touched by
@@ -306,7 +321,8 @@ def classify_sharing(program: Program,
     per_ctx_merged: List[List[Tuple[int, int]]] = []
     for ctx in contexts:
         per_ctx_merged.append(_merge_intervals(
-            [fp for fp in ctx.footprints.values() if fp is not None]))
+            [span for fp in ctx.footprints.values() if fp is not None
+             for span in fp]))
     any_unbounded = [ctx.unbounded for ctx in contexts]
 
     events: List[Tuple[int, int]] = []
@@ -361,11 +377,12 @@ def classify_sharing(program: Program,
                 for j, other in enumerate(contexts):
                     if j == i:
                         continue
-                    if any_unbounded[j] or \
-                            _overlaps(per_ctx_merged[j], fp[0], fp[1]):
+                    if any_unbounded[j] or any(
+                            _overlaps(per_ctx_merged[j], lo, hi)
+                            for lo, hi in fp):
                         private = False
                         break
-            if not _covers(multi_region, fp[0], fp[1]):
+            if not all(_covers(multi_region, lo, hi) for lo, hi in fp):
                 shared = False
             if not private and not shared:
                 break

@@ -1,0 +1,185 @@
+"""Bit-identity and tripwire tests for ``static_elide``.
+
+The elision contract: fusing statically race-free shared-checks into
+compiled fast paths may never change a simulated statistic — under the
+plain engine, under chaos injection, with the invariant monitor on, and
+with the tracer attached. The dynamic tripwires back up the static
+proofs: a locked-tier page turning SHARED retires the uid; a
+private-tier page turning SHARED (impossible when the classifier is
+sound) raises ``ToolError``.
+"""
+
+import pytest
+
+import repro.core.sharing as core_sharing
+from repro.chaos.plan import ChaosPlan
+from repro.core.config import AikidoConfig
+from repro.errors import ToolError
+from repro.harness.parallel import (
+    Job,
+    job_key,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.harness.runner import run_aikido_fasttrack
+from repro.machine.asm import ProgramBuilder
+from repro.machine.paging import PAGE_SHIFT, PAGE_SIZE
+from repro.staticanalysis.elision import TIER_PRIVATE, ElisionPlan
+from repro.workloads.parsec import build_benchmark
+
+PARITY_BENCHES = ("blackscholes", "freqmine", "vips")
+
+
+def _races(result):
+    return [r.describe() for r in result.races]
+
+
+def _pair(name, config, **kwargs):
+    defaults = dict(seed=3, quantum=200, jitter=0.1)
+    defaults.update(kwargs)
+    plain = run_aikido_fasttrack(
+        build_benchmark(name, threads=4, scale=0.5), **defaults)
+    elided = run_aikido_fasttrack(
+        build_benchmark(name, threads=4, scale=0.5), config=config,
+        **defaults)
+    return plain, elided
+
+
+def _assert_parity(plain, elided):
+    assert elided.cycles == plain.cycles
+    assert elided.run_stats == plain.run_stats
+    assert elided.aikido_stats == plain.aikido_stats
+    assert elided.cycle_breakdown == plain.cycle_breakdown
+    assert _races(elided) == _races(plain)
+
+
+class TestParity:
+    @pytest.mark.parametrize("name", PARITY_BENCHES)
+    def test_plain_run_is_bit_identical(self, name):
+        plain, elided = _pair(name, AikidoConfig(static_elide=True))
+        _assert_parity(plain, elided)
+        assert plain.elision is None
+        assert elided.elision["checks_elided"] > 0
+
+    @pytest.mark.parametrize("name", PARITY_BENCHES)
+    def test_invariant_monitored_run_is_bit_identical(self, name):
+        kwargs = dict(seed=3, quantum=200, jitter=0.1)
+        monitored = run_aikido_fasttrack(
+            build_benchmark(name, threads=4, scale=0.5),
+            config=AikidoConfig(check_invariants=True), **kwargs)
+        elided = run_aikido_fasttrack(
+            build_benchmark(name, threads=4, scale=0.5),
+            config=AikidoConfig(static_elide=True, check_invariants=True),
+            **kwargs)
+        assert elided.cycles == monitored.cycles
+        assert elided.run_stats == monitored.run_stats
+        assert _races(elided) == _races(monitored)
+        # The elision invariant itself adds monitor telemetry
+        # (invariant_checks); everything else in aikido_stats matches.
+        skip = {"invariant_checks"}
+        assert ({k: v for k, v in elided.aikido_stats.items()
+                 if k not in skip}
+                == {k: v for k, v in monitored.aikido_stats.items()
+                    if k not in skip})
+        assert elided.chaos["invariant_violations"] == 0
+
+    def test_chaos_run_is_bit_identical(self):
+        # Chaos changes the simulated outcome vs a chaos-free run, so
+        # both sides here run under the SAME plan; elision must not
+        # perturb the chaotic schedule either.
+        plan = ChaosPlan(seed=11, points={"spurious_fault": 0.05})
+        plain, elided = _pair(
+            "blackscholes",
+            AikidoConfig(static_elide=True, chaos=plan,
+                         check_invariants=True))
+        chaotic = run_aikido_fasttrack(
+            build_benchmark("blackscholes", threads=4, scale=0.5),
+            seed=3, quantum=200, jitter=0.1,
+            config=AikidoConfig(chaos=plan, check_invariants=True))
+        _assert_parity(chaotic, elided)
+        assert elided.chaos["invariant_violations"] == 0
+
+    def test_traced_run_is_bit_identical(self):
+        plain, elided = _pair(
+            "freqmine", AikidoConfig(static_elide=True, trace=True))
+        traced_plain = run_aikido_fasttrack(
+            build_benchmark("freqmine", threads=4, scale=0.5),
+            seed=3, quantum=200, jitter=0.1,
+            config=AikidoConfig(trace=True))
+        _assert_parity(traced_plain, elided)
+
+    def test_interpreter_tier_matches_compiled_elided(self):
+        interp = run_aikido_fasttrack(
+            build_benchmark("vips", threads=4, scale=0.5),
+            seed=3, quantum=200, jitter=0.1,
+            config=AikidoConfig(compile_blocks=False))
+        elided = run_aikido_fasttrack(
+            build_benchmark("vips", threads=4, scale=0.5),
+            seed=3, quantum=200, jitter=0.1,
+            config=AikidoConfig(static_elide=True))
+        _assert_parity(interp, elided)
+
+
+class TestTripwires:
+    def test_locked_tier_retires_on_page_share(self):
+        # vips' work queue goes SHARED mid-run: its locked-tier uids
+        # must retire, with parity intact (asserted above).
+        result = run_aikido_fasttrack(
+            build_benchmark("vips", threads=4, scale=0.5),
+            seed=3, quantum=200, jitter=0.1,
+            config=AikidoConfig(static_elide=True))
+        assert result.elision["retired_uids"]
+
+    def test_private_tier_on_shared_page_raises(self, monkeypatch):
+        # Force a deliberately-wrong plan: the unsynchronized flag store
+        # (provably shared) lands in the private tier. The engine must
+        # refuse to run past the page's PRIVATE->SHARED transition.
+        b = ProgramBuilder("badplan")
+        flag = b.segment("flag", PAGE_SIZE)
+        b.label("main")
+        b.li(3, 0)
+        b.spawn(5, "child", arg_reg=3)
+        b.li(3, 1)
+        b.spawn(6, "child", arg_reg=3)
+        b.join(5)
+        b.join(6)
+        b.halt()
+        b.label("child")
+        b.store(2, base=None, disp=flag)
+        b.halt()
+        program = b.build()
+        store = next(i for i in program.iter_instructions()
+                     if i.op.name == "STORE")
+        vpn = flag >> PAGE_SHIFT
+        bad = ElisionPlan(program.name,
+                          tiers={store.uid: TIER_PRIVATE},
+                          footprints={store.uid: ((vpn, vpn),)},
+                          memory_instructions=1)
+
+        class _FakeAnalysis:
+            elision = bad
+
+        monkeypatch.setattr(core_sharing, "analysis_for",
+                            lambda _program: _FakeAnalysis())
+        with pytest.raises(ToolError, match="unsound"):
+            run_aikido_fasttrack(program, seed=3, quantum=50,
+                                 config=AikidoConfig(static_elide=True))
+
+
+class TestHarnessPlumbing:
+    def test_result_roundtrip_preserves_elision(self):
+        result = run_aikido_fasttrack(
+            build_benchmark("blackscholes", threads=4, scale=0.3),
+            seed=3, quantum=200,
+            config=AikidoConfig(static_elide=True))
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.elision == result.elision
+        assert rebuilt.elision["checks_elided"] > 0
+
+    def test_job_key_splits_on_static_elide(self):
+        plain = Job("blackscholes", "aikido-fasttrack", threads=2,
+                    scale=0.3, seed=3, quantum=200)
+        elided = Job("blackscholes", "aikido-fasttrack", threads=2,
+                     scale=0.3, seed=3, quantum=200,
+                     config=AikidoConfig(static_elide=True))
+        assert job_key(plain, "fp") != job_key(elided, "fp")

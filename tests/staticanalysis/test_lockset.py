@@ -1,0 +1,166 @@
+"""Unit tests for the must-hold-lockset dataflow."""
+
+from repro.machine.asm import ProgramBuilder
+from repro.machine.isa import Instruction, Opcode
+from repro.machine.paging import PAGE_SIZE
+from repro.staticanalysis.analysiscache import analysis_for
+from repro.staticanalysis.lockset import (
+    LockState,
+    lock_touching_entries,
+    step_lock_state,
+)
+
+
+def _uid_of(program, opname, nth=0):
+    found = [i for i in program.iter_instructions() if i.op.name == opname]
+    return found[nth].uid
+
+
+def _lockset_for_entry(analysis, entry_label):
+    program = analysis.program
+    entry = program.label_index(entry_label)
+    for ls in analysis.locksets:
+        if ls.entry == entry:
+            return ls
+    raise AssertionError(f"no lockset result for entry {entry_label}")
+
+
+class TestTransfer:
+    def test_lock_adds_to_must_and_may(self):
+        state = step_lock_state(LockState(), Instruction(Opcode.LOCK),
+                                3, sound=True)
+        assert state.must == frozenset({3})
+        assert state.may == frozenset({3})
+        assert not state.poisoned
+
+    def test_unlock_removes(self):
+        held = LockState(frozenset({3, 4}), frozenset({3, 4}))
+        state = step_lock_state(held, Instruction(Opcode.UNLOCK),
+                                3, sound=True)
+        assert state.must == frozenset({4})
+
+    def test_unknown_lock_poisons_but_keeps_must(self):
+        held = LockState(frozenset({3}), frozenset({3}))
+        state = step_lock_state(held, Instruction(Opcode.LOCK),
+                                None, sound=True)
+        assert state.must == frozenset({3})
+        assert state.poisoned
+
+    def test_unknown_unlock_clears_must_in_sound_mode(self):
+        held = LockState(frozenset({3}), frozenset({3}))
+        sound = step_lock_state(held, Instruction(Opcode.UNLOCK),
+                                None, sound=True)
+        assert sound.must == frozenset()
+        assert sound.poisoned
+        # The linter's historical semantics keep must (poisoned).
+        lint = step_lock_state(held, Instruction(Opcode.UNLOCK),
+                               None, sound=False)
+        assert lint.must == frozenset({3})
+
+    def test_call_clobbers_must_when_callee_touches_locks(self):
+        held = LockState(frozenset({3}), frozenset({3}))
+        state = step_lock_state(held, Instruction(Opcode.CALL, label="f"),
+                                None, sound=True, call_clobbers=True)
+        assert state.must == frozenset()
+        kept = step_lock_state(held, Instruction(Opcode.CALL, label="g"),
+                               None, sound=True, call_clobbers=False)
+        assert kept.must == frozenset({3})
+
+    def test_wait_leaves_lockset_unchanged(self):
+        held = LockState(frozenset({3}), frozenset({3}))
+        state = step_lock_state(held, Instruction(Opcode.WAIT, imm=1),
+                                None, sound=True)
+        assert state.must == frozenset({3})
+
+    def test_join_intersects_must_unions_may(self):
+        a = LockState(frozenset({1, 2}), frozenset({1, 2}))
+        b = LockState(frozenset({2, 3}), frozenset({2, 3}), poisoned=True)
+        j = a.join(b)
+        assert j.must == frozenset({2})
+        assert j.may == frozenset({1, 2, 3})
+        assert j.poisoned
+
+
+class TestDataflow:
+    def test_critical_section_has_must_held_lock(self):
+        b = ProgramBuilder("cs")
+        data = b.segment("data", PAGE_SIZE)
+        b.label("main")
+        b.lock(7)
+        b.store(2, base=None, disp=data)
+        b.unlock(7)
+        b.store(2, base=None, disp=data + 8)
+        b.halt()
+        program = b.build()
+        analysis = analysis_for(program)
+        ls = _lockset_for_entry(analysis, "main")
+        inside = _uid_of(program, "STORE", 0)
+        outside = _uid_of(program, "STORE", 1)
+        assert ls.must_held(inside) == frozenset({7})
+        assert ls.must_held(outside) == frozenset()
+
+    def test_register_named_lock_resolves_through_constprop(self):
+        b = ProgramBuilder("reglock")
+        data = b.segment("data", PAGE_SIZE)
+        b.label("main")
+        b.li(2, 9)
+        b.lock(reg=2)
+        b.store(3, base=None, disp=data)
+        b.unlock(reg=2)
+        b.halt()
+        program = b.build()
+        analysis = analysis_for(program)
+        ls = _lockset_for_entry(analysis, "main")
+        assert ls.must_held(_uid_of(program, "STORE")) == frozenset({9})
+
+    def test_branch_merge_drops_unbalanced_lock(self):
+        b = ProgramBuilder("branchlock")
+        data = b.segment("data", PAGE_SIZE)
+        b.label("main")
+        b.bz(1, "skip")
+        b.lock(7)
+        b.label("skip")
+        b.store(2, base=None, disp=data)
+        b.halt()
+        program = b.build()
+        analysis = analysis_for(program)
+        ls = _lockset_for_entry(analysis, "main")
+        # Only one path holds the lock: must is empty at the store.
+        assert ls.must_held(_uid_of(program, "STORE")) == frozenset()
+
+    def test_spawned_context_does_not_inherit_parent_lockset(self):
+        b = ProgramBuilder("spawnlock")
+        data = b.segment("data", PAGE_SIZE)
+        b.label("main")
+        b.lock(7)
+        b.li(3, 0)
+        b.spawn(5, "child", arg_reg=3)
+        b.join(5)
+        b.unlock(7)
+        b.halt()
+        b.label("child")
+        b.store(2, base=None, disp=data)
+        b.halt()
+        program = b.build()
+        analysis = analysis_for(program)
+        ls = _lockset_for_entry(analysis, "child")
+        assert ls.must_held(_uid_of(program, "STORE")) == frozenset()
+
+    def test_lock_touching_entries_flags_locking_callee(self):
+        b = ProgramBuilder("callees")
+        b.label("main")
+        b.call("locker")
+        b.call("pure")
+        b.halt()
+        b.label("locker")
+        b.lock(1)
+        b.unlock(1)
+        b.ret()
+        b.label("pure")
+        b.li(2, 0)
+        b.ret()
+        program = b.build()
+        analysis = analysis_for(program)
+        touching = lock_touching_entries(analysis.cfg)
+        assert program.label_index("locker") in touching
+        assert program.label_index("pure") not in touching

@@ -1,0 +1,165 @@
+"""Unit tests for the strided-interval (``setoff``) abstract values.
+
+A ``setoff`` models ``{c + d : c in bases, 0 <= d <= width}`` — the
+shape of "partition base plus bounded random offset" address arithmetic
+in the pipeline workloads. These tests pin its normalization rules,
+lattice behavior and the arithmetic that creates it.
+"""
+
+from repro.staticanalysis import AVal
+from repro.staticanalysis.constprop import (
+    MAX_CONSTS,
+    av_add,
+    av_sub,
+)
+
+_UMAX = (1 << 64) - 1
+
+
+def _concrete(val):
+    """Enumerate a bounded AVal's concrete values (small ones only)."""
+    out = set()
+    for lo, hi in val.intervals():
+        out.update(range(lo, hi + 1))
+    return out
+
+
+class TestConstruction:
+    def test_zero_width_collapses_to_const_set(self):
+        v = AVal.setoff([8, 4096], 0)
+        assert v.kind == "const"
+        assert v.consts == frozenset({8, 4096})
+
+    def test_single_base_collapses_to_range(self):
+        v = AVal.setoff([100], 7)
+        assert v.kind != "setoff"  # small ranges normalize to const sets
+        assert v.bounds() == (100, 107)
+        assert v.intervals() == ((100, 107),)
+
+    def test_disjoint_bases_stay_setoff(self):
+        v = AVal.setoff([0, 4096], 8)
+        assert v.kind == "setoff"
+        assert v.intervals() == ((0, 8), (4096, 4104))
+
+    def test_contiguous_windows_fold_to_one_range(self):
+        # Width >= gap-1: the windows tile the whole span.
+        v = AVal.setoff([0, 8, 16], 8)
+        assert v.kind == "range"
+        assert v.bounds() == (0, 24)
+
+    def test_too_many_bases_degrade_to_covering_range(self):
+        bases = [i * 4096 for i in range(MAX_CONSTS + 1)]
+        v = AVal.setoff(bases, 8)
+        assert v.kind == "range"
+        assert v.bounds() == (0, MAX_CONSTS * 4096 + 8)
+
+    def test_overflow_goes_top(self):
+        v = AVal.setoff([_UMAX - 1, 0], 8)
+        assert v.is_top
+
+    def test_empty_bases_is_bot(self):
+        assert AVal.setoff([], 8).is_bot
+
+
+class TestQueries:
+    def test_bounds_span_min_base_to_max_base_plus_width(self):
+        v = AVal.setoff([0, 1 << 20], 63)
+        assert v.bounds() == (0, (1 << 20) + 63)
+
+    def test_may_contain_respects_gaps(self):
+        v = AVal.setoff([0, 4096], 8)
+        assert v.may_contain(0) and v.may_contain(8)
+        assert v.may_contain(4096) and v.may_contain(4104)
+        assert not v.may_contain(9)
+        assert not v.may_contain(4095)
+
+    def test_intervals_merge_overlapping_windows(self):
+        v = AVal.setoff([0, 4, 4096], 8)
+        assert v.kind == "setoff"
+        assert v.intervals() == ((0, 12), (4096, 4104))
+
+    def test_const_set_intervals_merge_adjacent(self):
+        v = AVal.const_set([1, 2, 3, 10])
+        assert v.intervals() == ((1, 3), (10, 10))
+
+    def test_top_and_bot_intervals(self):
+        assert AVal.top().intervals() is None
+        assert AVal.bot().intervals() == ()
+
+
+class TestLattice:
+    def test_join_unions_bases_and_takes_max_width(self):
+        a = AVal.setoff([0, 4096], 4)
+        b = AVal.setoff([8192], 8)  # normalizes to a range
+        j = a.join(b)
+        assert _concrete(a) | _concrete(b) <= _concrete(j)
+
+    def test_join_is_an_upper_bound_of_const_set(self):
+        a = AVal.setoff([0, 4096], 8)
+        b = AVal.const_set([2, 4100])
+        j = a.join(b)
+        for x in _concrete(a) | {2, 4100}:
+            assert j.may_contain(x)
+
+    def test_join_with_self_is_identity(self):
+        a = AVal.setoff([0, 4096], 8)
+        assert a.join(a) == a
+
+    def test_widen_reaches_fixpoint(self):
+        # Repeated widening against a growing value must terminate.
+        cur = AVal.setoff([0, 4096], 8)
+        for step in range(1, 200):
+            nxt = AVal.setoff([0, 4096], 8 + step)
+            widened = cur.widen(nxt)
+            if widened == cur:
+                break
+            cur = widened
+        else:
+            raise AssertionError("widening never stabilized")
+
+    def test_widen_is_upper_bound(self):
+        a = AVal.setoff([0, 4096], 8)
+        b = AVal.setoff([0, 4096], 16)
+        w = a.widen(b)
+        for x in _concrete(a) | _concrete(b):
+            assert w.may_contain(x)
+
+
+class TestArithmetic:
+    def test_const_set_plus_range_creates_setoff(self):
+        base = AVal.const_set([0, 1 << 20])
+        off = AVal.range(0, 56)
+        v = av_add(base, off)
+        assert v.kind == "setoff"
+        assert v.intervals() == ((0, 56), (1 << 20, (1 << 20) + 56))
+
+    def test_add_is_sound_on_samples(self):
+        a = AVal.setoff([0, 100], 3)
+        b = AVal.const_set([5, 7])
+        v = av_add(a, b)
+        for x in _concrete(a):
+            for y in (5, 7):
+                assert v.may_contain(x + y)
+
+    def test_sub_is_sound_on_samples(self):
+        a = AVal.setoff([100, 200], 3)
+        b = AVal.const(10)
+        v = av_sub(a, b)
+        for x in _concrete(a):
+            assert v.may_contain(x - 10)
+
+    def test_add_overflow_degrades(self):
+        a = AVal.const_set([_UMAX - 4, 0])
+        b = AVal.range(0, 8)
+        v = av_add(a, b)
+        # Wrap-around cannot be represented as a setoff; anything
+        # sound (range to UMAX or TOP) is acceptable, a setoff is not.
+        assert v.kind != "setoff" or v.may_contain(3)
+
+    def test_setoff_plus_setoff_widths_accumulate(self):
+        a = AVal.setoff([0, 1 << 16], 4)
+        b = AVal.setoff([0, 1 << 20], 4)
+        v = av_add(a, b)
+        for x in (0, 8, (1 << 16) + 8, (1 << 20) + 8,
+                  (1 << 20) + (1 << 16) + 8):
+            assert v.may_contain(x)
