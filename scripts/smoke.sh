@@ -149,6 +149,77 @@ print(f"fuzz smoke ok: resume replayed {replayed}, "
       f"simulated only the remaining {simulated}")
 EOF
 
+# Fleet smoke: the sharded campaign service must survive both kill
+# modes. First a coordinator + 2 local workers with one worker
+# SIGKILLed mid-campaign (zero lost shards, report bit-identical to
+# --serial); then the coordinator itself is SIGKILLed and the --resume
+# rerun must replay every WAL-completed shard with zero re-simulation.
+FLEET_STATE="$AIKIDO_CACHE_DIR/fleet-state"
+FLEET_SERIAL="$AIKIDO_CACHE_DIR/fleet-serial.json"
+FLEET_JSON="$AIKIDO_CACHE_DIR/fleet-report.json"
+python -m repro.harness.cli fleet run --kind fuzz --seed 200 \
+    --count 12 --shard-size 2 --serial --no-cache --json "$FLEET_SERIAL"
+python - "$FLEET_SERIAL" <<'EOF'
+import json
+import os
+import signal
+import sys
+import threading
+import time
+
+from repro.fleet.coordinator import FleetCoordinator
+from repro.fleet.shards import CampaignSpec
+
+spec = CampaignSpec(kind="fuzz", base_seed=200, count=12, shard_size=2)
+coordinator = FleetCoordinator(spec, cache=None, lease_s=2.0,
+                               heartbeat_s=0.3, backoff_base_s=0.05)
+box = {}
+thread = threading.Thread(
+    target=lambda: box.update(report=coordinator.run(spawn_workers=2)),
+    daemon=True)
+thread.start()
+deadline = time.monotonic() + 60
+while coordinator.counters.totals["workers_registered"] < 2:
+    assert time.monotonic() < deadline, "workers never registered"
+    time.sleep(0.05)
+os.kill(coordinator.worker_procs[0].pid, signal.SIGKILL)
+thread.join(timeout=120)
+assert not thread.is_alive(), "fleet campaign hung"
+report = box["report"]
+with open(sys.argv[1]) as fh:
+    serial = json.load(fh)
+assert report["missing_shards"] == [], "fleet smoke lost shards"
+assert json.dumps(report, sort_keys=True) == \
+    json.dumps(serial, sort_keys=True), \
+    "fleet report differs from the serial reference"
+print(f"fleet smoke ok: worker SIGKILLed, "
+      f"{coordinator.counters.stats_line()}")
+EOF
+python -m repro.harness.cli fleet run --kind fuzz --seed 200 \
+    --count 12 --shard-size 2 --workers 2 --no-cache \
+    --state-dir "$FLEET_STATE" > /dev/null 2>&1 &
+FLEET_PID=$!
+until grep -qs '"type": "done"' "$FLEET_STATE/wal.jsonl"; do sleep 0.05; done
+kill -9 "$FLEET_PID" 2> /dev/null || true
+wait "$FLEET_PID" 2> /dev/null || true
+echo "fleet smoke: coordinator SIGKILLed mid-campaign"
+RESUME_STATS=$(python -m repro.harness.cli fleet run --kind fuzz \
+    --seed 200 --count 12 --shard-size 2 --workers 0 --no-cache \
+    --state-dir "$FLEET_STATE" --resume --json "$FLEET_JSON" \
+    2>&1 > /dev/null | tail -1)
+echo "fleet smoke: $RESUME_STATS"
+case "$RESUME_STATS" in
+    *"resumed from WAL"*) ;;
+    *) echo "fleet resume re-simulated completed shards"; exit 1 ;;
+esac
+python - "$FLEET_SERIAL" "$FLEET_JSON" <<'EOF'
+import sys
+
+serial, fleet = (open(path, "rb").read() for path in sys.argv[1:3])
+assert serial == fleet, "resumed fleet report differs from serial"
+print("fleet smoke ok: coordinator resume byte-identical to serial")
+EOF
+
 # Tier-parity smoke: the block-compiled tier (the default) and the
 # interpreter reference must report bit-identical simulated results.
 python - <<'EOF'

@@ -1,0 +1,170 @@
+"""Newline-delimited JSON wire protocol between coordinator and workers.
+
+One frame per line: a JSON object with a ``type`` field drawn from
+:data:`FRAME_TYPES`, UTF-8 encoded, terminated by ``\\n``. The format is
+deliberately boring — it debugs with ``nc`` and survives partial writes
+(a torn line fails to parse and is handled as a dead peer, never as a
+half-applied command).
+
+Validation is strict on both ends:
+
+* frames above :data:`MAX_FRAME_BYTES` are rejected *while being read*
+  (the reader aborts as soon as the unterminated line exceeds the cap,
+  so an attacker or a corrupted peer cannot balloon coordinator memory);
+* anything that is not a JSON object with a known ``type`` raises
+  :class:`FrameError`, which the coordinator treats as a dead worker
+  (lease revoked, shard requeued) and a worker treats as a dead
+  coordinator (exit and let the pool respawn it).
+
+Frame vocabulary (``->`` = sender):
+
+====================  =========  ========================================
+type                  sender     payload
+====================  =========  ========================================
+``hello``             worker     ``pid``, ``campaign`` (key echo)
+``welcome``           coord      ``worker_id``, ``lease_s``, ``heartbeat_s``
+``assign``            coord      ``shard`` (ShardSpec dict), ``delivery``
+``heartbeat``         worker     ``worker_id``, ``shard_id``, ``done``
+``result``            worker     ``worker_id``, ``shard_id``, ``aggregate``
+``shard_error``       worker     ``worker_id``, ``shard_id``, ``message``
+``shutdown``          coord      (none) — drain and disconnect
+``bye``               worker     ``worker_id`` — clean departure
+====================  =========  ========================================
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Dict, Optional
+
+from repro.errors import HarnessError
+
+#: Hard ceiling on one frame's encoded size. Shard aggregates are the
+#: largest frames (hundreds of unit payloads); 32 MiB leaves an order of
+#: magnitude of headroom while still bounding a hostile peer.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Every frame type either side may legally send.
+FRAME_TYPES = frozenset({
+    "hello", "welcome", "assign", "heartbeat", "result", "shard_error",
+    "shutdown", "bye",
+})
+
+
+class FleetError(HarnessError):
+    """Errors raised by the fleet campaign service."""
+
+
+class FrameError(FleetError):
+    """A wire frame was malformed, oversized, or of unknown type."""
+
+
+def encode_frame(frame: Dict) -> bytes:
+    """Serialize one frame to its wire form (JSON object + newline)."""
+    if not isinstance(frame, dict) or frame.get("type") not in FRAME_TYPES:
+        raise FrameError(
+            f"cannot encode frame with type {frame.get('type')!r}; "
+            f"expected one of {sorted(FRAME_TYPES)}")
+    try:
+        blob = json.dumps(frame, sort_keys=True).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"frame is not JSON-serializable: {exc}") from exc
+    if len(blob) + 1 > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(blob)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap")
+    return blob + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict:
+    """Parse one wire line back into a frame dict, strictly."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap")
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"garbled frame: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise FrameError(
+            f"frame must be a JSON object, got {type(frame).__name__}")
+    if frame.get("type") not in FRAME_TYPES:
+        raise FrameError(
+            f"unknown frame type {frame.get('type')!r}; expected one of "
+            f"{sorted(FRAME_TYPES)}")
+    return frame
+
+
+class FrameStream:
+    """Frame-oriented view of one connected socket.
+
+    ``send`` is thread-safe (a worker's heartbeat thread and its shard
+    executor share the stream); ``recv`` is single-reader by contract.
+    ``recv`` enforces :data:`MAX_FRAME_BYTES` incrementally: the read
+    aborts the moment the pending unterminated line crosses the cap.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._buffer = bytearray()
+        self._send_lock = threading.Lock()
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def send(self, frame: Dict) -> None:
+        """Encode and transmit one frame (atomic w.r.t. other senders)."""
+        blob = encode_frame(frame)
+        with self._send_lock:
+            self.sock.sendall(blob)
+        self.frames_sent += 1
+
+    def send_raw(self, blob: bytes) -> None:
+        """Transmit pre-encoded bytes — the chaos garbling escape hatch."""
+        with self._send_lock:
+            self.sock.sendall(blob)
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Dict]:
+        """Read one frame; None on clean EOF.
+
+        Raises :class:`FrameError` on a garbled or oversized frame and
+        :class:`socket.timeout` / :class:`OSError` on transport trouble.
+        """
+        self.sock.settimeout(timeout)
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[:newline + 1]
+                frame = decode_frame(line)
+                self.frames_received += 1
+                return frame
+            if len(self._buffer) > MAX_FRAME_BYTES:
+                raise FrameError(
+                    f"peer sent {len(self._buffer)} bytes without a "
+                    f"frame terminator (cap {MAX_FRAME_BYTES})")
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                if self._buffer:
+                    # EOF mid-line: a torn frame, not a clean goodbye.
+                    raise FrameError(
+                        "connection closed mid-frame "
+                        f"({len(self._buffer)} bytes pending)")
+                return None
+            self._buffer.extend(chunk)
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FrameStream sent={self.frames_sent} "
+                f"received={self.frames_received}>")

@@ -1,0 +1,218 @@
+"""Journal-first coordinator state: JSONL WAL + atomic snapshots.
+
+The coordinator's durable state is tiny but precious: which shards have
+completed (with their aggregates), how many times each shard has been
+delivered, and which shards are quarantined as poison. It is persisted
+with the same idioms :class:`~repro.harness.journal.RunJournal` proved
+out, extended with snapshot compaction:
+
+* **journal-first**: every state change is appended to ``wal.jsonl``
+  (flush + optional fsync) *before* the in-memory state mutates — a
+  SIGKILL at any instruction loses at most the event being written,
+  never an acknowledged one;
+* **tolerant replay**: a truncated or corrupt trailing line (crash
+  mid-append) is skipped with a warning, exactly like the run journal;
+* **atomic snapshots**: every ``snapshot_every`` completions the full
+  state is written via tempfile + ``os.replace`` and the WAL is
+  truncated — resume cost stays bounded no matter how long the
+  campaign. A crash between snapshot and truncation only makes WAL
+  replay idempotently re-apply events the snapshot already holds.
+
+Ownership: the state directory records the campaign key. Resuming with
+a different campaign (or a changed cost model, which changes every
+shard id and therefore the key) raises instead of silently merging two
+incompatible campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.fleet.protocol import FleetError
+
+#: WAL record types (one JSON object per line, ``{"type": ...}``).
+_RECORD_TYPES = ("campaign", "done", "delivery", "quarantine")
+
+
+class CoordinatorWAL:
+    """Durable coordinator state for one campaign.
+
+    ``resume=True`` rebuilds state from ``snapshot.json`` + the WAL
+    suffix; ``resume=False`` starts fresh (existing state for the same
+    directory is truncated). ``fsync=True`` (default) makes every append
+    survive power loss, not just process death; turn it off for
+    throughput when the state directory is on tmpfs anyway.
+    """
+
+    def __init__(self, state_dir: os.PathLike, campaign_key: str, *,
+                 resume: bool = False, fsync: bool = True,
+                 snapshot_every: int = 16):
+        self.state_dir = Path(state_dir)
+        self.campaign_key = campaign_key
+        self.fsync = fsync
+        self.snapshot_every = max(1, snapshot_every)
+        self.wal_path = self.state_dir / "wal.jsonl"
+        self.snapshot_path = self.state_dir / "snapshot.json"
+        #: shard_id -> aggregate payload (completed shards).
+        self.completed: Dict[str, Dict] = {}
+        #: shard_id -> delivery count (assignments so far).
+        self.deliveries: Dict[str, int] = {}
+        #: shard_id -> human-readable quarantine reason.
+        self.quarantined: Dict[str, str] = {}
+        self.dropped_lines = 0
+        self.replayed = 0
+        self._since_snapshot = 0
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        if resume:
+            self._load()
+        else:
+            self._reset()
+
+    # ------------------------------------------------------------------
+    # load / reset
+    # ------------------------------------------------------------------
+    def _reset(self) -> None:
+        for path in (self.wal_path, self.snapshot_path):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+        self._append({"type": "campaign", "key": self.campaign_key})
+
+    def _check_key(self, key: str, source: str) -> None:
+        if key != self.campaign_key:
+            raise FleetError(
+                f"{source} belongs to campaign {key[:12]}..., not "
+                f"{self.campaign_key[:12]}... — refusing to resume "
+                "across campaigns (use a fresh --state-dir)")
+
+    def _load(self) -> None:
+        if self.snapshot_path.exists():
+            try:
+                with open(self.snapshot_path) as handle:
+                    snap = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                # A snapshot write is atomic, so corruption here means
+                # manual damage; the WAL still holds the campaign.
+                warnings.warn(
+                    f"fleet snapshot {self.snapshot_path} unreadable "
+                    f"({exc}); relying on the WAL alone",
+                    RuntimeWarning, stacklevel=2)
+            else:
+                self._check_key(snap.get("campaign_key", ""), "snapshot")
+                self.completed = dict(snap.get("completed", {}))
+                self.deliveries = {k: int(v) for k, v in
+                                   snap.get("deliveries", {}).items()}
+                self.quarantined = dict(snap.get("quarantined", {}))
+        if self.wal_path.exists():
+            with open(self.wal_path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        kind = record["type"]
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        self.dropped_lines += 1
+                        continue
+                    self._apply(kind, record)
+        else:
+            self._append({"type": "campaign", "key": self.campaign_key})
+        self.replayed = len(self.completed)
+        if self.dropped_lines:
+            warnings.warn(
+                f"fleet WAL {self.wal_path}: skipped "
+                f"{self.dropped_lines} undecodable line(s) — expected "
+                "after a crash mid-append, state is intact",
+                RuntimeWarning, stacklevel=2)
+
+    def _apply(self, kind: str, record: Dict) -> None:
+        """Replay one WAL record into memory (idempotent)."""
+        if kind == "campaign":
+            self._check_key(record.get("key", ""), "WAL")
+        elif kind == "done":
+            self.completed[record["shard"]] = record["aggregate"]
+        elif kind == "delivery":
+            self.deliveries[record["shard"]] = int(record["count"])
+        elif kind == "quarantine":
+            self.quarantined[record["shard"]] = record.get("reason", "")
+        # Unknown-but-decodable types are future records: ignore.
+
+    # ------------------------------------------------------------------
+    # journal-first mutation
+    # ------------------------------------------------------------------
+    def _append(self, record: Dict) -> None:
+        with open(self.wal_path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    def record_done(self, shard_id: str, aggregate: Dict) -> None:
+        """Persist one completed shard (WAL first, then memory)."""
+        self._append({"type": "done", "shard": shard_id,
+                      "aggregate": aggregate})
+        self.completed[shard_id] = aggregate
+        self._since_snapshot += 1
+        if self._since_snapshot >= self.snapshot_every:
+            self.write_snapshot()
+
+    def record_delivery(self, shard_id: str, count: int) -> None:
+        """Persist a shard's delivery count (redelivery accounting)."""
+        self._append({"type": "delivery", "shard": shard_id,
+                      "count": count})
+        self.deliveries[shard_id] = count
+
+    def record_quarantine(self, shard_id: str, reason: str) -> None:
+        """Persist a poison-shard quarantine decision."""
+        self._append({"type": "quarantine", "shard": shard_id,
+                      "reason": reason})
+        self.quarantined[shard_id] = reason
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def write_snapshot(self) -> None:
+        """Atomically snapshot full state, then truncate the WAL."""
+        state = {
+            "campaign_key": self.campaign_key,
+            "completed": self.completed,
+            "deliveries": self.deliveries,
+            "quarantined": self.quarantined,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.state_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(state, handle, sort_keys=True)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp, self.snapshot_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        # Snapshot is durable; the WAL can restart from empty. A crash
+        # right here leaves the old WAL whose replay is idempotent.
+        with open(self.wal_path, "w") as handle:
+            handle.write(json.dumps({"type": "campaign",
+                                     "key": self.campaign_key},
+                                    sort_keys=True) + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        self._since_snapshot = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CoordinatorWAL {self.state_dir} "
+                f"completed={len(self.completed)} "
+                f"quarantined={len(self.quarantined)}>")

@@ -19,6 +19,9 @@ Usage (installed as ``aikido-repro`` or ``python -m repro.harness.cli``)::
     aikido-repro bench --quick    # small/fast bench (schema smoke)
     aikido-repro fuzz --seed 1 --count 200 --quick  # differential fuzz
     aikido-repro fuzz --seed 1 --count 500 --journal f.jsonl --resume
+    aikido-repro fleet run --workers 2 --state-dir st/   # sharded fleet
+    aikido-repro fleet run --kind fuzz --count 1000 --resume --state-dir st/
+    aikido-repro fleet worker --connect HOST:PORT  # serve a coordinator
     aikido-repro all              # everything, one suite run
     aikido-repro all --static-prepass  # suite with seeded discovery
     aikido-repro all --scale 0.5  # faster, smaller run
@@ -154,6 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["fleet"]:
+        # The sharded campaign service has its own verb tree (run /
+        # worker) and keeps the exit-code contract: 0 ok, 2 usage or
+        # harness error, 3 per-unit failures / quarantined shards.
+        from repro.fleet.cli import main as fleet_main
+
+        return fleet_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.jobs < 0:

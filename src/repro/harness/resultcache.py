@@ -42,11 +42,25 @@ class ResultCache:
     and a JSON-serializable payload. Counters (``hits``, ``misses``,
     ``stores``) track this instance's traffic so callers can assert cache
     behavior (e.g. a warm rerun performing zero simulations).
+
+    **Multi-writer safe.** Fleet workers on one host share this
+    directory, and two of them racing on the same key is routine (the
+    same job lands in two redelivered shards). Every ``put`` writes to
+    a private ``mkstemp`` file and publishes with ``os.replace``, which
+    is atomic on POSIX: a concurrent ``get`` observes either the old
+    complete entry or the new complete one, never a torn interleaving —
+    and because keys are content addresses, concurrent writers are by
+    construction publishing identical bytes, so last-write-wins is
+    harmless. ``durable=True`` additionally fsyncs before publishing,
+    so an entry that a coordinator WAL refers to cannot be lost to a
+    host power cut after the rename.
     """
 
-    def __init__(self, directory: Optional[os.PathLike] = None):
+    def __init__(self, directory: Optional[os.PathLike] = None, *,
+                 durable: bool = False):
         self.directory = (Path(directory) if directory is not None
                           else default_cache_dir())
+        self.durable = durable
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -93,6 +107,9 @@ class ResultCache:
             fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
+                if self.durable:
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(tmp, self._path(key))
         except OSError as exc:
             self.put_errors += 1

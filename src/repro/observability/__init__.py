@@ -12,6 +12,8 @@ from repro.observability.attribution import (BUCKETS, CATEGORY_BUCKETS,
                                              attribute_cycles,
                                              attribution_fractions,
                                              overhead_cycles)
+from repro.observability.fleet import (FleetCounters, WallClock,
+                                       fleet_instant)
 from repro.observability.metrics import (MetricsRecorder, TIMELINE_FIELDS,
                                          metrics_snapshot)
 from repro.observability.sink import TraceSink, load_chrome, validate_chrome
@@ -20,6 +22,7 @@ from repro.observability.tracer import TraceEvent, Tracer
 __all__ = [
     "BUCKETS", "CATEGORY_BUCKETS", "attribute_cycles",
     "attribution_fractions", "overhead_cycles",
+    "FleetCounters", "WallClock", "fleet_instant",
     "MetricsRecorder", "TIMELINE_FIELDS", "metrics_snapshot",
     "TraceSink", "load_chrome", "validate_chrome",
     "TraceEvent", "Tracer",

@@ -1,0 +1,115 @@
+"""Fleet-side observability: wall-clock tracing and campaign counters.
+
+The simulator's :class:`~repro.observability.tracer.Tracer` stamps
+events from anything exposing ``.total`` — inside a run that is the
+simulated cycle counter; the fleet coordinator runs on wall-clock time,
+so :class:`WallClock` adapts ``time.monotonic`` to the same interface
+(microseconds, which Chrome's trace viewer renders natively). One
+coordinator therefore gets the exact trace pipeline the simulator has:
+instants for registrations, assignments, completions, deaths, requeues
+and quarantines, written via the existing
+:class:`~repro.observability.sink.TraceSink`.
+
+:class:`FleetCounters` is the numeric side: campaign-wide totals plus
+per-worker and per-shard breakdowns, JSON-safe for the campaign report
+footer and asserted on by the survivability tests (e.g. "a killed
+worker shows up as exactly one dead worker and at least one requeue").
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+#: Campaign-wide counter names, all starting at zero.
+COUNTER_NAMES = (
+    "shards_total", "shards_completed", "shards_requeued",
+    "shards_quarantined", "shards_inline", "shards_resumed",
+    "units_completed", "unit_failures",
+    "workers_registered", "workers_dead", "workers_spawned",
+    "heartbeats", "frames_garbled", "duplicate_results",
+    "redeliveries", "lease_expiries", "deadline_expiries",
+)
+
+
+class WallClock:
+    """``time.monotonic`` exposed as a cycle-counter-shaped ``.total``.
+
+    Microseconds since construction — what the fleet tracer stamps its
+    events with, making coordinator traces load in Perfetto with real
+    durations.
+    """
+
+    def __init__(self):
+        self._t0 = time.monotonic()
+
+    @property
+    def total(self) -> int:
+        return int((time.monotonic() - self._t0) * 1_000_000)
+
+
+class FleetCounters:
+    """Per-campaign, per-worker, and per-shard fleet counters."""
+
+    def __init__(self):
+        self.totals: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+        self.per_worker: Dict[str, Dict[str, int]] = {}
+        self.per_shard: Dict[str, Dict[str, int]] = {}
+
+    def bump(self, name: str, n: int = 1) -> None:
+        if name not in self.totals:
+            raise KeyError(f"unknown fleet counter {name!r}")
+        self.totals[name] += n
+
+    def worker_bump(self, worker_id: str, name: str, n: int = 1) -> None:
+        bucket = self.per_worker.setdefault(
+            worker_id, {"assigned": 0, "completed": 0, "heartbeats": 0,
+                        "dead": 0})
+        bucket[name] = bucket.get(name, 0) + n
+
+    def shard_bump(self, shard_id: str, name: str, n: int = 1) -> None:
+        bucket = self.per_shard.setdefault(
+            shard_id, {"deliveries": 0, "requeues": 0})
+        bucket[name] = bucket.get(name, 0) + n
+
+    def as_dict(self) -> Dict:
+        """JSON-safe export (report footers, test assertions)."""
+        return {"totals": dict(self.totals),
+                "per_worker": {w: dict(b)
+                               for w, b in self.per_worker.items()},
+                "per_shard": {s: dict(b)
+                              for s, b in self.per_shard.items()}}
+
+    def stats_line(self) -> str:
+        """One-line traffic summary, ParallelRunner.stats_line style."""
+        t = self.totals
+        line = (f"{t['shards_completed']}/{t['shards_total']} shards "
+                f"({t['units_completed']} units, "
+                f"{t['workers_registered']} workers)")
+        extras = []
+        if t["shards_resumed"]:
+            extras.append(f"{t['shards_resumed']} resumed from WAL")
+        if t["workers_dead"]:
+            extras.append(f"{t['workers_dead']} workers died")
+        if t["shards_requeued"]:
+            extras.append(f"{t['shards_requeued']} requeues")
+        if t["shards_quarantined"]:
+            extras.append(f"{t['shards_quarantined']} quarantined")
+        if t["shards_inline"]:
+            extras.append(f"{t['shards_inline']} inline")
+        if t["frames_garbled"]:
+            extras.append(f"{t['frames_garbled']} garbled frames")
+        if t["duplicate_results"]:
+            extras.append(f"{t['duplicate_results']} duplicates dropped")
+        if extras:
+            line += " (" + ", ".join(extras) + ")"
+        return line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FleetCounters {self.stats_line()}>"
+
+
+def fleet_instant(tracer, name: str, **args) -> None:
+    """Emit one fleet lifecycle instant if tracing is on (else free)."""
+    if tracer is not None:
+        tracer.instant(name, "fleet", 0, **args)

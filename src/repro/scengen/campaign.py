@@ -118,6 +118,25 @@ def _minimize(ir: ScenarioIR, verdict: Dict, quick: bool,
     }
 
 
+def scenario_payload(seed: int, config: GeneratorConfig, *,
+                     quick: bool = True, reduce_failing: bool = True,
+                     tier_runner: Optional[TierRunner] = None) -> Dict:
+    """Generate + check one scenario, returning the journal payload.
+
+    The single-scenario unit of work shared by :func:`run_campaign` and
+    the fleet's fuzz shards (:mod:`repro.fleet.shards`): both paths
+    produce byte-identical payloads for the same ``(seed, config,
+    quick)``, which is what makes a distributed fuzz campaign's merged
+    report bit-identical to the serial one.
+    """
+    ir = generate(seed, config)
+    verdict = check_scenario(ir, quick=quick, tier_runner=tier_runner)
+    payload = {"seed": seed, "ir": ir.to_dict(), "verdict": verdict}
+    if not verdict["ok"] and reduce_failing:
+        payload["minimized"] = _minimize(ir, verdict, quick, tier_runner)
+    return payload
+
+
 def run_campaign(base_seed: int, count: int, *,
                  config: Optional[GeneratorConfig] = None,
                  quick: bool = True,
@@ -154,14 +173,10 @@ def run_campaign(base_seed: int, count: int, *,
                 if journal is not None:
                     journal.record(key, payload)
         if payload is None:
-            ir = generate(seed, config)
-            verdict = check_scenario(ir, quick=quick,
-                                     tier_runner=tier_runner)
-            payload = {"seed": seed, "ir": ir.to_dict(),
-                       "verdict": verdict}
-            if not verdict["ok"] and reduce_failing:
-                payload["minimized"] = _minimize(ir, verdict, quick,
-                                                 tier_runner)
+            payload = scenario_payload(seed, config, quick=quick,
+                                       reduce_failing=reduce_failing,
+                                       tier_runner=tier_runner)
+            verdict = payload["verdict"]
             result.simulated += 1
             if use_store:
                 if journal is not None:

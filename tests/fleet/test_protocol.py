@@ -1,0 +1,137 @@
+"""Wire-protocol validation: malformed, garbled, and oversized frames.
+
+The satellite contract: a hostile or corrupted peer must always produce
+a structured :class:`FrameError` (which the coordinator converts into a
+dead worker + requeue), never a hang, a memory balloon, or a
+half-applied command.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.fleet.protocol import (MAX_FRAME_BYTES, FrameError, FrameStream,
+                                  decode_frame, encode_frame)
+
+
+def test_roundtrip_every_type():
+    for frame in ({"type": "hello", "pid": 1},
+                  {"type": "welcome", "worker_id": "w1", "lease_s": 5,
+                   "heartbeat_s": 1},
+                  {"type": "assign", "shard": {"units": []}},
+                  {"type": "heartbeat", "worker_id": "w1"},
+                  {"type": "result", "aggregate": {"outcomes": []}},
+                  {"type": "shard_error", "message": "boom"},
+                  {"type": "shutdown"},
+                  {"type": "bye", "worker_id": "w1"}):
+        blob = encode_frame(frame)
+        assert blob.endswith(b"\n") and b"\n" not in blob[:-1]
+        assert decode_frame(blob[:-1]) == frame
+
+
+class TestDecodeRejections:
+    def test_garbled_bytes(self):
+        with pytest.raises(FrameError, match="garbled"):
+            decode_frame(b'{"type": <<not json')
+
+    def test_non_utf8(self):
+        with pytest.raises(FrameError, match="garbled"):
+            decode_frame(b'\xff\xfe{"type": "hello"}')
+
+    def test_non_object(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_frame(b'["type", "hello"]')
+
+    def test_unknown_type(self):
+        with pytest.raises(FrameError, match="unknown frame type"):
+            decode_frame(b'{"type": "exfiltrate"}')
+
+    def test_missing_type(self):
+        with pytest.raises(FrameError, match="unknown frame type"):
+            decode_frame(b'{"shard_id": "abc"}')
+
+    def test_oversized_line(self):
+        blob = b'{"type": "hello", "pad": "' + b"x" * MAX_FRAME_BYTES
+        with pytest.raises(FrameError, match="cap"):
+            decode_frame(blob)
+
+
+class TestEncodeRejections:
+    def test_unknown_type(self):
+        with pytest.raises(FrameError, match="cannot encode"):
+            encode_frame({"type": "exfiltrate"})
+
+    def test_unserializable_payload(self):
+        with pytest.raises(FrameError, match="not JSON-serializable"):
+            encode_frame({"type": "hello", "sock": object()})
+
+    def test_oversized_frame(self):
+        with pytest.raises(FrameError, match="cap"):
+            encode_frame({"type": "result",
+                          "pad": "x" * MAX_FRAME_BYTES})
+
+
+@pytest.fixture
+def stream_pair():
+    a, b = socket.socketpair()
+    left, right = FrameStream(a), FrameStream(b)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFrameStream:
+    def test_roundtrip(self, stream_pair):
+        left, right = stream_pair
+        left.send({"type": "hello", "pid": 42})
+        assert right.recv(timeout=2.0) == {"type": "hello", "pid": 42}
+        assert left.frames_sent == 1 and right.frames_received == 1
+
+    def test_multiple_frames_one_chunk(self, stream_pair):
+        left, right = stream_pair
+        left.send_raw(encode_frame({"type": "heartbeat", "n": 1})
+                      + encode_frame({"type": "heartbeat", "n": 2}))
+        assert right.recv(timeout=2.0)["n"] == 1
+        assert right.recv(timeout=2.0)["n"] == 2
+
+    def test_garbled_line_raises(self, stream_pair):
+        left, right = stream_pair
+        left.send_raw(b'{"type": <<garbled\n')
+        with pytest.raises(FrameError, match="garbled"):
+            right.recv(timeout=2.0)
+
+    def test_clean_eof_returns_none(self, stream_pair):
+        left, right = stream_pair
+        left.close()
+        assert right.recv(timeout=2.0) is None
+
+    def test_torn_frame_at_eof_raises(self, stream_pair):
+        left, right = stream_pair
+        left.send_raw(b'{"type": "result", "shard_id": "abc')  # no \n
+        left.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            right.recv(timeout=2.0)
+
+    def test_oversized_aborts_while_reading(self, stream_pair):
+        """The reader bails as soon as the cap is crossed — it never
+        buffers an unbounded line to completion first."""
+        left, right = stream_pair
+        failure = []
+
+        def flood():
+            chunk = b"x" * 65536
+            try:
+                # Twice the cap: the reader must abort partway through.
+                for _ in range(2 * MAX_FRAME_BYTES // len(chunk)):
+                    left.send_raw(chunk)
+            except OSError:
+                pass  # reader hung up mid-flood: expected
+
+        sender = threading.Thread(target=flood, daemon=True)
+        sender.start()
+        with pytest.raises(FrameError, match="terminator"):
+            right.recv(timeout=30.0)
+        right.close()
+        sender.join(timeout=30.0)
+        assert not failure

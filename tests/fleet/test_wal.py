@@ -1,0 +1,123 @@
+"""Crash-safety of the coordinator WAL + snapshot state machine."""
+
+import json
+
+import pytest
+
+from repro.fleet.protocol import FleetError
+from repro.fleet.wal import CoordinatorWAL
+
+KEY = "a" * 64
+OTHER_KEY = "b" * 64
+
+
+def fresh(tmp_path, **kwargs):
+    return CoordinatorWAL(tmp_path, KEY, fsync=False, **kwargs)
+
+
+def resumed(tmp_path, key=KEY, **kwargs):
+    return CoordinatorWAL(tmp_path, key, resume=True, fsync=False,
+                          **kwargs)
+
+
+class TestJournalFirst:
+    def test_done_survives_immediate_death(self, tmp_path):
+        """No explicit close/flush call: the append itself is durable."""
+        wal = fresh(tmp_path)
+        wal.record_done("shard-1", {"shard_id": "shard-1", "units": 3})
+        # Simulate SIGKILL: drop the object, reload purely from disk.
+        del wal
+        again = resumed(tmp_path)
+        assert again.completed == {
+            "shard-1": {"shard_id": "shard-1", "units": 3}}
+        assert again.replayed == 1
+
+    def test_delivery_and_quarantine_survive(self, tmp_path):
+        wal = fresh(tmp_path)
+        wal.record_delivery("shard-1", 2)
+        wal.record_quarantine("shard-2", "3 failed deliveries")
+        del wal
+        again = resumed(tmp_path)
+        assert again.deliveries == {"shard-1": 2}
+        assert again.quarantined == {"shard-2": "3 failed deliveries"}
+
+    def test_fresh_start_discards_prior_state(self, tmp_path):
+        wal = fresh(tmp_path)
+        wal.record_done("shard-1", {"u": 1})
+        wal.write_snapshot()
+        clean = fresh(tmp_path)  # resume=False
+        assert clean.completed == {}
+        assert resumed(tmp_path).completed == {}
+
+
+class TestSnapshots:
+    def test_compaction_truncates_wal(self, tmp_path):
+        wal = fresh(tmp_path, snapshot_every=4)
+        for i in range(4):
+            wal.record_done(f"shard-{i}", {"i": i})
+        # The 4th completion triggered a snapshot + WAL truncation.
+        assert wal.snapshot_path.exists()
+        wal_lines = wal.wal_path.read_text().strip().splitlines()
+        assert len(wal_lines) == 1  # just the campaign header
+        again = resumed(tmp_path)
+        assert len(again.completed) == 4
+
+    def test_replay_is_idempotent_over_stale_wal(self, tmp_path):
+        """Crash between snapshot write and WAL truncation: the old WAL
+        re-applies events the snapshot already holds. Same end state."""
+        wal = fresh(tmp_path)
+        wal.record_done("shard-1", {"u": 1})
+        wal.record_delivery("shard-1", 1)
+        snapshot_state = {
+            "campaign_key": KEY,
+            "completed": {"shard-1": {"u": 1}},
+            "deliveries": {"shard-1": 1},
+            "quarantined": {},
+        }
+        # Plant the snapshot WITHOUT truncating the WAL, as if the
+        # process died between os.replace and the truncation write.
+        wal.snapshot_path.write_text(json.dumps(snapshot_state))
+        again = resumed(tmp_path)
+        assert again.completed == {"shard-1": {"u": 1}}
+        assert again.deliveries == {"shard-1": 1}
+
+    def test_unreadable_snapshot_falls_back_to_wal(self, tmp_path):
+        wal = fresh(tmp_path)
+        wal.record_done("shard-1", {"u": 1})
+        wal.snapshot_path.write_text("{torn")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            again = resumed(tmp_path)
+        assert again.completed == {"shard-1": {"u": 1}}
+
+
+class TestDamageTolerance:
+    def test_torn_tail_skipped_with_warning(self, tmp_path):
+        wal = fresh(tmp_path)
+        wal.record_done("shard-1", {"u": 1})
+        with open(wal.wal_path, "a") as handle:
+            handle.write('{"type": "done", "shard": "shard-2", "agg')
+        with pytest.warns(RuntimeWarning, match="undecodable"):
+            again = resumed(tmp_path)
+        assert again.completed == {"shard-1": {"u": 1}}
+        assert again.dropped_lines == 1
+
+    def test_future_record_types_ignored(self, tmp_path):
+        wal = fresh(tmp_path)
+        with open(wal.wal_path, "a") as handle:
+            handle.write('{"type": "lease-transfer", "shard": "x"}\n')
+        again = resumed(tmp_path)  # no exception, no warning needed
+        assert again.completed == {}
+
+
+class TestOwnership:
+    def test_wal_campaign_mismatch_refused(self, tmp_path):
+        fresh(tmp_path)
+        with pytest.raises(FleetError, match="refusing to resume"):
+            resumed(tmp_path, key=OTHER_KEY)
+
+    def test_snapshot_campaign_mismatch_refused(self, tmp_path):
+        wal = fresh(tmp_path)
+        wal.record_done("shard-1", {"u": 1})
+        wal.write_snapshot()
+        with pytest.raises(FleetError, match="refusing to resume"):
+            resumed(tmp_path, key=OTHER_KEY)
