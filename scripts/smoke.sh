@@ -239,3 +239,23 @@ for field in ("cycles", "run_stats", "cycle_breakdown", "aikido_stats",
 print("tier parity smoke ok: compiled == interpreter on every "
       "simulated statistic")
 EOF
+
+# Record/replay smoke: record one workload once, replay the log through
+# all four analyses in parallel, and diff every replayed verdict against
+# a fresh live run — bit-identical, with zero re-simulation on replay.
+REPLAY_DIR="$(mktemp -d)"
+REPLAY_LOG_PATH="$REPLAY_DIR/canneal.aiklog"
+python -m repro.harness.cli record --benchmark canneal --threads 2 \
+    --scale 0.05 --seed 2 --quantum 100 --out "$REPLAY_LOG_PATH"
+REPLAY_STATS=$(python -m repro.harness.cli replay --log "$REPLAY_LOG_PATH" \
+    --analyses fasttrack,djit,eraser,memtag --jobs 2 --diff-live \
+    --benchmark canneal --threads 2 --scale 0.05 --seed 2 --quantum 100 \
+    2>&1 > /dev/null | tail -1)
+rm -rf "$REPLAY_DIR"
+echo "record/replay smoke: $REPLAY_STATS"
+case "$REPLAY_STATS" in
+    *"0 simulations"*) ;;
+    *) echo "replay smoke re-simulated instead of replaying"; exit 1 ;;
+esac
+echo "record/replay smoke ok: 4 analyses bit-identical to live," \
+    "zero re-simulation"

@@ -135,7 +135,7 @@ class DjitDetector:
         parent.refresh_epoch()
         self._charge_vc_op(len(child.vc))
 
-    def on_barrier(self, tids) -> None:
+    def on_barrier(self, tids, barrier_id: int = 0) -> None:
         self.sync_ops += 1
         merged = VectorClock()
         members = [self._thread(t) for t in tids]

@@ -193,8 +193,14 @@ class FastTrackDetector:
         self._charge(costs.FT_SYNC_BASE
                      + costs.FT_VC_PER_THREAD * len(child.vc))
 
-    def on_barrier(self, tids) -> None:
-        """All-to-all ordering across the barrier's participants."""
+    def on_barrier(self, tids, barrier_id: int = 0) -> None:
+        """All-to-all ordering across the barrier's participants.
+
+        ``barrier_id`` identifies which barrier fired; the vector-clock
+        math is the same for all of them, but accepting it keeps the
+        detector protocol faithful for recorders that must round-trip
+        the id (see ``FullTraceRecorder``).
+        """
         self.sync_ops += 1
         merged = VectorClock()
         participants = [self.meta.thread(t) for t in tids]
@@ -262,6 +268,6 @@ def apply_sync_event(detector: FastTrackDetector, event) -> None:
     elif cls is JoinEvent:
         detector.on_join(event.parent_tid, event.child_tid)
     elif cls is BarrierEvent:
-        detector.on_barrier(event.tids)
+        detector.on_barrier(event.tids, event.barrier_id)
     elif cls is ThreadExitEvent:
         pass  # join handles the happens-before edge

@@ -18,6 +18,8 @@ is exactly the property the equivalence tests check.
 
 from __future__ import annotations
 
+import inspect
+
 from repro.core.analysis import SharedDataAnalysis
 from repro.dbr.codecache import CachedBlock
 from repro.dbr.tool import Tool
@@ -31,6 +33,30 @@ from repro.events import (
     ThreadExitEvent,
 )
 from repro.umbra.shadow import ShadowMemory
+
+
+def call_barrier_handler(handler, tids, barrier_id: int) -> None:
+    """Invoke ``on_barrier``, passing the barrier id only if accepted.
+
+    The protocol grew ``barrier_id`` late; detectors that predate it (or
+    third-party ones) still take just ``tids``. Signature inspection —
+    not ``try/except TypeError``, which would mask arity errors *inside*
+    the handler — decides which form to use, so the id is never silently
+    dropped for a handler that can take it.
+    """
+    try:
+        params = list(inspect.signature(handler).parameters.values())
+    except (TypeError, ValueError):
+        handler(tids, barrier_id)
+        return
+    if any(p.name == "barrier_id" for p in params):
+        handler(tids, barrier_id=barrier_id)
+    elif any(p.kind is p.VAR_POSITIONAL for p in params) or len(
+            [p for p in params
+             if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)]) >= 2:
+        handler(tids, barrier_id)
+    else:
+        handler(tids)
 
 
 def dispatch_sync(detector, event) -> None:
@@ -55,7 +81,7 @@ def dispatch_sync(detector, event) -> None:
     elif cls is BarrierEvent:
         handler = getattr(detector, "on_barrier", None)
         if handler:
-            handler(event.tids)
+            call_barrier_handler(handler, event.tids, event.barrier_id)
     elif cls is ThreadExitEvent:
         pass  # join carries the happens-before edge
     else:

@@ -108,8 +108,15 @@ class FullTraceRecorder:
     def on_join(self, parent_tid: int, child_tid: int) -> None:
         self.trace.append(("join", parent_tid, child_tid))
 
-    def on_barrier(self, tids) -> None:
-        self.trace.append(("barrier", 0, tuple(tids)))
+    def on_barrier(self, tids, barrier_id: int = 0) -> None:
+        self.trace.append(("barrier", barrier_id, tuple(tids)))
+
+
+#: Sync handlers the replay contract documents as *optional*: a detector
+#: without one of these simply does not track that relation (Eraser has
+#: no fork/join notion). Anything outside this set is an unknown entry
+#: kind and replaying past it would desynchronize the detector.
+_OPTIONAL_SYNC = frozenset({"acquire", "release", "fork", "join", "barrier"})
 
 
 def replay(trace: List[TraceEntry], detector) -> None:
@@ -117,22 +124,33 @@ def replay(trace: List[TraceEntry], detector) -> None:
 
     The detector needs ``on_access`` and whichever of
     ``on_acquire/on_release/on_fork/on_join/on_barrier`` the trace's
-    synchronization requires (missing handlers are skipped — Eraser, for
-    instance, has no fork/join notion).
+    synchronization requires (those handlers are optional — Eraser, for
+    instance, has no fork/join notion). An entry kind outside that set
+    raises :class:`ToolError` — the same contract ``TraceRecorder``
+    applies to unrecognized live sync events — instead of being silently
+    skipped. Barrier entries dispatch with their recorded barrier id, so
+    a replay→re-record round trip is identity.
     """
+    from repro.analyses.generic_tool import call_barrier_handler
+
     for entry in trace:
         kind = entry[0]
         if kind == "access":
             _, tid, addr, is_write, uid = entry
             detector.on_access(tid, addr, is_write, uid)
-        else:
+        elif kind in _OPTIONAL_SYNC:
             handler = getattr(detector, f"on_{kind}", None)
             if handler is None:
                 continue
             if kind == "barrier":
-                handler(entry[2])
+                call_barrier_handler(handler, entry[2], entry[1])
             else:
                 handler(entry[1], entry[2])
+        else:
+            raise ToolError(
+                f"replay: unrecognized trace entry kind {kind!r}; "
+                f"skipping it would silently desynchronize the "
+                f"replayed detector from the live run")
 
 
 def replay_into(trace: List[TraceEntry],

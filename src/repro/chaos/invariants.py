@@ -366,3 +366,55 @@ class InvariantMonitor:
     def snapshot(self) -> Dict[str, int]:
         return {"invariant_checks": self.checks_run,
                 "invariant_violations": self.violations}
+
+
+# ---------------------------------------------------------------------
+# Cross-analysis agreement (the replay fan-out invariant)
+# ---------------------------------------------------------------------
+
+#: Invariants checked over *replay verdicts* rather than a live stack;
+#: :class:`repro.eventlog.replay.ReplayFanout` runs them after every
+#: fan-out, and the scengen oracle re-derives them per scenario.
+REPLAY_INVARIANTS = ("analysis_agreement",)
+
+
+def cross_analysis_disagreements(block_sets: Dict[str, set]) -> list:
+    """Pairwise consistency over per-analysis *reported block* sets.
+
+    Takes ``{analysis_name: set_of_block_ids}`` (missing analyses are
+    skipped) and returns human-readable disagreement strings:
+
+    * ``fasttrack`` and ``djit`` implement the same happens-before
+      relation, so they must flag exactly the same blocks;
+    * ``memtag``'s tag masks over-approximate ``eraser``'s locksets (tag
+      collisions only ever *suppress* reports), so memtag's blocks must
+      be a subset of Eraser's.
+    """
+    disagreements = []
+    if "fasttrack" in block_sets and "djit" in block_sets:
+        ft, djit = block_sets["fasttrack"], block_sets["djit"]
+        for block in sorted(ft - djit):
+            disagreements.append(
+                f"block {block:#x} flagged by fasttrack but not djit")
+        for block in sorted(djit - ft):
+            disagreements.append(
+                f"block {block:#x} flagged by djit but not fasttrack")
+    if "memtag" in block_sets and "eraser" in block_sets:
+        extra = block_sets["memtag"] - block_sets["eraser"]
+        for block in sorted(extra):
+            disagreements.append(
+                f"block {block:#x} flagged by memtag but not eraser "
+                f"(tag masks can only suppress lockset reports)")
+    return disagreements
+
+
+def check_analysis_agreement(block_sets: Dict[str, set]) -> None:
+    """Raise :class:`InvariantViolationError` on any disagreement."""
+    disagreements = cross_analysis_disagreements(block_sets)
+    if disagreements:
+        raise InvariantViolationError(
+            "analysis_agreement",
+            f"{len(disagreements)} cross-analysis disagreement(s): "
+            + "; ".join(disagreements[:5]),
+            disagreements=disagreements,
+            analyses=sorted(block_sets))

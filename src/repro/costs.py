@@ -120,3 +120,11 @@ SD_FAULT_HANDLER = 300       # classify fault, update page state tables
 # AVIO atomicity checking (extension)
 # ---------------------------------------------------------------------
 AVIO_ACCESS = 140
+
+# ---------------------------------------------------------------------
+# Memory-tagging lock checker (HMTRace-style, extension)
+# ---------------------------------------------------------------------
+#: Cheaper than a full lockset intersection: the candidate set is a
+#: small tag bitmask, so the per-access work is a mask AND plus a state
+#: check — the point of tag-based checking in hardware proposals.
+MEMTAG_ACCESS = 60

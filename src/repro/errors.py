@@ -94,6 +94,18 @@ class ToolError(ReproError):
     """Errors raised by DBR tools (analyses)."""
 
 
+class EventLogError(ToolError):
+    """A recorded event log is malformed or corrupt.
+
+    Raised by :mod:`repro.eventlog` for framing violations: bad magic,
+    an unknown entry kind, a chunk whose CRC does not match its payload,
+    or a torn file (truncated mid-chunk, or missing the finalize
+    trailer). The reader *rejects* such logs instead of replaying a
+    prefix — a silently shortened trace would desynchronize every
+    detector fed from it.
+    """
+
+
 class TraceError(ReproError):
     """Errors raised by the observability layer.
 

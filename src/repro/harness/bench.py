@@ -22,6 +22,12 @@ Four sections:
   ``static_elide``: the wall-clock value of fusing statically
   race-free shared-checks into straight-line fast paths, measured at
   enforced bit-identity of every simulated statistic.
+* ``replay`` — the record-once/analyze-everywhere economics: record one
+  full-instrumentation run to an event log, replay it through all four
+  registered analyses, and compare against running each analysis live.
+  Measured at enforced verdict bit-identity (every replayed verdict
+  must equal its live counterpart); the headline is the amortization
+  factor ``live_total / (record + replay)``.
 
 Each measurement is best-of-``repeats`` (minimum seconds), the standard
 way to strip scheduler noise from a throughput number. The suite also
@@ -52,6 +58,11 @@ BENCH_SCHEMA_VERSION = 1
 #: Workloads the full-stack macro section runs (engine share is diluted
 #: by analysis work there, so a few representatives suffice).
 MACRO_BENCHMARKS = ("freqmine", "canneal", "streamcluster")
+
+#: Workloads the record/replay fan-out section measures, and the
+#: analyses each recorded log is replayed through.
+REPLAY_BENCHMARKS = ("canneal", "streamcluster")
+REPLAY_ANALYSES = ("fasttrack", "djit", "eraser", "memtag")
 
 DEFAULT_REPEATS = 3
 DEFAULT_THREADS = 4
@@ -210,6 +221,87 @@ def _elision_row(name: str, run_elide: Callable[[bool], Dict],
     }
 
 
+def _replay_row(name: str, factory: Callable, *, seed: int, quantum: int,
+                jitter: float, repeats: int) -> Dict:
+    """Record once, replay through every analysis, diff against live.
+
+    Each arm is best-of-``repeats`` seconds. Verdict bit-identity
+    between the replayed and live runs is *enforced* — a mismatch is a
+    fidelity regression, not a timing artifact, so it raises.
+    """
+    import os
+    import tempfile
+
+    from repro.eventlog.replay import (
+        live_run_verdict,
+        record_run,
+        replay_log,
+    )
+
+    tmpdir = tempfile.mkdtemp(prefix="aikido-bench-replay-")
+    path = os.path.join(tmpdir, f"{name}.aiklog")
+    try:
+        record_seconds = None
+        events = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            stats = record_run(factory(), path, seed=seed,
+                               quantum=quantum, jitter=jitter)
+            seconds = time.perf_counter() - start
+            if events is not None and stats["events"] != events:
+                raise HarnessError(
+                    f"replay bench {name}: non-deterministic recording "
+                    f"({stats['events']} vs {events} events)")
+            events = stats["events"]
+            if record_seconds is None or seconds < record_seconds:
+                record_seconds = seconds
+
+        live_seconds = 0.0
+        live_verdicts = {}
+        for analysis in REPLAY_ANALYSES:
+            best = None
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                verdict = live_run_verdict(factory(), analysis,
+                                           seed=seed, quantum=quantum,
+                                           jitter=jitter)
+                seconds = time.perf_counter() - start
+                if best is None or seconds < best:
+                    best = seconds
+                live_verdicts[analysis] = verdict
+            live_seconds += best
+
+        replay_seconds = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            replayed = {analysis: replay_log(path, analysis)
+                        for analysis in REPLAY_ANALYSES}
+            seconds = time.perf_counter() - start
+            if replay_seconds is None or seconds < replay_seconds:
+                replay_seconds = seconds
+        for analysis in REPLAY_ANALYSES:
+            if replayed[analysis] != live_verdicts[analysis]:
+                raise HarnessError(
+                    f"replay bench {name}: replayed {analysis} verdict "
+                    f"differs from the live run — fidelity regression")
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)
+        os.rmdir(tmpdir)
+
+    fanout_seconds = record_seconds + replay_seconds
+    return {
+        "name": name,
+        "events": events,
+        "analyses": list(REPLAY_ANALYSES),
+        "record": {"seconds": record_seconds},
+        "live": {"seconds": live_seconds},
+        "replay": {"seconds": replay_seconds},
+        "amortization": (live_seconds / fanout_seconds
+                         if fanout_seconds else 0.0),
+    }
+
+
 def bench_suite(*, threads: int = DEFAULT_THREADS,
                 scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED,
                 quantum: int = DEFAULT_QUANTUM,
@@ -286,8 +378,21 @@ def bench_suite(*, threads: int = DEFAULT_THREADS,
                 jitter=jitter),
             repeats if quick else max(repeats, 5)))
 
+    replay_rows = []
+    for name in REPLAY_BENCHMARKS:
+        if name not in names:
+            continue
+        note(f"bench: {name} (record once, replay through "
+             f"{len(REPLAY_ANALYSES)} analyses)")
+        factory = (lambda name=name:
+                   build_benchmark(name, threads=threads, scale=scale))
+        replay_rows.append(_replay_row(
+            name, factory, seed=seed, quantum=quantum, jitter=jitter,
+            repeats=repeats))
+
     speedups = [row["speedup"] for row in workloads]
     elision_speedups = [row["speedup"] for row in elision_rows]
+    amortizations = [row["amortization"] for row in replay_rows]
     doc = {
         "version": BENCH_SCHEMA_VERSION,
         "host": {
@@ -305,6 +410,7 @@ def bench_suite(*, threads: int = DEFAULT_THREADS,
         "macro": macro,
         "micro": micro_rows,
         "elision": elision_rows,
+        "replay": replay_rows,
         "summary": {
             "geomean_speedup": _geomean(speedups) if speedups else 0.0,
             "workloads_2x": sum(1 for s in speedups if s >= 2.0),
@@ -313,6 +419,9 @@ def bench_suite(*, threads: int = DEFAULT_THREADS,
                                         if elision_speedups else 0.0),
             "elision_nonzero": sum(1 for row in elision_rows
                                    if row["checks_elided"] > 0),
+            "replay_amortization_geomean": (_geomean(amortizations)
+                                            if amortizations else 0.0),
+            "replay_analyses": len(REPLAY_ANALYSES),
         },
     }
     validate_bench(doc)
@@ -385,6 +494,28 @@ def validate_bench(doc: Dict) -> Dict:
         _require(isinstance(row.get("speedup"), (int, float))
                  and row["speedup"] > 0,
                  f"elision {name}: bad speedup")
+    # The replay section is likewise optional; each row pairs recording
+    # and serial-replay timings against the sum of live runs.
+    replay = doc.get("replay", [])
+    _require(isinstance(replay, list), "replay is not a list")
+    for row in replay:
+        _require(isinstance(row, dict) and isinstance(
+            row.get("name"), str), "replay: row without a name")
+        name = row["name"]
+        _require(isinstance(row.get("events"), int) and row["events"] > 0,
+                 f"replay {name}: bad event count")
+        _require(isinstance(row.get("analyses"), list)
+                 and len(row["analyses"]) >= 1,
+                 f"replay {name}: bad analyses list")
+        for arm in ("record", "live", "replay"):
+            sample = row.get(arm)
+            _require(isinstance(sample, dict)
+                     and isinstance(sample.get("seconds"), (int, float))
+                     and sample["seconds"] >= 0,
+                     f"replay {name}: bad {arm}.seconds")
+        _require(isinstance(row.get("amortization"), (int, float))
+                 and row["amortization"] > 0,
+                 f"replay {name}: bad amortization")
     _require(len(doc["workloads"]) > 0, "no workload rows")
     summary = doc["summary"]
     _require(isinstance(summary.get("geomean_speedup"), (int, float)),
@@ -440,6 +571,19 @@ def render_bench(doc: Dict) -> str:
                 f"{row['baseline']['instrs_per_sec']:>12,.0f} "
                 f"{row['elided']['instrs_per_sec']:>12,.0f} "
                 f"{row['speedup']:>7.2f}x")
+    replay = doc.get("replay", [])
+    if replay:
+        lines.append("")
+        lines.append(f"{'record/replay fan-out':<24s} {'events':>10s} "
+                     f"{'record s':>10s} {'replay s':>10s} "
+                     f"{'live s':>10s} {'amortize':>8s}")
+        for row in replay:
+            lines.append(
+                f"{row['name']:<24s} {row['events']:>10,d} "
+                f"{row['record']['seconds']:>10.3f} "
+                f"{row['replay']['seconds']:>10.3f} "
+                f"{row['live']['seconds']:>10.3f} "
+                f"{row['amortization']:>7.2f}x")
     summary = doc["summary"]
     lines.append(f"geomean speedup {summary['geomean_speedup']:.2f}x; "
                  f"{summary['workloads_2x']}/{summary['workload_count']} "
@@ -449,6 +593,12 @@ def render_bench(doc: Dict) -> str:
                      f"{summary.get('elision_geomean_speedup', 0.0):.2f}x; "
                      f"{summary.get('elision_nonzero', 0)}/{len(elision)} "
                      f"workloads elide checks")
+    if replay:
+        lines.append(
+            f"replay amortization geomean "
+            f"{summary.get('replay_amortization_geomean', 0.0):.2f}x over "
+            f"{summary.get('replay_analyses', 0)} analyses "
+            f"(verdicts bit-identical to live by construction)")
     return "\n".join(lines)
 
 

@@ -22,6 +22,9 @@ Usage (installed as ``aikido-repro`` or ``python -m repro.harness.cli``)::
     aikido-repro fleet run --workers 2 --state-dir st/   # sharded fleet
     aikido-repro fleet run --kind fuzz --count 1000 --resume --state-dir st/
     aikido-repro fleet worker --connect HOST:PORT  # serve a coordinator
+    aikido-repro record --benchmark canneal --out canneal.aiklog
+    aikido-repro replay --log canneal.aiklog \
+        --analyses fasttrack,djit,eraser,memtag --jobs 4
     aikido-repro all              # everything, one suite run
     aikido-repro all --static-prepass  # suite with seeded discovery
     aikido-repro all --scale 0.5  # faster, smaller run
@@ -165,6 +168,12 @@ def main(argv=None) -> int:
         from repro.fleet.cli import main as fleet_main
 
         return fleet_main(argv[1:])
+    if argv[:1] in (["record"], ["replay"]):
+        # Record/replay fan-out verbs; same exit-code contract (3 =
+        # cross-analysis disagreement or a --diff-live mismatch).
+        from repro.eventlog.cli import main as eventlog_main
+
+        return eventlog_main(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.jobs < 0:

@@ -12,6 +12,7 @@ from repro.observability.attribution import (BUCKETS, CATEGORY_BUCKETS,
                                              attribute_cycles,
                                              attribution_fractions,
                                              overhead_cycles)
+from repro.observability.eventlog import EventLogCounters
 from repro.observability.fleet import (FleetCounters, WallClock,
                                        fleet_instant)
 from repro.observability.metrics import (MetricsRecorder, TIMELINE_FIELDS,
@@ -22,6 +23,7 @@ from repro.observability.tracer import TraceEvent, Tracer
 __all__ = [
     "BUCKETS", "CATEGORY_BUCKETS", "attribute_cycles",
     "attribution_fractions", "overhead_cycles",
+    "EventLogCounters",
     "FleetCounters", "WallClock", "fleet_instant",
     "MetricsRecorder", "TIMELINE_FIELDS", "metrics_snapshot",
     "TraceSink", "load_chrome", "validate_chrome",

@@ -47,7 +47,8 @@ from repro.scengen.scenario import ScenarioIR, describe, render
 #: Bumped whenever the oracle's checks change meaning, invalidating
 #: journaled/cached verdicts from older code.
 #: 2: added static_race_superset + lint_clean checks.
-ORACLE_VERSION = 2
+#: 3: added eventlog_roundtrip + cross_analysis_agreement checks.
+ORACLE_VERSION = 3
 
 
 def scenario_key(config: GeneratorConfig, seed: int, quick: bool) -> str:

@@ -27,6 +27,16 @@ Checks
                             produces identical reports (Eraser's
                             fork/join blindness makes its report *set*
                             incomparable, but it must be stable).
+``eventlog_roundtrip``      the recorded trace encodes to the binary
+                            event-log format and decodes back
+                            entry-exact, with byte-stable re-encoding
+                            (the ``repro.eventlog`` canonicality
+                            contract).
+``cross_analysis_agreement`` the replay fan-out invariant over all four
+                            detectors replayed from one trace:
+                            FastTrack and DJIT+ flag identical blocks,
+                            and memtag's blocks are a subset of
+                            Eraser's (tag collisions only suppress).
 ``classifier_soundness``    no statically PROVABLY_PRIVATE instruction
                             ever touched a dynamically shared page.
 ``static_race_superset``    every dynamic FastTrack race maps to a
@@ -59,8 +69,11 @@ from repro.analyses.eraser import EraserDetector
 from repro.analyses.fasttrack.detector import FastTrackDetector
 from repro.analyses.fasttrack.tool import FastTrackTool
 from repro.analyses.generic_tool import FullInstrumentationTool
+from repro.analyses.memtag import MemTagDetector
 from repro.analyses.record import FullTraceRecorder, replay_into
+from repro.chaos.invariants import cross_analysis_disagreements
 from repro.chaos.plan import ChaosPlan
+from repro.eventlog.encoding import decode_entries, encode_entries
 from repro.core.config import AikidoConfig
 from repro.dbr.engine import DBREngine
 from repro.errors import ReproError
@@ -253,7 +266,8 @@ def check_scenario(ir: ScenarioIR, *, quick: bool = True,
     recorder = _record_trace(ir, budget) if completed else None
     if recorder is None:
         for name in ("record_replay_fidelity", "fasttrack_djit_agreement",
-                     "eraser_determinism", "classifier_soundness",
+                     "eraser_determinism", "eventlog_roundtrip",
+                     "cross_analysis_agreement", "classifier_soundness",
                      "static_race_superset"):
             report(name, True, skipped=True,
                    detail="scenario did not complete cleanly")
@@ -284,6 +298,28 @@ def check_scenario(ir: ScenarioIR, *, quick: bool = True,
         first, second = eraser_reports(), eraser_reports()
         report("eraser_determinism", first == second,
                "" if first == second else "eraser replay is unstable")
+
+        buf = encode_entries(trace)
+        decoded = decode_entries(buf)
+        lossless = decoded == [tuple(e) for e in trace]
+        stable = encode_entries(decoded) == buf
+        report("eventlog_roundtrip", lossless and stable,
+               "" if lossless and stable else
+               ("decode is not entry-exact" if not lossless
+                else "re-encoding is not byte-stable"))
+
+        eraser_det = replay_into(
+            trace, lambda: EraserDetector(block_size=BLOCK_SIZE))
+        memtag = replay_into(
+            trace, lambda: MemTagDetector(block_size=BLOCK_SIZE))
+        disagreements = cross_analysis_disagreements({
+            "fasttrack": set(ft_blocks),
+            "djit": set(djit_blocks),
+            "eraser": {r.block for r in eraser_det.reports},
+            "memtag": {r.block for r in memtag.reports},
+        })
+        report("cross_analysis_agreement", not disagreements,
+               "" if not disagreements else "; ".join(disagreements[:5]))
 
         analysis = analysis_for(program)
         sharing = analysis.sharing

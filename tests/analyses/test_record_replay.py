@@ -165,3 +165,118 @@ class TestUnrecognizedSyncEvents:
         from repro.analyses.generic_tool import dispatch_sync
 
         dispatch_sync(FastTrackDetector(), ThreadExitEvent(3))
+
+
+def record_full(program_factory, seed=3, quantum=20):
+    """Full-instrumentation ground-truth recording."""
+    from repro.analyses.generic_tool import FullInstrumentationTool
+    from repro.analyses.record import FullTraceRecorder
+    from repro.dbr.engine import DBREngine
+    from repro.guestos.kernel import Kernel
+
+    kernel = Kernel(seed=seed, quantum=quantum, jitter=0.0)
+    kernel.create_process(program_factory())
+    engine = DBREngine(kernel)
+    recorder = FullTraceRecorder()
+    engine.attach_tool(FullInstrumentationTool(kernel, recorder))
+    kernel.run()
+    return recorder
+
+
+class TestBarrierIdFidelity:
+    """Regression: barrier ids must survive record -> replay -> re-record.
+
+    ``FullTraceRecorder.on_barrier`` used to hardcode ``barrier_id=0``
+    and ``replay`` dropped the recorded id on dispatch, so a round trip
+    collapsed every barrier to id 0 and HBGraph edge labels degenerated
+    to ``barrier-0``.
+    """
+
+    def test_full_recorder_keeps_real_barrier_ids(self):
+        # barrier_phases crosses ONE barrier three times: every entry
+        # must carry its real id (1), not the hardcoded 0 of the bug.
+        recorder = record_full(lambda: micro.barrier_phases(2, 3)[0])
+        ids = [e[1] for e in recorder.trace if e[0] == "barrier"]
+        assert len(ids) == 3
+        assert all(i != 0 for i in ids), ids
+
+    def test_aikido_and_full_recorders_agree_on_barrier_ids(self):
+        full = record_full(lambda: micro.barrier_phases(2, 3)[0])
+        aikido = record(lambda: micro.barrier_phases(2, 3)[0])
+        full_ids = [e[1] for e in full.trace if e[0] == "barrier"]
+        aikido_ids = [e[1] for e in aikido.trace if e[0] == "barrier"]
+        assert full_ids == aikido_ids
+
+    def test_replay_rerecord_round_trip_is_identity(self):
+        from repro.analyses.record import FullTraceRecorder
+
+        recorder = record_full(lambda: micro.barrier_phases(2, 3)[0])
+        rerecorded = replay_into(recorder.trace, FullTraceRecorder)
+        assert rerecorded.trace == recorder.trace
+
+    def test_round_trip_identity_on_lock_heavy_trace(self):
+        from repro.analyses.record import FullTraceRecorder
+
+        recorder = record_full(lambda: micro.producer_consumer(
+            items=20, consumers=2)[0])
+        rerecorded = replay_into(recorder.trace, FullTraceRecorder)
+        assert rerecorded.trace == recorder.trace
+
+    def test_hbgraph_labels_carry_real_barrier_ids(self):
+        from repro.analyses.hbgraph import HBGraph
+
+        recorder = record_full(lambda: micro.barrier_phases(2, 3)[0])
+        graph = HBGraph(recorder.trace).graph
+        kinds = {data["kind"] for _, _, data in graph.edges(data=True)
+                 if data["kind"].startswith("barrier-")}
+        # The bug collapsed every label to "barrier-0"; the real barrier
+        # allocated by the workload has a nonzero id.
+        assert kinds and "barrier-0" not in kinds, kinds
+
+    def test_replay_passes_id_to_barrier_aware_detector(self):
+        class IdCollector:
+            def __init__(self):
+                self.ids = []
+
+            def on_access(self, tid, addr, is_write, instr_uid=-1):
+                pass
+
+            def on_barrier(self, tids, barrier_id=0):
+                self.ids.append(barrier_id)
+
+        trace = [("barrier", 7, (0, 1)), ("barrier", 9, (0, 1))]
+        collector = replay_into(trace, IdCollector)
+        assert collector.ids == [7, 9]
+
+    def test_replay_still_supports_tids_only_barrier_handler(self):
+        class Legacy:
+            def __init__(self):
+                self.calls = []
+
+            def on_access(self, tid, addr, is_write, instr_uid=-1):
+                pass
+
+            def on_barrier(self, tids):
+                self.calls.append(tuple(tids))
+
+        trace = [("barrier", 7, (0, 1))]
+        legacy = replay_into(trace, Legacy)
+        assert legacy.calls == [(0, 1)]
+
+
+class TestUnknownEntryKinds:
+    """Regression: replay used to silently skip unknown entry kinds."""
+
+    def test_replay_rejects_unknown_kind(self):
+        trace = [("access", 1, 4096, True, 1), ("wakeup", 1, 1)]
+        with pytest.raises(ToolError, match="unrecognized trace entry"):
+            replay(trace, FastTrackDetector())
+
+    def test_replay_rejects_typoed_sync_kind(self):
+        with pytest.raises(ToolError, match="unrecognized trace entry"):
+            replay([("aquire", 0, 1)], EraserDetector())
+
+    def test_optional_handlers_still_skipped(self):
+        # Eraser has no fork/join/barrier: documented-optional, no error.
+        trace = [("fork", 0, 1), ("barrier", 2, (0, 1)), ("join", 0, 1)]
+        replay(trace, EraserDetector())

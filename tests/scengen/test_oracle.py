@@ -45,6 +45,7 @@ class TestCleanScenarios:
         for name in ("tier_parity_fasttrack", "tier_parity_aikido",
                      "schedule_replay", "record_replay_fidelity",
                      "fasttrack_djit_agreement", "eraser_determinism",
+                     "eventlog_roundtrip", "cross_analysis_agreement",
                      "classifier_soundness", "aikido_subset"):
             assert name in verdict["checks"], name
 
