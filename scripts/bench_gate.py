@@ -1,10 +1,13 @@
 #!/usr/bin/env python
-"""Wall-clock regression gate for the block-compiled execution tier.
+"""Wall-clock regression gate for the DBR execution tiers.
 
-Re-runs the bench suite and compares compiled-tier throughput against
-the committed ``BENCH_simulator.json`` trajectory: the geomean over
-workloads of ``current / baseline`` instrs/sec must not fall more than
-``--threshold`` (default 15%) below 1.0.
+Re-runs the bench suite and compares per-tier throughput (interpreter,
+block-compiled, superblock) against the committed
+``BENCH_simulator.json`` trajectory: for every tier present in both
+documents, the geomean over workloads of ``current / baseline``
+instrs/sec must not fall more than ``--threshold`` (default 15%)
+below 1.0. Gating each tier separately means a regression confined to
+the superblock tier cannot hide behind a healthy compiled-tier number.
 
 Exit codes: 0 = within budget, 2 = genuine throughput regression (or a
 failure while re-measuring), 4 = missing/corrupt/incomparable bench
@@ -13,6 +16,7 @@ document — a CI consumer must not read exit 4 as a performance problem.
     python scripts/bench_gate.py                  # re-measure and gate
     python scripts/bench_gate.py --current X.json # gate a saved document
     python scripts/bench_gate.py --quick          # fast, noisy variant
+    python scripts/bench_gate.py --save out.json  # archive the measurement
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from repro.harness.bench import (  # noqa: E402
     bench_suite,
     compare_bench,
     load_bench,
+    write_bench,
 )
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / \
@@ -53,6 +58,11 @@ def main(argv=None) -> int:
                         help="fast re-measure (small scale, one repeat); "
                              "noisy — for smoke only")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--save", metavar="PATH", default=None,
+                        help="write the gated (measured or --current) "
+                             "document to PATH — lets CI archive the "
+                             "measurement as an artifact even when the "
+                             "gate fails")
     args = parser.parse_args(argv)
 
     try:
@@ -73,6 +83,10 @@ def main(argv=None) -> int:
                 jitter=params["jitter"], repeats=args.repeats,
                 quick=args.quick,
                 progress=lambda m: print(m, file=sys.stderr))
+        if args.save is not None:
+            write_bench(current, args.save)
+            print(f"(bench document saved to {args.save})",
+                  file=sys.stderr)
         verdict = compare_bench(baseline, current,
                                 threshold=args.threshold)
     except HarnessError as exc:
@@ -85,16 +99,23 @@ def main(argv=None) -> int:
         print(f"bench gate error: {exc}", file=sys.stderr)
         return EXIT_REGRESSION
 
-    for name, ratio in sorted(verdict["ratios"].items()):
-        print(f"  {name:<20s} {ratio:6.2f}x vs baseline")
-    geomean = verdict["geomean_ratio"]
     floor = 1.0 - verdict["threshold"]
+    failing = []
+    for tier, entry in verdict["tiers"].items():
+        print(f"{tier} tier:")
+        for name, ratio in sorted(entry["ratios"].items()):
+            print(f"  {name:<20s} {ratio:6.2f}x vs baseline")
+        print(f"  geomean {entry['geomean_ratio']:.3f} "
+              f"(floor {floor:.2f})")
+        if not entry["ok"]:
+            failing.append(tier)
     if not verdict["ok"]:
-        print(f"bench gate FAIL: geomean throughput ratio {geomean:.3f} "
-              f"below the {floor:.2f} floor", file=sys.stderr)
+        print(f"bench gate FAIL: throughput geomean below the "
+              f"{floor:.2f} floor in tier(s): {', '.join(failing)}",
+              file=sys.stderr)
         return EXIT_REGRESSION
-    print(f"bench gate ok: geomean throughput ratio {geomean:.3f} "
-          f"(floor {floor:.2f})")
+    print(f"bench gate ok: all {len(verdict['tiers'])} tier(s) within "
+          f"budget (floor {floor:.2f})")
     return 0
 
 

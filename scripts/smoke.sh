@@ -114,6 +114,36 @@ EOF
 python scripts/bench_gate.py --baseline "$BENCH_OUT" \
     --current "$BENCH_OUT" > /dev/null
 
+# Superblock smoke: all three execution tiers (interpreter, compiled,
+# superblock) must agree bit-for-bit on every simulated statistic —
+# the parity contract the bench suite enforces at full scale,
+# exercised here at smoke scale, with at least one superblock actually
+# built so the tier is known to have engaged.
+python - <<'EOF'
+from repro.dbr.engine import DBREngine
+from repro.guestos.kernel import Kernel
+from repro.workloads.parsec import build_benchmark
+
+built = 0
+for name in ("blackscholes", "canneal"):
+    surfaces = []
+    for cb, sb in ((False, False), (True, False), (True, True)):
+        kernel = Kernel(seed=3, quantum=100, jitter=0.1)
+        kernel.create_process(
+            build_benchmark(name, threads=2, scale=0.2))
+        engine = DBREngine(kernel, compile_blocks=cb, superblocks=sb)
+        kernel.run()
+        surfaces.append((kernel.counter.total, engine.stats.as_dict(),
+                         kernel.counter.snapshot()))
+    snapshot = engine.superblock_snapshot() or {}
+    built += snapshot.get("superblocks_built", 0)
+    assert surfaces[0] == surfaces[1] == surfaces[2], \
+        f"{name}: execution-tier surfaces diverge"
+assert built > 0, "superblock smoke never built a superblock"
+print(f"superblock smoke ok: 3-tier surfaces bit-identical, "
+      f"{built} superblock(s) built")
+EOF
+
 # Fuzz smoke: a fixed-seed differential campaign over generated
 # scenarios must complete with zero oracle disagreements (exit 0; a
 # disagreement exits 3). Then the resumability contract: kill a

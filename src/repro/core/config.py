@@ -88,6 +88,15 @@ class AikidoConfig:
             statistic is bit-identical between the two — this switch
             only changes host wall-clock speed (and is the escape hatch
             if it ever doesn't).
+        superblocks: run the DBR engine's superblock (trace) tier on top
+            of the compiled tier (see :mod:`repro.dbr.superblock`): hot
+            block chains selected by the trace profiler are stitched
+            into single generated functions with guard-protected side
+            exits and hoisted TLB/elision checks. On by default;
+            ignored without ``compile_blocks``. Like the compiled tier,
+            every simulated statistic is bit-identical with it on or
+            off — the switch exists for benchmarking the tiers apart
+            (and as the escape hatch).
         static_elide: compile-time shared-check elision (``--static-elide``):
             feed the static race analyzer's elision plan (see
             :mod:`repro.staticanalysis.elision`) into the block
@@ -114,6 +123,7 @@ class AikidoConfig:
     trace_max_events: int = 250_000
     metrics_cadence: int = 0
     compile_blocks: bool = True
+    superblocks: bool = True
     static_elide: bool = False
 
     def to_dict(self) -> Dict:

@@ -98,6 +98,64 @@ CTL_OPCODES = frozenset((
     Opcode.CALL, Opcode.RET, Opcode.MOD,
 ))
 
+#: Opcodes a superblock (see :mod:`repro.dbr.superblock`) can inline at
+#: any position of a chain member: pure ALU, unhooked memory accesses
+#: (guarded on the TLB micro-cache) and MOD (guarded on its divisor).
+STITCH_BODY_OPCODES = SEG_OPCODES | MEMORY_OPCODES | frozenset(
+    (Opcode.MOD,))
+
+#: Control opcodes legal only as a chain member's *final* instruction —
+#: the block terminators (plus CALL, which the ISA allows mid-block:
+#: a mid-block CALL makes the block unstitchable because the chain
+#: would have to span the callee and the return site).
+STITCH_TAIL_OPCODES = frozenset((
+    Opcode.JMP, Opcode.BZ, Opcode.BNZ, Opcode.BLT, Opcode.BGE,
+    Opcode.CALL, Opcode.RET,
+))
+
+
+def chain_stitchable(cached) -> bool:
+    """Can this cached block serve as a superblock chain member?
+
+    Every position must be unhooked (a hook is an observation point the
+    straight-line body cannot host) and every opcode must be one the
+    superblock compiler can inline: ALU/memory/MOD anywhere, a control
+    transfer only at the final position. Kernel ops, HALT, hooked
+    positions and mid-block CALLs all disqualify the block — they run
+    through the ordinary step list instead. A MOD with a literal zero
+    divisor also disqualifies (it unconditionally raises, so the block
+    can never retire past it anyway), as does a memory access with a
+    literal misaligned address (same argument — and the superblock
+    compiler inlines word-store accesses on the premise that literal
+    addresses it sees are aligned).
+
+    The verdict is stable for the life of the CachedBlock for the same
+    reason step classification is: hooks are only *added* through a
+    flush-and-rebuild, and runtime hook swaps only touch already-hooked
+    positions (which already made the block unstitchable).
+    """
+    instrs = cached.instrs
+    last = len(instrs) - 1
+    for i, instr in enumerate(instrs):
+        if cached.hooks[i] is not None:
+            return False
+        op = instr.op
+        if op in STITCH_BODY_OPCODES:
+            if (op is Opcode.MOD and instr.rs2 is None
+                    and instr.imm == 0):
+                return False
+            if (op in MEMORY_OPCODES and instr.mem.base is None
+                    and instr.mem.disp & 7):
+                # A literal misaligned address raises unconditionally;
+                # the superblock compiler inlines word-store accesses
+                # on the premise that literal addresses are aligned.
+                return False
+            continue
+        if i == last and op in STITCH_TAIL_OPCODES:
+            continue
+        return False
+    return True
+
 
 class CompiledBlock:
     """The compiled form of one cached block.
@@ -110,11 +168,12 @@ class CompiledBlock:
     """
 
     __slots__ = ("steps", "overhead", "length", "elided_uids",
-                 "elided_private")
+                 "elided_private", "stitchable")
 
     def __init__(self, steps: List[tuple], overhead: int,
                  elided_uids: FrozenSet[int] = frozenset(),
-                 elided_private: FrozenSet[int] = frozenset()):
+                 elided_private: FrozenSet[int] = frozenset(),
+                 stitchable: bool = False):
         self.steps = steps
         self.overhead = overhead
         self.length = len(steps)
@@ -124,6 +183,10 @@ class CompiledBlock:
         #: page — see ``elision_no_shared``).
         self.elided_uids = elided_uids
         self.elided_private = elided_private
+        #: True when the source block qualifies as a superblock chain
+        #: member (see :func:`chain_stitchable`); computed once here so
+        #: the chain planner's hot path is one attribute read.
+        self.stitchable = stitchable
 
 
 def _alu_closure(instr) -> Callable:
@@ -675,9 +738,10 @@ def compile_block(cached, engine) -> CompiledBlock:
     # ------------------------------------------------------------------
     # static-check elision: superimpose ELI fast paths (--static-elide)
     # ------------------------------------------------------------------
+    stitchable = chain_stitchable(cached)
     plan = engine.elision_plan
     if plan is None:
-        return CompiledBlock(steps, overhead)
+        return CompiledBlock(steps, overhead, stitchable=stitchable)
     retired = engine._elision_retired
     elided_uids = set()
     elided_private = set()
@@ -712,4 +776,5 @@ def compile_block(cached, engine) -> CompiledBlock:
                     elided_private.add(uid)
         i = j
     return CompiledBlock(steps, overhead, frozenset(elided_uids),
-                         frozenset(elided_private))
+                         frozenset(elided_private),
+                         stitchable=stitchable)

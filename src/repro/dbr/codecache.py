@@ -6,9 +6,13 @@ deleting a cached block forces a rebuild on next execution, re-running the
 instrumentation callbacks — that is the re-JIT AikidoSD uses to attach
 tool instrumentation to an instruction that faulted on a shared page.
 
-Hot blocks are promoted to *traces*; traces only matter to the cost model
-(trace building is real work the engine must redo after a flush), so they
-are tracked as a flag plus counters.
+Hot blocks are promoted to *traces*: the flag feeds the cost model
+(trace building is real work the engine must redo after a flush) and
+marks the block eligible for the superblock tier, which stitches chains
+of in-trace blocks into single generated functions
+(:mod:`repro.dbr.superblock`). Every invalidation path resets trace
+state and notifies ``invalidation_listeners`` so dependent superblocks
+die with their members.
 """
 
 from __future__ import annotations
@@ -72,6 +76,15 @@ class CodeCache:
         self.closures_dropped = 0
         #: Observability tracer, attached by AikidoSystem (None = off).
         self.tracer = None
+        #: Called as ``listener(block_index, reason)`` whenever a cached
+        #: block's contents stop being trustworthy — a flush pops it, or
+        #: an elision retirement drops its closure. The engine registers
+        #: one to drop superblocks containing the block.
+        self.invalidation_listeners: List[Callable[[int, str], None]] = []
+
+    def _notify_invalidated(self, block_index: int, reason: str) -> None:
+        for listener in self.invalidation_listeners:
+            listener(block_index, reason)
 
     def _note_closure_dropped(self, cached: CachedBlock,
                               reason: str) -> None:
@@ -90,11 +103,25 @@ class CodeCache:
         cached.executions += 1
         if (not cached.in_trace
                 and cached.executions >= self.trace_threshold):
-            cached.in_trace = True
-            self.traces_built += 1
-            if self.counter is not None:
-                self.counter.charge("dbr", costs.TRACE_BUILD)
+            self._maybe_promote(cached)
         return cached
+
+    def _maybe_promote(self, cached: CachedBlock) -> None:
+        """Promote a hot block to trace membership.
+
+        Charges the cost model's TRACE_BUILD (under the ``trace``
+        attribution bucket) and emits a ``trace_build`` instant; the
+        engine's superblock builder keys off ``in_trace`` to grow
+        chains from promoted blocks.
+        """
+        cached.in_trace = True
+        self.traces_built += 1
+        if self.counter is not None:
+            self.counter.charge("trace", costs.TRACE_BUILD)
+        if self.tracer is not None:
+            self.tracer.instant("trace_build", "dbr",
+                                block=cached.block_index,
+                                executions=cached.executions)
 
     def drop_closures_of_instruction(self, uid: int, reason: str) -> int:
         """Drop (only) the compiled closure of the block holding ``uid``.
@@ -112,6 +139,12 @@ class CodeCache:
             return 0
         self._note_closure_dropped(cached, reason)
         cached.compiled = None
+        # Trace state deliberately survives: no simulated flush happened,
+        # so re-charging TRACE_BUILD here would fork the cost stream
+        # between elided and non-elided runs. Superblocks over this
+        # block still die (listener + identity guard see the closure
+        # swap).
+        self._notify_invalidated(block_index, reason)
         return 1
 
     def invalidate_blocks_of_instruction(self, uid: int) -> int:
@@ -125,17 +158,28 @@ class CodeCache:
         block_index, _ = self.program.instruction_locations[uid]
         return self.invalidate(block_index)
 
+    def _reset_trace_state(self, cached: CachedBlock) -> None:
+        # A flushed block's promotion is gone with it: the rebuild
+        # starts cold and must re-earn (and re-charge) its trace
+        # membership. Clearing the popped object's state also trips the
+        # identity guards of any superblock still holding a reference.
+        cached.compiled = None
+        cached.in_trace = False
+        cached.executions = 0
+
     def invalidate(self, block_index: int) -> int:
         cached = self._blocks.pop(block_index, None)
         if cached is None:
             return 0
         self._note_closure_dropped(cached, "flush")
+        self._reset_trace_state(cached)
         self.flushes += 1
         if self.counter is not None:
             self.counter.charge("dbr", costs.BLOCK_FLUSH)
         if self.tracer is not None:
             self.tracer.instant("cache_flush", "dbr",
                                 block=block_index, blocks=1)
+        self._notify_invalidated(block_index, "flush")
         return 1
 
     def invalidate_all(self) -> int:
@@ -148,14 +192,18 @@ class CodeCache:
         count = len(self._blocks)
         if count == 0:
             return 0
-        for cached in self._blocks.values():
+        dropped = list(self._blocks.values())
+        for cached in dropped:
             self._note_closure_dropped(cached, "flush_all")
+            self._reset_trace_state(cached)
         self._blocks.clear()
         self.flushes += count
         if self.counter is not None:
             self.counter.charge("dbr", costs.BLOCK_FLUSH * count)
         if self.tracer is not None:
             self.tracer.instant("cache_flush", "dbr", blocks=count)
+        for cached in dropped:
+            self._notify_invalidated(cached.block_index, "flush_all")
         return count
 
     def _build(self, block_index: int) -> CachedBlock:

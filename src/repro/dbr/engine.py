@@ -18,7 +18,12 @@ from typing import Callable, Optional
 from repro import costs
 from repro.dbr.blockcompiler import CTL, ELI, GEN, MEM, SEG, compile_block
 from repro.dbr.codecache import CodeCache
+from repro.dbr.superblock import (EXIT_COMPLETE, EXIT_RESUME, EXIT_STALE,
+                                  MIN_INSTRUCTIONS, RETRY_EXECUTIONS,
+                                  THRASH_MIN_ENTRIES, SuperBlockCache,
+                                  compile_superblock, plan_chain)
 from repro.dbr.tool import Tool
+from repro.dbr.traceprofiler import TraceProfiler
 from repro.guestos.driver import ExecutionDriver
 from repro.guestos.signals import SIGSEGV, HandlerResult
 from repro.machine.cpu import BASE_COST
@@ -31,16 +36,23 @@ _MASK64 = 0xFFFFFFFFFFFFFFFF
 class DBREngine(ExecutionDriver):
     """Code-cache execution with inline instrumentation hooks.
 
-    Two execution tiers share the code cache. The *interpreter* tier
+    Three execution tiers share the code cache. The *interpreter* tier
     (:meth:`_run_interp`) is the reference: one ``CPU.execute`` per
     instruction. The *compiled* tier (:meth:`_run_compiled`, default,
     ``compile_blocks=False`` to disable) runs each block through its
-    specialized closure form (see :mod:`repro.dbr.blockcompiler`) and
-    must produce bit-identical simulated stats.
+    specialized closure form (see :mod:`repro.dbr.blockcompiler`). The
+    *superblock* tier (``superblocks=False`` to disable, on by default
+    whenever the compiled tier is) additionally stitches hot block
+    chains into single generated functions with guard-protected side
+    exits (see :mod:`repro.dbr.superblock` /
+    :mod:`repro.dbr.traceprofiler`), dispatched from the compiled
+    tier's fetch path. All tiers must produce bit-identical simulated
+    stats.
     """
 
     def __init__(self, kernel, *, trace_threshold: int = 50,
-                 process=None, compile_blocks: bool = True):
+                 process=None, compile_blocks: bool = True,
+                 superblocks: bool = True):
         super().__init__(kernel)
         self.process = process if process is not None else kernel.process
         if self.process is None:
@@ -54,6 +66,17 @@ class DBREngine(ExecutionDriver):
         self._cache_dirty = False
         #: Execution-tier switch (AikidoConfig.compile_blocks).
         self.compile_blocks = compile_blocks
+        #: Superblock-tier switch (AikidoConfig.superblocks) — a layer
+        #: on top of the compiled tier, meaningless without it.
+        self.superblocks = bool(compile_blocks and superblocks)
+        if self.superblocks:
+            self.traceprofiler = TraceProfiler()
+            self.superblock_cache = SuperBlockCache()
+            self.codecache.invalidation_listeners.append(
+                self._superblock_invalidate)
+        else:
+            self.traceprofiler = None
+            self.superblock_cache = None
         #: Per-instruction residency overhead of the installed stack;
         #: plain DynamoRIO by default, raised by AikidoSD on install.
         self.overhead_per_instr = costs.DBR_BASE_PER_INSTR
@@ -142,6 +165,75 @@ class DBREngine(ExecutionDriver):
         if self.tracer is not None:
             self.tracer.instant("rejit", "dbr", uid=uid, flushed=flushed)
         return flushed
+
+    # ------------------------------------------------------------------
+    # superblock tier
+    # ------------------------------------------------------------------
+    def _superblock_invalidate(self, block_index: int,
+                               reason: str) -> None:
+        """Code-cache invalidation listener: a member died, its
+        superblocks die with it; a rebuilt block may also have become
+        stitchable, so its build ban/backoff resets."""
+        sb_cache = self.superblock_cache
+        dropped = sb_cache.drop_blocks_of(block_index, reason)
+        sb_cache.unban(block_index)
+        if dropped and self.tracer is not None:
+            self.tracer.instant("superblock_drop", "dbr",
+                                block=block_index, reason=reason,
+                                dropped=dropped)
+
+    def _try_superblock(self, cached) -> None:
+        """Attempt to grow and compile a superblock headed at ``cached``.
+
+        Called from the compiled tier's fetch path when an in-trace
+        block is entered at instruction 0 and no superblock covers it
+        yet. Entirely host-side: no simulated charges beyond what the
+        cost model already books for trace promotion.
+        """
+        sb_cache = self.superblock_cache
+        head = cached.block_index
+        if head in sb_cache.banned:
+            return
+        if cached.executions < sb_cache.attempt_after.get(head, 0):
+            return
+        members = plan_chain(head, self)
+        if not members:
+            # The head block itself is unstitchable (hooked, HALT,
+            # literal-zero MOD, ...): no chain can ever start here until
+            # an invalidation rebuilds the block differently.
+            sb_cache.banned.add(head)
+            return
+        if (len(members) < 2
+                or sum(len(m.instrs) for m in members)
+                    < MIN_INSTRUCTIONS):
+            # Too short to pay for its own entry sequence; the
+            # successors may still be warming toward trace membership —
+            # retry once the head has run hotter.
+            sb_cache.attempt_after[head] = (cached.executions
+                                            + RETRY_EXECUTIONS)
+            return
+        sb = compile_superblock(members, self)
+        sb_cache.install(sb)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "superblock_build", "dbr", head=head,
+                members=[m.block_index for m in sb.members],
+                instructions=sb.count)
+
+    def superblock_snapshot(self) -> Optional[dict]:
+        """Host-side superblock telemetry (None when the tier is off)."""
+        sb_cache = self.superblock_cache
+        if sb_cache is None:
+            return None
+        return {
+            "superblocks_built": sb_cache.built,
+            "superblocks_dropped": sb_cache.dropped,
+            "side_exits": sb_cache.side_exits,
+            "entries": sb_cache.entries,
+            "completions": sb_cache.completions,
+            "instructions": sb_cache.instructions,
+            "live": len(sb_cache.by_head),
+        }
 
     # ------------------------------------------------------------------
     # execution
@@ -276,6 +368,26 @@ class DBREngine(ExecutionDriver):
         #: (fault repairs — actions return the new state directly).
         check_runnable = True
         overhead = self.overhead_per_instr
+        sb_cache = self.superblock_cache
+        #: Hot-path locals for the superblock tier: one dict.get per
+        #: fetch for dispatch, and the profiler's edge table accessed
+        #: directly (TraceProfiler.note_edge semantics, inlined — a
+        #: call per block transition is measurable at this loop's
+        #: frequency).
+        sb_get = sb_cache.by_head.get if sb_cache is not None else None
+        by_head = sb_cache.by_head if sb_cache is not None else None
+        sb_banned = sb_cache.banned if sb_cache is not None else None
+        sb_retry_get = (sb_cache.attempt_after.get
+                        if sb_cache is not None else None)
+        edges = (self.traceprofiler._edges
+                 if self.traceprofiler is not None else None)
+        #: Previous *hot* block entered at instruction 0 within this
+        #: quantum — the profiler's edge source. Reset to -1 on anything
+        #: that breaks the straight execution stream (mid-block
+        #: re-entry, superblock exit, quantum start) and on cold blocks:
+        #: chains only ever link promoted blocks, so cold-source edges
+        #: would be dead weight in the table.
+        prev_bi = -1
         while executed < budget:
             if check_runnable:
                 if not thread.runnable:
@@ -283,6 +395,92 @@ class DBREngine(ExecutionDriver):
                 check_runnable = False
             bi = pc[0]
             if bi != cur_bi or cached is None or self._cache_dirty:
+                if sb_get is not None and pc[1] == 0 \
+                        and not pending_yield:
+                    sb = sb_get(bi)
+                    if sb is not None:
+                        if sb.overhead != overhead:
+                            sb_cache.drop(sb, "stale_overhead")
+                        elif sb.count <= budget - executed:
+                            # The whole chain fits in the remaining
+                            # budget and nothing can observe state
+                            # mid-body — run it. All accounting is
+                            # booked by the body at its exit site.
+                            # The entry still records its profiler
+                            # edge (the body replaces the fetch that
+                            # would have) so chains through and past
+                            # this superblock can keep maturing.
+                            if prev_bi >= 0:
+                                per_src = edges.get(prev_bi)
+                                if per_src is None:
+                                    per_src = edges[prev_bi] = {}
+                                per_src[bi] = per_src.get(bi, 0) + 1
+                            self._cache_dirty = False
+                            retired = sb.fn(thread)
+                            code = sb.exit[1]
+                            if code != EXIT_STALE:
+                                sb.entries += 1
+                                sb_cache.entries += 1
+                                sb_cache.instructions += retired
+                                executed += retired
+                                # A full-count EXIT_RESUME is a
+                                # completion that fell off the chain
+                                # end (fallthrough / not-taken
+                                # terminal): pc parks past the block
+                                # end exactly like the reference and
+                                # the loop below advances it.
+                                if (code == EXIT_COMPLETE
+                                        or retired == sb.count):
+                                    sb_cache.completions += 1
+                                else:
+                                    # Guard-protected side exit.
+                                    sb.side_exits += 1
+                                    sb_cache.side_exits += 1
+                                    if self.tracer is not None:
+                                        self.tracer.instant(
+                                            "superblock_side_exit",
+                                            "dbr", head=sb.head,
+                                            member=sb.exit[0],
+                                            code=code)
+                                # The block the chain logically left
+                                # from stays the profiler's edge
+                                # source, so the stream reads as if
+                                # the members had dispatched normally.
+                                if code == EXIT_RESUME:
+                                    # pc is parked inside (or just
+                                    # past) a member; resume through
+                                    # its ordinary step list. Its
+                                    # dispatch is already charged — do
+                                    # NOT re-fetch.
+                                    member = sb.members[sb.exit[0]]
+                                    cached = member
+                                    cur_bi = member.block_index
+                                    prev_bi = cur_bi
+                                    compiled = member.compiled
+                                    steps = compiled.steps
+                                    length = compiled.length
+                                elif code == EXIT_COMPLETE:
+                                    cur_bi = -1
+                                    prev_bi = (
+                                        sb.members[-1].block_index)
+                                else:  # REFETCH after a deviation
+                                    cur_bi = -1
+                                    prev_bi = (sb.members[sb.exit[0]]
+                                               .block_index)
+                                if (sb.entries >= THRASH_MIN_ENTRIES
+                                        and sb.side_exits * 2
+                                            >= sb.entries):
+                                    # Mispredicting more than it
+                                    # completes: evict and stop
+                                    # rebuilding until the head block
+                                    # is itself invalidated.
+                                    sb_cache.drop(sb, "thrash")
+                                    sb_cache.banned.add(sb.head)
+                                continue
+                            # EXIT_STALE: a member's closure changed
+                            # under us; nothing was booked. Drop the
+                            # superblock and dispatch normally.
+                            sb_cache.drop(sb, "stale")
                 self._cache_dirty = False
                 cached = codecache.get(bi)
                 cur_bi = bi
@@ -292,6 +490,27 @@ class DBREngine(ExecutionDriver):
                     compiled = self._compile_block(cached, overhead)
                 steps = compiled.steps
                 length = compiled.length
+                if edges is not None:
+                    if pc[1] == 0:
+                        hot = cached.in_trace
+                        if prev_bi >= 0:
+                            per_src = edges.get(prev_bi)
+                            if per_src is None:
+                                per_src = edges[prev_bi] = {}
+                            per_src[bi] = per_src.get(bi, 0) + 1
+                            # Build gate, inlined: banned heads and
+                            # heads inside their retry backoff are the
+                            # steady state for chains that will never
+                            # (or not yet) form — they must not pay a
+                            # call per entry.
+                            if (hot and bi not in by_head
+                                    and bi not in sb_banned
+                                    and cached.executions
+                                        >= sb_retry_get(bi, 0)):
+                                self._try_superblock(cached)
+                        prev_bi = bi if hot else -1
+                    else:
+                        prev_bi = -1
             ii = pc[1]
             if ii >= length:
                 pc[0] += 1

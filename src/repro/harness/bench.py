@@ -9,11 +9,14 @@ the compiled-tier speedup, in a stable JSON document
 (``BENCH_simulator.json``) that the regression gate
 (``scripts/bench_gate.py``) diffs against the committed trajectory.
 
-Four sections:
+Five sections:
 
 * ``workloads`` — the headline: each PARSEC-style workload on the bare
-  DBR engine (no tool attached), both tiers. This isolates the execution
-  engine itself, where the block compiler does its work.
+  DBR engine (no tool attached), all three tiers — interpreter,
+  block-compiled, and superblock (compiled blocks chained into
+  trace-scheduled superblocks). This isolates the execution engine
+  itself, where the block compiler and the superblock builder do their
+  work.
 * ``macro`` — the full aikido-fasttrack stack on a few workloads, where
   hook dispatch and analysis time dilute the engine's share.
 * ``micro`` — synthetic kernels (pure ALU spin, lock traffic, a
@@ -53,7 +56,21 @@ from repro.workloads import micro
 from repro.workloads.parsec import benchmark_names, build_benchmark
 
 #: Bump when the JSON layout changes incompatibly.
-BENCH_SCHEMA_VERSION = 1
+#: 2: three execution tiers per row (interp/compiled/superblock),
+#:    superblock speedup columns + summary geomeans, and an optional
+#:    ``history`` list carrying prior documents' summaries forward.
+BENCH_SCHEMA_VERSION = 2
+
+#: Older documents the loader/gate still accept (read-compatible).
+SUPPORTED_BENCH_VERSIONS = (1, BENCH_SCHEMA_VERSION)
+
+#: The execution tiers one bench row measures, with the engine knobs
+#: each maps to: ``(compile_blocks, superblocks)``.
+TIER_FLAGS = (
+    ("interp", (False, False)),
+    ("compiled", (True, False)),
+    ("superblock", (True, True)),
+)
 
 #: Workloads the full-stack macro section runs (engine share is diluted
 #: by analysis work there, so a few representatives suffice).
@@ -66,7 +83,11 @@ REPLAY_ANALYSES = ("fasttrack", "djit", "eraser", "memtag")
 
 DEFAULT_REPEATS = 3
 DEFAULT_THREADS = 4
-DEFAULT_SCALE = 1.0
+#: Longer runs than the old default (1.0): superblock-vs-compiled
+#: deltas are tens of percent on runs of tens of milliseconds, and the
+#: best-of only punches through host noise when a run lasts long enough
+#: to amortize scheduler wakeups.
+DEFAULT_SCALE = 4.0
 DEFAULT_SEED = 3
 DEFAULT_QUANTUM = 200
 DEFAULT_JITTER = 0.1
@@ -87,13 +108,15 @@ def _micro_programs() -> Dict[str, Callable]:
     }
 
 
-def _bare_dbr_run(program_factory, *, compile_blocks: bool, seed: int,
-                  quantum: int, jitter: float) -> Dict[str, float]:
+def _bare_dbr_run(program_factory, *, compile_blocks: bool,
+                  superblocks: bool, seed: int, quantum: int,
+                  jitter: float) -> Dict[str, float]:
     """One bare-engine run (no tool): seconds + retired instructions."""
     program = program_factory()
     kernel = Kernel(seed=seed, quantum=quantum, jitter=jitter)
     kernel.create_process(program)
-    engine = DBREngine(kernel, compile_blocks=compile_blocks)
+    engine = DBREngine(kernel, compile_blocks=compile_blocks,
+                       superblocks=superblocks)
     start = time.perf_counter()
     kernel.run()
     seconds = time.perf_counter() - start
@@ -102,10 +125,12 @@ def _bare_dbr_run(program_factory, *, compile_blocks: bool, seed: int,
             "cycles": kernel.counter.total}
 
 
-def _aikido_run(program_factory, *, compile_blocks: bool, seed: int,
-                quantum: int, jitter: float) -> Dict[str, float]:
+def _aikido_run(program_factory, *, compile_blocks: bool,
+                superblocks: bool, seed: int, quantum: int,
+                jitter: float) -> Dict[str, float]:
     """One full aikido-fasttrack stack run."""
-    config = AikidoConfig(compile_blocks=compile_blocks)
+    config = AikidoConfig(compile_blocks=compile_blocks,
+                          superblocks=superblocks)
     start = time.perf_counter()
     result = run_aikido_fasttrack(program_factory(), seed=seed,
                                   quantum=quantum, jitter=jitter,
@@ -156,36 +181,43 @@ def _best_of(run: Callable[[], Dict], repeats: int) -> Dict:
     return best
 
 
-def _tier_row(name: str, run_tier: Callable[[bool], Dict],
+def _tier_row(name: str, run_tier: Callable[[bool, bool], Dict],
               repeats: int) -> Dict:
-    """Measure one subject under both tiers and derive the speedup."""
-    interp = _best_of(lambda: run_tier(False), repeats)
-    compiled = _best_of(lambda: run_tier(True), repeats)
-    if interp["instructions"] != compiled["instructions"]:
-        raise HarnessError(
-            f"{name}: tiers disagree on retired instructions "
-            f"(interp={interp['instructions']}, "
-            f"compiled={compiled['instructions']}) — parity violation")
-    if interp["cycles"] != compiled["cycles"]:
-        raise HarnessError(
-            f"{name}: tiers disagree on simulated cycles "
-            f"(interp={interp['cycles']}, "
-            f"compiled={compiled['cycles']}) — parity violation")
+    """Measure one subject under all three tiers, derive speedups.
+
+    ``run_tier`` takes ``(compile_blocks, superblocks)``. Each tier
+    must retire the same instruction count and the same simulated
+    cycle total — a standing parity assertion in every bench run.
+    """
+    samples = {}
+    for tier, (cb, sb) in TIER_FLAGS:
+        samples[tier] = _best_of(
+            lambda cb=cb, sb=sb: run_tier(cb, sb), repeats)
+    interp = samples["interp"]
+    for tier in ("compiled", "superblock"):
+        for what in ("instructions", "cycles"):
+            if samples[tier][what] != interp[what]:
+                raise HarnessError(
+                    f"{name}: tiers disagree on {what} "
+                    f"(interp={interp[what]}, "
+                    f"{tier}={samples[tier][what]}) — parity violation")
     instructions = interp["instructions"]
 
     def rate(sample):
         return instructions / sample["seconds"] if sample["seconds"] else 0.0
 
-    return {
-        "name": name,
-        "instructions": instructions,
-        "interp": {"seconds": interp["seconds"],
-                   "instrs_per_sec": rate(interp)},
-        "compiled": {"seconds": compiled["seconds"],
-                     "instrs_per_sec": rate(compiled)},
-        "speedup": (interp["seconds"] / compiled["seconds"]
-                    if compiled["seconds"] else 0.0),
-    }
+    def ratio(slow, fast):
+        return (samples[slow]["seconds"] / samples[fast]["seconds"]
+                if samples[fast]["seconds"] else 0.0)
+
+    row = {"name": name, "instructions": instructions}
+    for tier, _ in TIER_FLAGS:
+        row[tier] = {"seconds": samples[tier]["seconds"],
+                     "instrs_per_sec": rate(samples[tier])}
+    row["speedup"] = ratio("interp", "compiled")
+    row["superblock_speedup"] = ratio("interp", "superblock")
+    row["superblock_over_compiled"] = ratio("compiled", "superblock")
+    return row
 
 
 def _elision_row(name: str, run_elide: Callable[[bool], Dict],
@@ -333,9 +365,9 @@ def bench_suite(*, threads: int = DEFAULT_THREADS,
                    build_benchmark(name, threads=threads, scale=scale))
         workloads.append(_tier_row(
             name,
-            lambda cb, factory=factory: _bare_dbr_run(
-                factory, compile_blocks=cb, seed=seed, quantum=quantum,
-                jitter=jitter),
+            lambda cb, sb, factory=factory: _bare_dbr_run(
+                factory, compile_blocks=cb, superblocks=sb, seed=seed,
+                quantum=quantum, jitter=jitter),
             repeats))
 
     macro = []
@@ -348,8 +380,8 @@ def bench_suite(*, threads: int = DEFAULT_THREADS,
                        build_benchmark(name, threads=threads, scale=scale))
             macro.append(_tier_row(
                 f"aikido:{name}",
-                lambda cb, factory=factory: _aikido_run(
-                    factory, compile_blocks=cb, seed=seed,
+                lambda cb, sb, factory=factory: _aikido_run(
+                    factory, compile_blocks=cb, superblocks=sb, seed=seed,
                     quantum=quantum, jitter=jitter),
                 repeats))
 
@@ -358,9 +390,9 @@ def bench_suite(*, threads: int = DEFAULT_THREADS,
         note(f"bench: micro {name}")
         micro_rows.append(_tier_row(
             f"micro:{name}",
-            lambda cb, factory=factory: _bare_dbr_run(
-                factory, compile_blocks=cb, seed=seed, quantum=quantum,
-                jitter=jitter),
+            lambda cb, sb, factory=factory: _bare_dbr_run(
+                factory, compile_blocks=cb, superblocks=sb, seed=seed,
+                quantum=quantum, jitter=jitter),
             repeats))
 
     elision_rows = []
@@ -391,6 +423,9 @@ def bench_suite(*, threads: int = DEFAULT_THREADS,
             repeats=repeats))
 
     speedups = [row["speedup"] for row in workloads]
+    super_speedups = [row["superblock_speedup"] for row in workloads]
+    super_over_compiled = [row["superblock_over_compiled"]
+                           for row in workloads]
     elision_speedups = [row["speedup"] for row in elision_rows]
     amortizations = [row["amortization"] for row in replay_rows]
     doc = {
@@ -415,6 +450,11 @@ def bench_suite(*, threads: int = DEFAULT_THREADS,
             "geomean_speedup": _geomean(speedups) if speedups else 0.0,
             "workloads_2x": sum(1 for s in speedups if s >= 2.0),
             "workload_count": len(workloads),
+            "superblock_geomean_speedup": (
+                _geomean(super_speedups) if super_speedups else 0.0),
+            "superblock_over_compiled_geomean": (
+                _geomean(super_over_compiled)
+                if super_over_compiled else 0.0),
             "elision_geomean_speedup": (_geomean(elision_speedups)
                                         if elision_speedups else 0.0),
             "elision_nonzero": sum(1 for row in elision_rows
@@ -443,11 +483,21 @@ def validate_bench(doc: Dict) -> Dict:
     """Raise :class:`HarnessError` unless ``doc`` is a valid bench
     document; returns it unchanged so call sites can chain."""
     _require(isinstance(doc, dict), "not a JSON object")
-    _require(doc.get("version") == BENCH_SCHEMA_VERSION,
-             f"version != {BENCH_SCHEMA_VERSION}")
+    version = doc.get("version")
+    _require(version in SUPPORTED_BENCH_VERSIONS,
+             f"version not in {SUPPORTED_BENCH_VERSIONS}")
+    tiers = (("interp", "compiled", "superblock") if version >= 2
+             else ("interp", "compiled"))
+    speedup_keys = (("speedup", "superblock_speedup",
+                     "superblock_over_compiled") if version >= 2
+                    else ("speedup",))
     for section in ("host", "params", "summary"):
         _require(isinstance(doc.get(section), dict),
                  f"missing object {section!r}")
+    history = doc.get("history", [])
+    _require(isinstance(history, list)
+             and all(isinstance(entry, dict) for entry in history),
+             "history is not a list of objects")
     for section in ("workloads", "macro", "micro"):
         rows = doc.get(section)
         _require(isinstance(rows, list), f"missing list {section!r}")
@@ -458,7 +508,7 @@ def validate_bench(doc: Dict) -> Dict:
             _require(isinstance(row.get("instructions"), int)
                      and row["instructions"] > 0,
                      f"{name}: bad instruction count")
-            for tier in ("interp", "compiled"):
+            for tier in tiers:
                 sample = row.get(tier)
                 _require(isinstance(sample, dict), f"{name}: missing {tier}")
                 for key in _RATE_KEYS:
@@ -466,9 +516,10 @@ def validate_bench(doc: Dict) -> Dict:
                     _require(isinstance(value, (int, float))
                              and value >= 0,
                              f"{name}: bad {tier}.{key}")
-            _require(isinstance(row.get("speedup"), (int, float))
-                     and row["speedup"] > 0,
-                     f"{name}: bad speedup")
+            for key in speedup_keys:
+                _require(isinstance(row.get(key), (int, float))
+                         and row[key] > 0,
+                         f"{name}: bad {key}")
     # The elision section is optional (older documents predate it);
     # when present its rows pair a baseline and an elided sample.
     elision = doc.get("elision", [])
@@ -524,11 +575,42 @@ def validate_bench(doc: Dict) -> Dict:
              "summary.workloads_2x missing")
     _require(summary.get("workload_count") == len(doc["workloads"]),
              "summary.workload_count disagrees with workloads")
+    if version >= 2:
+        for key in ("superblock_geomean_speedup",
+                    "superblock_over_compiled_geomean"):
+            _require(isinstance(summary.get(key), (int, float)),
+                     f"summary.{key} missing")
     return doc
 
 
-def write_bench(doc: Dict, path: str) -> str:
+def write_bench(doc: Dict, path: str, *,
+                carry_history: bool = True) -> str:
+    """Validate and write ``doc``; carry the trajectory forward.
+
+    When overwriting an existing document, the prior document's
+    ``params`` and ``summary`` (plus any history it already carried)
+    are folded into ``doc["history"]`` — per-tier geomeans across
+    regenerations stay diffable in one file instead of vanishing with
+    every refresh.
+    """
     validate_bench(doc)
+    if carry_history:
+        try:
+            with open(path) as handle:
+                prior = json.load(handle)
+        except (OSError, ValueError):
+            prior = None
+        if isinstance(prior, dict) and isinstance(
+                prior.get("summary"), dict):
+            history = [entry for entry in prior.get("history", [])
+                       if isinstance(entry, dict)]
+            history.append({
+                "version": prior.get("version"),
+                "params": prior.get("params"),
+                "summary": prior.get("summary"),
+            })
+            doc = dict(doc, history=history)
+            validate_bench(doc)
     with open(path, "w") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -552,14 +634,20 @@ def render_bench(doc: Dict) -> str:
              f"repeats={doc['params']['repeats']}"
              f"{', quick' if doc['params'].get('quick') else ''})",
              f"{'workload':<24s} {'instrs':>10s} {'interp/s':>12s} "
-             f"{'compiled/s':>12s} {'speedup':>8s}"]
+             f"{'compiled/s':>12s} {'super/s':>12s} {'speedup':>8s} "
+             f"{'sb/comp':>8s}"]
     for section in ("workloads", "macro", "micro"):
         for row in doc[section]:
+            superblock = row.get("superblock")
             lines.append(
                 f"{row['name']:<24s} {row['instructions']:>10,d} "
                 f"{row['interp']['instrs_per_sec']:>12,.0f} "
                 f"{row['compiled']['instrs_per_sec']:>12,.0f} "
-                f"{row['speedup']:>7.2f}x")
+                + (f"{superblock['instrs_per_sec']:>12,.0f} "
+                   if superblock else f"{'-':>12s} ")
+                + f"{row['speedup']:>7.2f}x "
+                + (f"{row['superblock_over_compiled']:>7.2f}x"
+                   if superblock else f"{'-':>8s}"))
     elision = doc.get("elision", [])
     if elision:
         lines.append("")
@@ -588,6 +676,12 @@ def render_bench(doc: Dict) -> str:
     lines.append(f"geomean speedup {summary['geomean_speedup']:.2f}x; "
                  f"{summary['workloads_2x']}/{summary['workload_count']} "
                  f"workloads at >=2x")
+    if summary.get("superblock_geomean_speedup"):
+        lines.append(
+            f"superblock geomean speedup "
+            f"{summary['superblock_geomean_speedup']:.2f}x vs interp, "
+            f"{summary.get('superblock_over_compiled_geomean', 0.0):.2f}x "
+            f"vs compiled")
     if elision:
         lines.append(f"elision geomean speedup "
                      f"{summary.get('elision_geomean_speedup', 0.0):.2f}x; "
@@ -607,31 +701,47 @@ def render_bench(doc: Dict) -> str:
 # ----------------------------------------------------------------------
 def compare_bench(baseline: Dict, current: Dict,
                   threshold: float = 0.15) -> Dict:
-    """Compare two bench documents' compiled-tier throughput.
+    """Compare two bench documents' per-tier throughput.
 
-    The gated quantity is the geomean, over workloads present in both
-    documents, of ``current compiled instrs/sec / baseline compiled
-    instrs/sec``. Below ``1 - threshold`` the gate fails. Per-workload
-    ratios ride along for diagnosis.
+    For every execution tier present in both documents, the gated
+    quantity is the geomean, over workloads present in both, of
+    ``current instrs/sec / baseline instrs/sec``. Any tier's geomean
+    below ``1 - threshold`` fails the gate, so a regression confined
+    to the superblock tier (e.g. a builder bail-out that silently
+    degrades it to the compiled tier) cannot hide behind a healthy
+    compiled-tier number. Per-workload ratios ride along for
+    diagnosis; the top-level ``ratios``/``geomean_ratio`` keep the
+    legacy compiled-tier view.
     """
     validate_bench(baseline)
     validate_bench(current)
     base_rows = {row["name"]: row for row in baseline["workloads"]}
-    ratios = {}
-    for row in current["workloads"]:
-        base = base_rows.get(row["name"])
-        if base is None:
-            continue
-        old = base["compiled"]["instrs_per_sec"]
-        new = row["compiled"]["instrs_per_sec"]
-        if old > 0 and new > 0:
-            ratios[row["name"]] = new / old
-    if not ratios:
+    tiers: Dict[str, Dict] = {}
+    for tier, _ in TIER_FLAGS:
+        ratios = {}
+        for row in current["workloads"]:
+            base = base_rows.get(row["name"])
+            if (base is None or not isinstance(base.get(tier), dict)
+                    or not isinstance(row.get(tier), dict)):
+                continue
+            old = base[tier]["instrs_per_sec"]
+            new = row[tier]["instrs_per_sec"]
+            if old > 0 and new > 0:
+                ratios[row["name"]] = new / old
+        if ratios:
+            geomean = _geomean(list(ratios.values()))
+            tiers[tier] = {
+                "ratios": ratios,
+                "geomean_ratio": geomean,
+                "ok": geomean >= 1.0 - threshold,
+            }
+    if "compiled" not in tiers:
         raise HarnessError("no common workloads between bench documents")
-    geomean = _geomean(list(ratios.values()))
+    compiled = tiers["compiled"]
     return {
-        "ratios": ratios,
-        "geomean_ratio": geomean,
+        "tiers": tiers,
+        "ratios": compiled["ratios"],
+        "geomean_ratio": compiled["geomean_ratio"],
         "threshold": threshold,
-        "ok": geomean >= 1.0 - threshold,
+        "ok": all(entry["ok"] for entry in tiers.values()),
     }

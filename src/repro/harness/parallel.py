@@ -173,6 +173,7 @@ def result_to_dict(result: RunResult) -> Dict:
         "chaos": result.chaos,
         "timeline": [dict(sample) for sample in result.timeline],
         "elision": result.elision,
+        "superblocks": result.superblocks,
     }
 
 
@@ -188,6 +189,7 @@ def result_from_dict(payload: Dict) -> RunResult:
         chaos=payload.get("chaos"),  # absent in pre-chaos archives
         timeline=payload.get("timeline"),  # absent in pre-1.2 archives
         elision=payload.get("elision"),  # absent in pre-elision archives
+        superblocks=payload.get("superblocks"),  # absent pre-1.4
     )
 
 

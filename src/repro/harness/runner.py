@@ -45,7 +45,8 @@ class RunResult:
                  detector_profile: Optional[Dict[str, int]] = None,
                  chaos: Optional[Dict] = None,
                  timeline: Optional[List[Dict]] = None,
-                 elision: Optional[Dict] = None):
+                 elision: Optional[Dict] = None,
+                 superblocks: Optional[Dict] = None):
         self.mode = mode
         self.cycles = cycles
         self.run_stats = run_stats
@@ -67,6 +68,12 @@ class RunResult:
         #: part of run_stats/aikido_stats, which stay bit-identical
         #: between elided and non-elided runs.
         self.elision = elision
+        #: Superblock-tier payload (None unless the engine ran with
+        #: ``superblocks``): {"superblocks_built", "superblocks_dropped",
+        #: "side_exits", "entries", "completions", "instructions",
+        #: "live"}. Host-side observability — deliberately NOT part of
+        #: run_stats, which stays bit-identical across all three tiers.
+        self.superblocks = superblocks
 
     @property
     def cycle_attribution(self) -> Dict[str, int]:
@@ -207,19 +214,21 @@ def run_native(program, *, seed: int = 0, quantum: int = 200,
 
 def run_fasttrack(program, *, seed: int = 0, quantum: int = 200,
                   jitter: float = 0.1, block_size: int = 8,
-                  compile_blocks: bool = True,
+                  compile_blocks: bool = True, superblocks: bool = True,
                   max_instructions: int = _DEFAULT_BUDGET) -> RunResult:
     """The conservative instrument-everything FastTrack baseline."""
     kernel = Kernel(seed=seed, quantum=quantum, jitter=jitter)
     kernel.create_process(program)
-    engine = DBREngine(kernel, compile_blocks=compile_blocks)
+    engine = DBREngine(kernel, compile_blocks=compile_blocks,
+                       superblocks=superblocks)
     tool = FastTrackTool(kernel, block_size=block_size)
     engine.attach_tool(tool)
     kernel.run(max_instructions=max_instructions)
     return RunResult("fasttrack", kernel.counter.total,
                      _engine_run_stats(engine), kernel.counter.snapshot(),
                      races=list(tool.races),
-                     detector_profile=_detector_profile(tool.detector))
+                     detector_profile=_detector_profile(tool.detector),
+                     superblocks=engine.superblock_snapshot())
 
 
 def build_aikido_system(program, *, seed: int = 0, quantum: int = 200,
@@ -256,7 +265,8 @@ def system_result(system: AikidoSystem) -> RunResult:
                      detector_profile=_detector_profile(analysis.detector),
                      chaos=chaos_payload,
                      timeline=system.timeline(),
-                     elision=system.engine.elision_snapshot())
+                     elision=system.engine.elision_snapshot(),
+                     superblocks=system.engine.superblock_snapshot())
 
 
 def run_aikido_fasttrack(program, *, seed: int = 0, quantum: int = 200,
@@ -296,8 +306,8 @@ def run_mode(program, mode: str, **kwargs) -> RunResult:
     the ones the selected mode does not take (``config`` for native and
     fasttrack, ``block_size`` for native), so suite drivers can pass one
     kwarg set to every mode. For ``aikido-fasttrack``, a bare
-    ``block_size`` or ``compile_blocks`` is folded into the
-    :class:`AikidoConfig`.
+    ``block_size``, ``compile_blocks`` or ``superblocks`` is folded into
+    the :class:`AikidoConfig`.
     """
     if mode not in _MODE_RUNNERS:
         raise HarnessError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -308,7 +318,8 @@ def run_mode(program, mode: str, **kwargs) -> RunResult:
             f"accepted: {sorted(SHARED_KWARGS)}")
     if mode == "aikido-fasttrack":
         bare = {field: kwargs.pop(field)
-                for field in ("block_size", "compile_blocks")
+                for field in ("block_size", "compile_blocks",
+                              "superblocks")
                 if field in kwargs}
         if bare:
             config = kwargs.get("config")

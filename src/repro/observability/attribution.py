@@ -52,8 +52,10 @@ CATEGORY_BUCKETS: Dict[str, str] = {
     "aikido_sd": "discovery_fault",
     "kernel_fault": "discovery_fault",
     "signal_delivery": "discovery_fault",
-    # dynamic binary rewriting
+    # dynamic binary rewriting (trace = hot-block promotion / superblock
+    # construction work, the same re-JIT machinery)
     "dbr": "rejit",
+    "trace": "rejit",
     # analysis payloads
     "umbra": "tool_hook",
     "aikido_inline": "tool_hook",

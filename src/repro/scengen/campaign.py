@@ -48,7 +48,8 @@ from repro.scengen.scenario import ScenarioIR, describe, render
 #: journaled/cached verdicts from older code.
 #: 2: added static_race_superset + lint_clean checks.
 #: 3: added eventlog_roundtrip + cross_analysis_agreement checks.
-ORACLE_VERSION = 3
+#: 4: added superblock-tier parity checks (fasttrack + aikido).
+ORACLE_VERSION = 4
 
 
 def scenario_key(config: GeneratorConfig, seed: int, quick: bool) -> str:

@@ -11,8 +11,16 @@ Checks
 ``tier_parity_fasttrack``   interp vs block-compiled tier under full
                             FastTrack instrumentation: bit-identical
                             cycles, stats, breakdown and race reports.
+``tier_parity_fasttrack_superblock``
+                            interp vs the superblock tier (compiled
+                            blocks plus trace-chained superblocks)
+                            under FastTrack — same bit-identical
+                            surface.
 ``tier_parity_aikido``      the same for the full Aikido stack (with
                             the scenario's chaos plan, if any).
+``tier_parity_aikido_superblock``
+                            interp vs superblock tier for the full
+                            Aikido stack.
 ``schedule_replay``         re-running the interp tier from the same
                             ``(sched_seed,)`` replays bit-identically —
                             the scheduler-RNG unification guarantee.
@@ -130,16 +138,30 @@ def _race_payload(races) -> Dict:
     }
 
 
-def default_tier_runner(ir: ScenarioIR, mode: str, compile_blocks: bool,
+#: Execution tiers the oracle crosses every mode with.  Each maps to
+#: the (compile_blocks, superblocks) engine knobs; both are passed
+#: explicitly because the engine defaults superblocks on.
+TIERS = ("interp", "compiled", "superblock")
+
+
+def _tier_flags(tier: str) -> Tuple[bool, bool]:
+    if tier not in TIERS:
+        raise ValueError(f"oracle tier {tier!r} unknown")
+    return tier != "interp", tier == "superblock"
+
+
+def default_tier_runner(ir: ScenarioIR, mode: str, tier: str,
                         budget: int) -> Outcome:
     """Run one tier of one mode; never raises a simulated error."""
+    compile_blocks, superblocks = _tier_flags(tier)
     program, info = render(ir)
     try:
         if mode == "fasttrack":
             kernel = Kernel(seed=ir.sched_seed, quantum=ir.quantum,
                             jitter=ir.jitter)
             kernel.create_process(program)
-            engine = DBREngine(kernel, compile_blocks=compile_blocks)
+            engine = DBREngine(kernel, compile_blocks=compile_blocks,
+                               superblocks=superblocks)
             tool = FastTrackTool(kernel, block_size=BLOCK_SIZE)
             engine.attach_tool(tool)
             install_smc(kernel, engine, info.smc_uids, ir.smc_period)
@@ -158,6 +180,7 @@ def default_tier_runner(ir: ScenarioIR, mode: str, compile_blocks: bool,
                 chaos_plan = ChaosPlan.recovery(
                     seed=ir.chaos_seed, intensity=ir.chaos_intensity)
             config = AikidoConfig(compile_blocks=compile_blocks,
+                                  superblocks=superblocks,
                                   chaos=chaos_plan)
             system = build_aikido_system(program, seed=ir.sched_seed,
                                          quantum=ir.quantum,
@@ -237,22 +260,30 @@ def check_scenario(ir: ScenarioIR, *, quick: bool = True,
             entry["skipped"] = True
         checks[name] = entry
 
-    ft_interp = runner(ir, "fasttrack", False, budget)
-    ft_compiled = runner(ir, "fasttrack", True, budget)
+    ft_interp = runner(ir, "fasttrack", "interp", budget)
+    ft_compiled = runner(ir, "fasttrack", "compiled", budget)
     report("tier_parity_fasttrack", ft_interp == ft_compiled,
            _surface_diff(ft_interp, ft_compiled))
 
-    ft_again = runner(ir, "fasttrack", False, budget)
+    ft_super = runner(ir, "fasttrack", "superblock", budget)
+    report("tier_parity_fasttrack_superblock", ft_interp == ft_super,
+           _surface_diff(ft_interp, ft_super))
+
+    ft_again = runner(ir, "fasttrack", "interp", budget)
     report("schedule_replay", ft_interp == ft_again,
            _surface_diff(ft_interp, ft_again))
 
-    aik_interp = runner(ir, "aikido-fasttrack", False, budget)
-    aik_compiled = runner(ir, "aikido-fasttrack", True, budget)
+    aik_interp = runner(ir, "aikido-fasttrack", "interp", budget)
+    aik_compiled = runner(ir, "aikido-fasttrack", "compiled", budget)
     report("tier_parity_aikido", aik_interp == aik_compiled,
            _surface_diff(aik_interp, aik_compiled))
 
+    aik_super = runner(ir, "aikido-fasttrack", "superblock", budget)
+    report("tier_parity_aikido_superblock", aik_interp == aik_super,
+           _surface_diff(aik_interp, aik_super))
+
     if ir.chaos_seed is not None:
-        aik_again = runner(ir, "aikido-fasttrack", False, budget)
+        aik_again = runner(ir, "aikido-fasttrack", "interp", budget)
         report("chaos_replay", aik_interp == aik_again,
                _surface_diff(aik_interp, aik_again))
 

@@ -1,19 +1,24 @@
-"""The block-compiled tier must be observationally identical to the
-interpreter tier.
+"""The block-compiled and superblock tiers must be observationally
+identical to the interpreter tier.
 
-Three layers of evidence:
+Four layers of evidence:
 
 * differential runs over every bundled workload (plain, under chaos
   injection, and with tracing/metrics on) comparing the full simulated
   surface — cycles, run stats, per-category breakdown, attribution,
-  detector profile, hypervisor stats, chaos payload and race reports;
+  detector profile, hypervisor stats, chaos payload and race reports —
+  across all three execution tiers;
 * seeded Hypothesis fuzzing over generated multithreaded programs,
   drawing scenarios from the shared ``repro.scengen`` generator (the
   same distributions ``aikido-repro fuzz`` campaigns use);
 * unit tests that every invalidation event (re-JIT, full flush, chaos
   cache flush, residency-overhead change) drops the stale closure, and
   that the TLB's translation micro-caches track its entry table through
-  fill/invalidate/flush/eviction.
+  fill/invalidate/flush/eviction;
+* superblock-tier units: chains form and complete on hot loops, the
+  side-exit accounting identity holds, invalidation storms (SMC
+  cadences) drop superblocks without breaking parity, and quantum
+  tails too short for a whole chain fall back to the compiled tier.
 """
 
 from __future__ import annotations
@@ -47,18 +52,26 @@ def surface(result):
     return fields
 
 
-def run_both_tiers(program_factory, mode="aikido-fasttrack", **kwargs):
-    """Run compiled and interpreter tiers; either both results or both
-    exceptions (hostile chaos runs may legitimately raise)."""
+#: ``(compile_blocks, superblocks)`` per tier, superblock first so the
+#: common unpacking reads ``superblock, compiled, interp = ...``.
+TIER_KNOBS = ((True, True), (True, False), (False, False))
+
+
+def run_all_tiers(program_factory, mode="aikido-fasttrack", **kwargs):
+    """Run superblock, compiled and interpreter tiers; each outcome is
+    either a result surface or an exception (hostile chaos runs may
+    legitimately raise — identically in every tier)."""
     outcomes = []
-    for compile_blocks in (True, False):
+    for compile_blocks, superblocks in TIER_KNOBS:
         tier_kwargs = dict(kwargs)
         if mode == "aikido-fasttrack":
             config = tier_kwargs.pop("config", None) or AikidoConfig()
             config.compile_blocks = compile_blocks
+            config.superblocks = superblocks
             tier_kwargs["config"] = config
         else:
             tier_kwargs["compile_blocks"] = compile_blocks
+            tier_kwargs["superblocks"] = superblocks
         try:
             outcomes.append(
                 ("ok", surface(run_mode(program_factory(), mode,
@@ -71,10 +84,10 @@ def run_both_tiers(program_factory, mode="aikido-fasttrack", **kwargs):
 class TestWorkloadParity:
     @pytest.mark.parametrize("name", benchmark_names())
     def test_plain_run_bit_identical(self, name):
-        compiled, interp = run_both_tiers(
+        superblock, compiled, interp = run_all_tiers(
             lambda: build_benchmark(name, threads=2, scale=0.05),
             seed=2, quantum=100)
-        assert compiled == interp
+        assert superblock == compiled == interp
 
     @pytest.mark.parametrize("name", ["freqmine", "canneal", "vips"])
     def test_chaos_recovery_run_bit_identical(self, name):
@@ -83,35 +96,35 @@ class TestWorkloadParity:
                 chaos=ChaosPlan.recovery(seed=11, intensity=0.3),
                 check_invariants=True)
 
-        compiled, interp = run_both_tiers(
+        superblock, compiled, interp = run_all_tiers(
             lambda: build_benchmark(name, threads=2, scale=0.05),
             seed=2, quantum=100, config=config())
         assert compiled[0] == "ok", compiled
-        assert compiled == interp
+        assert superblock == compiled == interp
 
     @pytest.mark.parametrize("name", ["blackscholes", "streamcluster"])
     def test_hostile_chaos_run_bit_identical(self, name):
-        compiled, interp = run_both_tiers(
+        superblock, compiled, interp = run_all_tiers(
             lambda: build_benchmark(name, threads=2, scale=0.05),
             seed=2, quantum=100,
             config=AikidoConfig(
                 chaos=ChaosPlan.hostile(seed=13, intensity=0.2)))
-        assert compiled == interp
+        assert superblock == compiled == interp
 
     @pytest.mark.parametrize("name", ["bodytrack", "x264"])
     def test_traced_run_bit_identical(self, name):
-        compiled, interp = run_both_tiers(
+        superblock, compiled, interp = run_all_tiers(
             lambda: build_benchmark(name, threads=2, scale=0.05),
             seed=2, quantum=100,
             config=AikidoConfig(trace=True, metrics_cadence=25))
-        assert compiled == interp
+        assert superblock == compiled == interp
 
     @pytest.mark.parametrize("name", ["canneal", "raytrace"])
     def test_fasttrack_mode_bit_identical(self, name):
-        compiled, interp = run_both_tiers(
+        superblock, compiled, interp = run_all_tiers(
             lambda: build_benchmark(name, threads=2, scale=0.05),
             mode="fasttrack", seed=2, quantum=100)
-        assert compiled == interp
+        assert superblock == compiled == interp
 
 
 # ----------------------------------------------------------------------
@@ -120,21 +133,21 @@ class TestWorkloadParity:
 @settings(max_examples=20, deadline=None)
 @given(scenario_irs(chaos=False))
 def test_fuzzed_scenarios_fasttrack_parity(ir):
-    compiled, interp = run_both_tiers(
+    superblock, compiled, interp = run_all_tiers(
         lambda: render(ir)[0], mode="fasttrack",
         seed=ir.sched_seed, quantum=ir.quantum, jitter=ir.jitter,
         max_instructions=300_000)
-    assert compiled == interp
+    assert superblock == compiled == interp
 
 
 @settings(max_examples=10, deadline=None)
 @given(scenario_irs(chaos=False))
 def test_fuzzed_scenarios_aikido_parity(ir):
-    compiled, interp = run_both_tiers(
+    superblock, compiled, interp = run_all_tiers(
         lambda: render(ir)[0],
         seed=ir.sched_seed, quantum=ir.quantum, jitter=ir.jitter,
         max_instructions=300_000)
-    assert compiled == interp
+    assert superblock == compiled == interp
 
 
 @settings(max_examples=8, deadline=None)
@@ -145,11 +158,11 @@ def test_fuzzed_chaotic_scenarios_aikido_parity(ir):
         return AikidoConfig(chaos=ChaosPlan.recovery(
             seed=ir.chaos_seed, intensity=ir.chaos_intensity))
 
-    compiled, interp = run_both_tiers(
+    superblock, compiled, interp = run_all_tiers(
         lambda: render(ir)[0],
         seed=ir.sched_seed, quantum=ir.quantum, jitter=ir.jitter,
         max_instructions=300_000, config=config())
-    assert compiled == interp
+    assert superblock == compiled == interp
 
 
 # ----------------------------------------------------------------------
@@ -262,6 +275,146 @@ class TestClosureInvalidation:
         delivered = system.chaos.as_dict()["delivered"]
         assert delivered.get("codecache_flush", 0) > 0
         assert system.engine.codecache.closures_dropped > 0
+
+
+# ----------------------------------------------------------------------
+# superblock tier
+# ----------------------------------------------------------------------
+def _hot_loop_program(iters=800):
+    b = ProgramBuilder()
+    data = b.segment("data", 64)
+    b.label("main")
+    b.li(4, data)
+    with b.loop(counter=2, count=iters):
+        b.load(5, base=4, disp=0)
+        b.add(5, 5, imm=1)
+        b.store(5, base=4, disp=0)
+        b.xor(6, 5, imm=0x55)
+    b.halt()
+    return b.build()
+
+
+def _bare_run(program_factory, quantum=100, smc_period=0,
+              **engine_kwargs):
+    """One bare-engine run; returns (parity surface, engine).
+
+    ``smc_period`` > 0 installs the oracle-style self-modifying-code
+    cadence: every ``period`` scheduler ticks one program instruction
+    is invalidated, forcing a re-JIT (and superblock-drop) storm at
+    identical points in every tier.
+    """
+    program = program_factory()
+    kernel = Kernel(seed=3, quantum=quantum, jitter=0.1)
+    kernel.create_process(program)
+    engine = DBREngine(kernel, **engine_kwargs)
+    if smc_period:
+        uids = [instr.uid for instr in program.iter_instructions()][:4]
+        state = {"ticks": 0}
+
+        def _tick():
+            state["ticks"] += 1
+            if state["ticks"] % smc_period == 0:
+                fired = state["ticks"] // smc_period
+                engine.invalidate_instruction(
+                    uids[(fired - 1) % len(uids)])
+
+        kernel.tick_hooks.append(_tick)
+    kernel.run()
+    return (kernel.counter.total, engine.stats.as_dict(),
+            kernel.counter.snapshot()), engine
+
+
+class TestSuperblockTier:
+    def test_forms_and_completes_on_hot_loop(self):
+        got, engine = _bare_run(_hot_loop_program,
+                                compile_blocks=True, superblocks=True)
+        snapshot = engine.superblock_snapshot()
+        assert snapshot["superblocks_built"] >= 1
+        assert snapshot["completions"] > 0
+        assert snapshot["instructions"] > 0
+        want, _ = _bare_run(_hot_loop_program, compile_blocks=False)
+        assert got == want
+
+    def test_disabled_without_block_compiler(self):
+        # superblocks stitch *compiled* blocks; an interpreter-only
+        # engine has nothing to stitch and the tier must stay off.
+        _, engine = _bare_run(_hot_loop_program,
+                              compile_blocks=False, superblocks=True)
+        assert engine.superblock_snapshot() is None
+
+    @pytest.mark.parametrize("name",
+                             ["blackscholes", "canneal", "bodytrack"])
+    def test_entry_accounting_identity(self, name):
+        # Every superblock entry retires as exactly one of completion
+        # or side exit — nothing double-counted, nothing lost.
+        _, engine = _bare_run(
+            lambda: build_benchmark(name, threads=2, scale=0.1),
+            compile_blocks=True, superblocks=True)
+        snapshot = engine.superblock_snapshot()
+        assert snapshot["entries"] == (snapshot["completions"]
+                                       + snapshot["side_exits"])
+
+    @pytest.mark.parametrize("quantum", [13, 31, 50])
+    def test_quantum_tail_parity(self, quantum):
+        # A quantum tail shorter than a whole chain must fall back to
+        # the compiled tier for those steps — bit-identically.
+        got, engine = _bare_run(_hot_loop_program, quantum=quantum,
+                                compile_blocks=True, superblocks=True)
+        want, _ = _bare_run(_hot_loop_program, quantum=quantum,
+                            compile_blocks=False)
+        assert got == want
+        snapshot = engine.superblock_snapshot()
+        assert snapshot["entries"] == (snapshot["completions"]
+                                       + snapshot["side_exits"])
+
+    def test_rejit_drops_member_superblocks_and_resets_gate(self):
+        _, engine = _bare_run(_hot_loop_program,
+                              compile_blocks=True, superblocks=True)
+        sb_cache = engine.superblock_cache
+        assert sb_cache.by_head, "hot loop never built a superblock"
+        head, sb = next(iter(sb_cache.by_head.items()))
+        member = sb.members[0].block_index
+        uid = engine.codecache._blocks[member].instrs[0].uid
+        tracer = RecordingTracer()
+        engine.tracer = tracer
+        dropped_before = sb_cache.dropped
+        assert engine.invalidate_instruction(uid) >= 1
+        assert sb_cache.dropped > dropped_before
+        assert head not in sb_cache.by_head
+        # The rebuilt block gets a fresh chance: no ban, no backoff.
+        assert member not in sb_cache.banned
+        assert member not in sb_cache.attempt_after
+        drops = [attrs for name, attrs in tracer.instants
+                 if name == "superblock_drop"]
+        assert drops and drops[0]["reason"] == "flush"
+        assert drops[0]["dropped"] >= 1
+
+    def test_smc_invalidation_storm_parity(self):
+        # The oracle's self-modifying-code cadence at a storm-level
+        # period: superblocks must form, be torn down repeatedly, and
+        # never perturb the simulated surface.
+        interp, _ = _bare_run(_hot_loop_program, quantum=50,
+                              smc_period=3, compile_blocks=False)
+        compiled, _ = _bare_run(_hot_loop_program, quantum=50,
+                                smc_period=3, compile_blocks=True,
+                                superblocks=False)
+        superblock, engine = _bare_run(_hot_loop_program, quantum=50,
+                                       smc_period=3,
+                                       compile_blocks=True,
+                                       superblocks=True)
+        assert interp == compiled == superblock
+        snapshot = engine.superblock_snapshot()
+        assert snapshot["superblocks_built"] >= 1
+        assert snapshot["superblocks_dropped"] >= 1
+
+    def test_full_flush_drops_every_superblock(self):
+        _, engine = _bare_run(_hot_loop_program,
+                              compile_blocks=True, superblocks=True)
+        sb_cache = engine.superblock_cache
+        assert sb_cache.by_head
+        engine.codecache.invalidate_all()
+        assert not sb_cache.by_head
+        assert sb_cache.dropped >= 1
 
 
 # ----------------------------------------------------------------------

@@ -32,30 +32,55 @@ def _gate(*argv):
         capture_output=True, text=True, env=_env(), timeout=120)
 
 
-def _row(name, compiled_rate=4000.0):
+def _row(name, compiled_rate=4000.0, super_rate=None):
+    super_rate = super_rate if super_rate is not None \
+        else compiled_rate * 1.2
     return {
         "name": name,
         "instructions": 10_000,
         "interp": {"seconds": 10.0, "instrs_per_sec": 1000.0},
         "compiled": {"seconds": 10_000 / compiled_rate,
                      "instrs_per_sec": compiled_rate},
+        "superblock": {"seconds": 10_000 / super_rate,
+                       "instrs_per_sec": super_rate},
         "speedup": compiled_rate / 1000.0,
+        "superblock_speedup": super_rate / 1000.0,
+        "superblock_over_compiled": super_rate / compiled_rate,
     }
 
 
-def _doc(names=("alpha", "beta"), compiled_rate=4000.0):
+def _doc(names=("alpha", "beta"), compiled_rate=4000.0,
+         super_rate=None):
+    effective_super = super_rate if super_rate is not None \
+        else compiled_rate * 1.2
     return {
-        "version": 1,
+        "version": 2,
         "host": {"platform": "test"},
         "params": {"threads": 2, "scale": 0.05, "seed": 2,
                    "quantum": 100, "jitter": 0.0},
-        "workloads": [_row(n, compiled_rate) for n in names],
+        "workloads": [_row(n, compiled_rate, super_rate) for n in names],
         "macro": [],
         "micro": [],
         "summary": {"geomean_speedup": compiled_rate / 1000.0,
                     "workloads_2x": len(names),
-                    "workload_count": len(names)},
+                    "workload_count": len(names),
+                    "superblock_geomean_speedup": effective_super / 1000.0,
+                    "superblock_over_compiled_geomean":
+                        effective_super / compiled_rate},
     }
+
+
+def _doc_v1(names=("alpha", "beta"), compiled_rate=4000.0):
+    doc = _doc(names, compiled_rate)
+    doc["version"] = 1
+    for row in doc["workloads"]:
+        del row["superblock"]
+        del row["superblock_speedup"]
+        del row["superblock_over_compiled"]
+    for key in ("superblock_geomean_speedup",
+                "superblock_over_compiled_geomean"):
+        del doc["summary"][key]
+    return doc
 
 
 def _write(path, doc):
@@ -111,5 +136,39 @@ class TestExitCodes:
         proc = _gate(
             "--baseline", _write(tmp_path / "b.json", _doc()),
             "--current",
-            _write(tmp_path / "c.json", _doc(compiled_rate=3600.0)))
+            _write(tmp_path / "c.json",
+                   _doc(compiled_rate=3600.0, super_rate=4400.0)))
         assert proc.returncode == 0, proc.stderr
+
+    def test_superblock_only_regression_exits_two(self, tmp_path):
+        # Compiled tier healthy, superblock tier halved: the per-tier
+        # gate must still fail (a superblock regression cannot hide
+        # behind a healthy compiled number).
+        proc = _gate(
+            "--baseline", _write(tmp_path / "b.json", _doc()),
+            "--current",
+            _write(tmp_path / "c.json", _doc(super_rate=2400.0)))
+        assert proc.returncode == 2, proc.stderr
+        assert "superblock" in proc.stderr
+
+    def test_v1_baseline_gates_common_tiers(self, tmp_path):
+        # A v1 baseline has no superblock samples; the gate compares
+        # the tiers both documents share and still passes/fails on
+        # those alone.
+        proc = _gate(
+            "--baseline", _write(tmp_path / "b.json", _doc_v1()),
+            "--current", _write(tmp_path / "c.json", _doc()))
+        assert proc.returncode == 0, proc.stderr
+        assert "superblock tier" not in proc.stdout
+
+    def test_save_writes_the_gated_document(self, tmp_path):
+        out = tmp_path / "measured.json"
+        proc = _gate(
+            "--baseline", _write(tmp_path / "b.json", _doc()),
+            "--current", _write(tmp_path / "c.json", _doc()),
+            "--save", str(out))
+        assert proc.returncode == 0, proc.stderr
+        saved = json.loads(out.read_text())
+        assert saved["version"] == 2
+        assert {row["name"] for row in saved["workloads"]} \
+            == {"alpha", "beta"}

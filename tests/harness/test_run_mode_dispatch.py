@@ -64,7 +64,8 @@ class TestSharedKwargDispatch:
 
     def test_shared_kwargs_is_the_union(self):
         assert {"seed", "quantum", "jitter", "max_instructions",
-                "block_size", "compile_blocks", "config"} == set(SHARED_KWARGS)
+                "block_size", "compile_blocks", "superblocks",
+                "config"} == set(SHARED_KWARGS)
 
 
 class TestEmptySuiteAggregation:

@@ -20,9 +20,9 @@ def _has_atomic(ir):
 def perturb_compiled_when(trigger):
     """Tier runner with a planted compiled-tier divergence bug."""
 
-    def runner(ir, mode, compile_blocks, budget):
-        out = default_tier_runner(ir, mode, compile_blocks, budget)
-        if (mode == "fasttrack" and compile_blocks and out[0] == "ok"
+    def runner(ir, mode, tier, budget):
+        out = default_tier_runner(ir, mode, tier, budget)
+        if (mode == "fasttrack" and tier == "compiled" and out[0] == "ok"
                 and trigger(ir)):
             surface = dict(out[1])
             surface["cycles"] = surface["cycles"] + 1
@@ -42,7 +42,10 @@ class TestCleanScenarios:
         verdict = check_scenario(generate(1), quick=True)
         assert verdict["seed"] == 1
         assert verdict["outcome"] == "ok"
-        for name in ("tier_parity_fasttrack", "tier_parity_aikido",
+        for name in ("tier_parity_fasttrack",
+                     "tier_parity_fasttrack_superblock",
+                     "tier_parity_aikido",
+                     "tier_parity_aikido_superblock",
                      "schedule_replay", "record_replay_fidelity",
                      "fasttrack_djit_agreement", "eraser_determinism",
                      "eventlog_roundtrip", "cross_analysis_agreement",
@@ -78,8 +81,8 @@ class TestPlantedBugs:
     def test_replay_divergence_is_caught(self):
         calls = {"n": 0}
 
-        def flappy(ir, mode, compile_blocks, budget):
-            out = default_tier_runner(ir, mode, compile_blocks, budget)
+        def flappy(ir, mode, tier, budget):
+            out = default_tier_runner(ir, mode, tier, budget)
             calls["n"] += 1
             if out[0] == "ok":
                 surface = dict(out[1])
